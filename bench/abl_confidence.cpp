@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation — the confidence gate. The paper stresses that DMP's benefit
+ * "critically depends" on confidence estimation (Figure 7's perf-conf
+ * bars). This bench sweeps the gate from "predicate nothing" (baseline)
+ * through the realistic JRS, to "predicate every marked instance"
+ * (alwaysLowConfidence) and the perfect oracle.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+namespace
+{
+
+void
+cfgAlwaysLow(core::CoreParams &c)
+{
+    cfgDmpEnhanced(c);
+    c.alwaysLowConfidence = true;
+}
+
+void
+cfgPerfect(core::CoreParams &c)
+{
+    cfgDmpEnhanced(c);
+    c.perfectConfidence = true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    std::vector<std::pair<std::string, ConfigFn>> configs = {
+        {"base", cfgBaseline},
+        {"jrs", cfgDmpEnhanced},
+        {"always", cfgAlwaysLow},
+        {"perfect", cfgPerfect},
+    };
+    registerSimBenchmarks(configs);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Ablation: confidence gate (enhanced DMP, %%IPC "
+                "over baseline) ===\n");
+    std::printf("%-10s | %9s %9s %9s | %10s %10s\n", "bench", "JRS",
+                "always", "perfect", "entr(JRS)", "entr(alw)");
+    double sums[3] = {0, 0, 0};
+    unsigned n = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        const sim::SimResult &b =
+            RunCache::instance().get(wl, "base", cfgBaseline);
+        const sim::SimResult &j =
+            RunCache::instance().get(wl, "jrs", cfgDmpEnhanced);
+        const sim::SimResult &a =
+            RunCache::instance().get(wl, "always", cfgAlwaysLow);
+        const sim::SimResult &p =
+            RunCache::instance().get(wl, "perfect", cfgPerfect);
+        double dj = sim::pctDelta(j.ipc, b.ipc);
+        double da = sim::pctDelta(a.ipc, b.ipc);
+        double dp = sim::pctDelta(p.ipc, b.ipc);
+        std::printf("%-10s | %+8.1f%% %+8.1f%% %+8.1f%% | %10llu "
+                    "%10llu\n",
+                    wl.c_str(), dj, da, dp,
+                    (unsigned long long)j.get("dpred_entries"),
+                    (unsigned long long)a.get("dpred_entries"));
+        sums[0] += dj;
+        sums[1] += da;
+        sums[2] += dp;
+        ++n;
+    }
+    std::printf("%-10s | %+8.1f%% %+8.1f%% %+8.1f%%\n", "average",
+                sums[0] / n, sums[1] / n, sums[2] / n);
+    std::printf("(paper: realistic JRS captures roughly half of the "
+                "perfect-confidence potential)\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation — the compiler marking heuristics of section 3.2: the
+ * 120-instruction CFM distance bound and the 20% reconvergence
+ * fraction ("these thresholds were chosen after considering different
+ * combinations of alternatives").
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+namespace
+{
+
+/** Run with a custom marker configuration (bypasses the RunCache). */
+sim::SimResult
+runMarked(const std::string &wl, unsigned max_dist, double reconv)
+{
+    sim::SimConfig cfg;
+    cfg.workload = wl;
+    cfg.train.iterations = benchIterations();
+    cfg.ref.iterations = benchIterations();
+    cfg.marker.maxCfmDistance = max_dist;
+    cfg.marker.reconvergeFraction = reconv;
+    cfgDmpEnhanced(cfg.core);
+    return sim::runSim(cfg);
+}
+
+void
+BM_MarkerSweep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::SimResult r = runMarked("parser", 120, 0.2);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["IPC"] = r.ipc;
+    }
+}
+BENCHMARK(BM_MarkerSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"base", cfgBaseline}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    const unsigned dists[] = {30, 60, 120, 240};
+    const double fracs[] = {0.05, 0.20, 0.50};
+
+    std::printf("\n=== Ablation: CFM distance bound (reconverge "
+                "fraction 0.20, %%IPC over baseline) ===\n");
+    std::printf("%-10s | %9s %9s %9s %9s\n", "bench", "d30", "d60",
+                "d120", "d240");
+    for (const std::string &wl : benchWorkloads()) {
+        double base =
+            RunCache::instance().get(wl, "base", cfgBaseline).ipc;
+        std::printf("%-10s |", wl.c_str());
+        for (unsigned d : dists) {
+            sim::SimResult r = runMarked(wl, d, 0.20);
+            std::printf(" %+8.1f%%", sim::pctDelta(r.ipc, base));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n=== Ablation: reconvergence fraction (distance 120) "
+                "===\n");
+    std::printf("%-10s | %9s %9s %9s\n", "bench", "f05", "f20", "f50");
+    for (const std::string &wl : benchWorkloads()) {
+        double base =
+            RunCache::instance().get(wl, "base", cfgBaseline).ipc;
+        std::printf("%-10s |", wl.c_str());
+        for (double f : fracs) {
+            sim::SimResult r = runMarked(wl, 120, f);
+            std::printf(" %+8.1f%%", sim::pctDelta(r.ipc, base));
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper: 120 instructions / 20%% chosen after "
+                "considering alternatives)\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Shared harness for the per-figure/table benchmark binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper:
+ * it runs the required simulator configurations through google-benchmark
+ * (one benchmark case per workload x configuration, reporting IPC and
+ * the figure's headline metric as user counters) and then prints the
+ * paper-style table to stdout.
+ *
+ * Environment knobs:
+ *   DMP_BENCH_ITERS     workload loop iterations (default 2000)
+ *   DMP_BENCH_WORKLOADS comma-separated subset of benchmarks to run
+ */
+
+#ifndef DMP_BENCH_BENCH_UTIL_HH
+#define DMP_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dmp::bench
+{
+
+/** Workload loop iterations for every bench run. */
+inline std::uint64_t
+benchIterations()
+{
+    if (const char *env = std::getenv("DMP_BENCH_ITERS"))
+        return std::strtoull(env, nullptr, 0);
+    return 2000;
+}
+
+/** Benchmarks to run (all 15 unless DMP_BENCH_WORKLOADS narrows it). */
+inline std::vector<std::string>
+benchWorkloads()
+{
+    std::vector<std::string> all;
+    for (const auto &info : workloads::workloadList())
+        all.push_back(info.name);
+    const char *env = std::getenv("DMP_BENCH_WORKLOADS");
+    if (!env)
+        return all;
+    std::vector<std::string> out;
+    std::string s(env);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string name = s.substr(pos, comma - pos);
+        if (!name.empty())
+            out.push_back(name);
+        pos = comma + 1;
+    }
+    return out.empty() ? all : out;
+}
+
+/** Mutator applied to the Table 2 default core configuration. */
+using ConfigFn = std::function<void(core::CoreParams &)>;
+
+/**
+ * Memoizing runner: each (workload, config-label) pair simulates once
+ * per process, no matter how many benchmark iterations ask for it.
+ */
+class RunCache
+{
+  public:
+    static RunCache &
+    instance()
+    {
+        static RunCache rc;
+        return rc;
+    }
+
+    const sim::SimResult &
+    get(const std::string &workload, const std::string &label,
+        const ConfigFn &fn)
+    {
+        std::string key = workload + "/" + label;
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        sim::SimConfig cfg;
+        cfg.workload = workload;
+        cfg.train.iterations = benchIterations();
+        cfg.ref.iterations = benchIterations();
+        if (fn)
+            fn(cfg.core);
+        return cache.emplace(key, sim::runSim(cfg)).first->second;
+    }
+
+  private:
+    std::map<std::string, sim::SimResult> cache;
+};
+
+/** Canonical configurations used across figures. */
+inline void
+cfgBaseline(core::CoreParams &)
+{
+}
+
+inline void
+cfgDhp(core::CoreParams &c)
+{
+    c.predication = core::PredicationScope::SimpleHammock;
+}
+
+inline void
+cfgDhpPerfConf(core::CoreParams &c)
+{
+    cfgDhp(c);
+    c.perfectConfidence = true;
+}
+
+inline void
+cfgDmpBasic(core::CoreParams &c)
+{
+    c.predication = core::PredicationScope::Diverge;
+}
+
+inline void
+cfgDmpPerfConf(core::CoreParams &c)
+{
+    cfgDmpBasic(c);
+    c.perfectConfidence = true;
+}
+
+inline void
+cfgPerfectCbp(core::CoreParams &c)
+{
+    c.perfectCondPredictor = true;
+}
+
+inline void
+cfgDmpMcfm(core::CoreParams &c)
+{
+    cfgDmpBasic(c);
+    c.enhMultiCfm = true;
+}
+
+inline void
+cfgDmpMcfmEexit(core::CoreParams &c)
+{
+    cfgDmpMcfm(c);
+    c.enhEarlyExit = true;
+}
+
+inline void
+cfgDmpEnhanced(core::CoreParams &c)
+{
+    cfgDmpMcfmEexit(c);
+    c.enhMultiDiverge = true;
+}
+
+inline void
+cfgDualPath(core::CoreParams &c)
+{
+    c.mode = core::CoreMode::DualPath;
+}
+
+/**
+ * Register one google-benchmark case per (workload, config) that runs
+ * the simulation (memoized) and reports IPC.
+ */
+inline void
+registerSimBenchmarks(
+    const std::vector<std::pair<std::string, ConfigFn>> &configs)
+{
+    for (const std::string &wl : benchWorkloads()) {
+        for (const auto &[label, fn] : configs) {
+            std::string name = wl + "/" + label;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [wl, label = label, fn = fn](benchmark::State &state) {
+                    for (auto _ : state) {
+                        const sim::SimResult &r =
+                            RunCache::instance().get(wl, label, fn);
+                        benchmark::DoNotOptimize(r.cycles);
+                        state.counters["IPC"] = r.ipc;
+                        state.counters["cycles"] =
+                            double(r.cycles);
+                        state.counters["flushes"] = double(
+                            r.get("pipeline_flushes"));
+                    }
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+/** Geometric-free arithmetic mean helper used by the figure printers. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+} // namespace dmp::bench
+
+#endif // DMP_BENCH_BENCH_UTIL_HH

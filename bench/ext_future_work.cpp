@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Section 2.7.4 extensions — diverge loop branches (wish-loop-style
+ * dynamic predication of hard-to-predict loop back-edges) and the
+ * selective branch-predictor update policy, measured on top of the
+ * fully enhanced machine.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+namespace
+{
+
+void
+cfgLoopExt(core::CoreParams &c)
+{
+    cfgDmpEnhanced(c);
+    c.extLoopBranches = true;
+}
+
+void
+cfgSelectiveUpdate(core::CoreParams &c)
+{
+    cfgDmpEnhanced(c);
+    c.extSelectiveUpdate = true;
+}
+
+/** Marker config with loop-branch marking enabled. */
+const sim::SimResult &
+runLoopMarked(const std::string &wl, const std::string &label,
+              const ConfigFn &fn)
+{
+    // Loop-extension runs need markLoopBranches in the profiling pass,
+    // so they bypass the shared RunCache defaults.
+    static std::map<std::string, sim::SimResult> cache;
+    std::string key = wl + "/" + label;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    sim::SimConfig cfg;
+    cfg.workload = wl;
+    cfg.train.iterations = benchIterations();
+    cfg.ref.iterations = benchIterations();
+    cfg.marker.markLoopBranches = true;
+    fn(cfg.core);
+    return cache.emplace(key, sim::runSim(cfg)).first->second;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"base", cfgBaseline},
+                           {"enhanced", cfgDmpEnhanced},
+                           {"sel_update", cfgSelectiveUpdate}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Section 2.7.4 extensions (%%IPC over baseline) "
+                "===\n");
+    std::printf("%-10s | %10s %10s %10s | %10s\n", "bench", "enhanced",
+                "+loopbr", "+selupd", "loop-marks");
+    double sums[3] = {0, 0, 0};
+    unsigned n = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        double base =
+            RunCache::instance().get(wl, "base", cfgBaseline).ipc;
+        double enh =
+            RunCache::instance().get(wl, "enhanced", cfgDmpEnhanced).ipc;
+        const sim::SimResult &loop =
+            runLoopMarked(wl, "loop_ext", cfgLoopExt);
+        double sel = RunCache::instance()
+                         .get(wl, "sel_update", cfgSelectiveUpdate)
+                         .ipc;
+        double d0 = sim::pctDelta(enh, base);
+        double d1 = sim::pctDelta(loop.ipc, base);
+        double d2 = sim::pctDelta(sel, base);
+        std::printf("%-10s | %+9.1f%% %+9.1f%% %+9.1f%% | %10llu\n",
+                    wl.c_str(), d0, d1, d2,
+                    (unsigned long long)loop.marking.markedLoop);
+        sums[0] += d0;
+        sums[1] += d1;
+        sums[2] += d2;
+        ++n;
+    }
+    std::printf("%-10s | %+9.1f%% %+9.1f%% %+9.1f%%\n", "average",
+                sums[0] / n, sums[1] / n, sums[2] / n);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 1 — percentage of fetched instructions that are on the wrong
+ * path, split into control-dependent and control-independent portions,
+ * on the baseline processor.
+ *
+ * Paper reference: ~52% of all fetched instructions are wrong-path;
+ * about 33% of all fetched instructions (63% of wrong-path ones) are
+ * control-independent.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+namespace
+{
+
+void
+cfgClassify(core::CoreParams &c)
+{
+    c.classifyWrongPath = true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"base_classified", cfgClassify}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 1: wrong-path fetched instructions ===\n");
+    std::printf("%-10s %10s %10s %10s | %8s %8s\n", "bench", "fetched",
+                "wp_dep", "wp_indep", "%dep", "%indep");
+    double sum_dep = 0, sum_indep = 0;
+    unsigned n = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        const sim::SimResult &r =
+            RunCache::instance().get(wl, "base_classified", cfgClassify);
+        double fetched = double(r.get("fetched_insts"));
+        double dep = double(r.get("wp_control_dependent"));
+        double indep = double(r.get("wp_control_independent"));
+        std::printf("%-10s %10.0f %10.0f %10.0f | %7.1f%% %7.1f%%\n",
+                    wl.c_str(), fetched, dep, indep, 100 * dep / fetched,
+                    100 * indep / fetched);
+        sum_dep += 100 * dep / fetched;
+        sum_indep += 100 * indep / fetched;
+        ++n;
+    }
+    std::printf("%-10s %32s | %7.1f%% %7.1f%%\n", "average", "",
+                sum_dep / n, sum_indep / n);
+    std::printf("(paper: ~19%% control-dependent, ~33%% "
+                "control-independent of all fetched instructions)\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 8 — distribution of Table 1 exit cases for the basic
+ * diverge-merge processor.
+ *
+ * Paper reference: cases 1+2 are the common exits, but for some
+ * benchmarks (bzip2, gap, gzip) they cover under 40% of episodes; gap
+ * shows ~25% case-3 exits.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+namespace
+{
+
+void
+printExitTable(const char *title, const char *label, ConfigFn fn)
+{
+    std::printf("\n=== %s ===\n", title);
+    std::printf("%-10s %8s | %6s %6s %6s %6s %6s %6s\n", "bench",
+                "entries", "c1%", "c2%", "c3%", "c4%", "c5%", "c6%");
+    for (const std::string &wl : benchWorkloads()) {
+        const sim::SimResult &r = RunCache::instance().get(wl, label, fn);
+        double cases[6];
+        double total = 0;
+        for (int i = 0; i < 6; ++i) {
+            cases[i] = double(
+                r.get("exit_case" + std::to_string(i + 1)));
+            total += cases[i];
+        }
+        std::printf("%-10s %8llu |", wl.c_str(),
+                    (unsigned long long)r.get("dpred_entries"));
+        for (int i = 0; i < 6; ++i)
+            std::printf(" %5.1f%%",
+                        total ? 100.0 * cases[i] / total : 0.0);
+        std::uint64_t conv = r.get("early_exits") +
+                             r.get("mdb_conversions") +
+                             r.get("overflow_conversions");
+        std::printf("   (conversions %llu, squashed %llu)\n",
+                    (unsigned long long)conv,
+                    (unsigned long long)r.get("squashed_episodes"));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"diverge_jrs", cfgDmpBasic}});
+    benchmark::RunSpecifiedBenchmarks();
+    printExitTable("Figure 8: exit cases, basic DMP", "diverge_jrs",
+                   cfgDmpBasic);
+    benchmark::Shutdown();
+    return 0;
+}

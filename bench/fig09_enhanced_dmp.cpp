@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9 — performance of the enhanced diverge-merge processor:
+ * cumulative enhancements (multiple CFM points, early exit, multiple
+ * diverge branches) as %IPC over the baseline.
+ *
+ * Paper reference: basic +5%, +mcfm helps bzip2/twolf/fma3d, +eexit
+ * helps crafty/gap/parser/twolf/mesa, +mdb helps bzip2/parser/twolf/
+ * vpr; all enhancements together average +10.8%.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    std::vector<std::pair<std::string, ConfigFn>> configs = {
+        {"base", cfgBaseline},
+        {"basic", cfgDmpBasic},
+        {"mcfm", cfgDmpMcfm},
+        {"mcfm_eexit", cfgDmpMcfmEexit},
+        {"mcfm_eexit_mdb", cfgDmpEnhanced},
+    };
+    registerSimBenchmarks(configs);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 9: %%IPC over baseline, enhanced DMP "
+                "(cumulative) ===\n");
+    std::printf("%-10s | %10s %10s %12s %15s\n", "bench", "basic",
+                "+mcfm", "+mcfm+eexit", "+mcfm+eexit+mdb");
+    std::vector<double> sums(4, 0);
+    unsigned n = 0;
+    const char *labels[4] = {"basic", "mcfm", "mcfm_eexit",
+                             "mcfm_eexit_mdb"};
+    ConfigFn fns[4] = {cfgDmpBasic, cfgDmpMcfm, cfgDmpMcfmEexit,
+                       cfgDmpEnhanced};
+    for (const std::string &wl : benchWorkloads()) {
+        double base =
+            RunCache::instance().get(wl, "base", cfgBaseline).ipc;
+        std::printf("%-10s |", wl.c_str());
+        for (unsigned i = 0; i < 4; ++i) {
+            double d = sim::pctDelta(
+                RunCache::instance().get(wl, labels[i], fns[i]).ipc,
+                base);
+            std::printf("   %+7.1f%%", d);
+            sums[i] += d;
+        }
+        std::printf("\n");
+        ++n;
+    }
+    std::printf("%-10s |", "average");
+    for (unsigned i = 0; i < 4; ++i)
+        std::printf("   %+7.1f%%", sums[i] / n);
+    std::printf("\n(paper average for the full enhanced machine: "
+                "+10.8%%)\n");
+    benchmark::Shutdown();
+    return 0;
+}

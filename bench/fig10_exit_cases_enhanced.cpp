@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10 — distribution of Table 1 exit cases for the *enhanced*
+ * diverge-merge processor.
+ *
+ * Paper reference: relative to Figure 8, case 3 drops from 10% to ~3%
+ * on average (early exit) and cases 1/2 grow (multiple CFM points).
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"enhanced", cfgDmpEnhanced},
+                           {"basic", cfgDmpBasic}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 10: exit cases, enhanced DMP ===\n");
+    std::printf("%-10s %8s | %6s %6s %6s %6s %6s %6s | %6s %6s\n",
+                "bench", "entries", "c1%", "c2%", "c3%", "c4%", "c5%",
+                "c6%", "eexit", "mdb");
+    double c3_basic_sum = 0, c3_enh_sum = 0;
+    unsigned n = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        const sim::SimResult &r =
+            RunCache::instance().get(wl, "enhanced", cfgDmpEnhanced);
+        const sim::SimResult &rb =
+            RunCache::instance().get(wl, "basic", cfgDmpBasic);
+        double cases[6];
+        double total = 0;
+        for (int i = 0; i < 6; ++i) {
+            cases[i] =
+                double(r.get("exit_case" + std::to_string(i + 1)));
+            total += cases[i];
+        }
+        std::printf("%-10s %8llu |", wl.c_str(),
+                    (unsigned long long)r.get("dpred_entries"));
+        for (int i = 0; i < 6; ++i)
+            std::printf(" %5.1f%%",
+                        total ? 100.0 * cases[i] / total : 0.0);
+        std::printf(" | %6llu %6llu\n",
+                    (unsigned long long)r.get("early_exits"),
+                    (unsigned long long)r.get("mdb_conversions"));
+        double tb = 0;
+        for (int i = 0; i < 6; ++i)
+            tb += double(rb.get("exit_case" + std::to_string(i + 1)));
+        if (total > 0 && tb > 0) {
+            c3_enh_sum += 100.0 * cases[2] / total;
+            c3_basic_sum += 100.0 * double(rb.get("exit_case3")) / tb;
+            ++n;
+        }
+    }
+    std::printf("average case-3 share: basic %.1f%% -> enhanced %.1f%% "
+                "(paper: 10%% -> 3%%)\n",
+                c3_basic_sum / n, c3_enh_sum / n);
+    benchmark::Shutdown();
+    return 0;
+}

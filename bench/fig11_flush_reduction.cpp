@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11 — percentage reduction in pipeline flushes on the enhanced
+ * diverge-merge processor relative to the baseline.
+ *
+ * Paper reference: 31% average; over 40% for bzip2, parser, twolf,
+ * vpr, mesa and fma3d.
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks(
+        {{"base", cfgBaseline}, {"enhanced", cfgDmpEnhanced}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Figure 11: pipeline-flush reduction, enhanced "
+                "DMP ===\n");
+    std::printf("%-10s %10s %10s | %10s\n", "bench", "base", "enhanced",
+                "reduction");
+    double sum = 0;
+    unsigned n = 0;
+    for (const std::string &wl : benchWorkloads()) {
+        std::uint64_t base = RunCache::instance()
+                                 .get(wl, "base", cfgBaseline)
+                                 .get("pipeline_flushes");
+        std::uint64_t enh = RunCache::instance()
+                                .get(wl, "enhanced", cfgDmpEnhanced)
+                                .get("pipeline_flushes");
+        double red =
+            base ? 100.0 * (double(base) - double(enh)) / double(base)
+                 : 0.0;
+        std::printf("%-10s %10llu %10llu | %9.1f%%\n", wl.c_str(),
+                    (unsigned long long)base, (unsigned long long)enh,
+                    red);
+        sum += red;
+        ++n;
+    }
+    std::printf("%-10s %21s | %9.1f%%   (paper: 31%%)\n", "average", "",
+                sum / n);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 3 — characteristics of the baseline processor: base IPC, total
+ * retired instructions, retired conditional branches, and retired
+ * mispredicted conditional branches for every benchmark.
+ *
+ * Paper reference values (reduced/SimPoint inputs):
+ *   IPC 0.81 (mcf) ... 4.14 (mesa); mispredictions from ~0 (perlbmk)
+ *   to ~9.3 per 1000 instructions (vpr).
+ */
+
+#include "bench_util.hh"
+
+using namespace dmp;
+using namespace dmp::bench;
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerSimBenchmarks({{"base", cfgBaseline}});
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n=== Table 3: baseline characteristics ===\n");
+    std::printf("%-10s %8s %10s %10s %10s %9s\n", "bench", "IPC",
+                "insts", "branches", "mispred", "misp/KI");
+    for (const std::string &wl : benchWorkloads()) {
+        const sim::SimResult &r =
+            RunCache::instance().get(wl, "base", cfgBaseline);
+        double mpki = 1000.0 * double(r.get("retired_mispred_cond_branches")) /
+                      double(r.retiredInsts);
+        std::printf("%-10s %8.2f %10llu %10llu %10llu %9.2f\n",
+                    wl.c_str(), r.ipc,
+                    (unsigned long long)r.retiredInsts,
+                    (unsigned long long)r.get("retired_cond_branches"),
+                    (unsigned long long)
+                        r.get("retired_mispred_cond_branches"),
+                    mpki);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,162 @@
+#include "bpred/oracle.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dmp::bpred
+{
+
+namespace
+{
+struct OracleDbgCounters
+{
+    unsigned long long freezes = 0;
+    unsigned long long drifts = 0;
+    unsigned long long resyncs = 0;
+    unsigned long long misses = 0;
+    ~OracleDbgCounters()
+    {
+        if (std::getenv("DMP_ORACLE_DEBUG")) {
+            std::fprintf(stderr,
+                         "[oracle-total] freezes=%llu drifts=%llu "
+                         "resyncs=%llu redirect-misses=%llu\n",
+                         freezes, drifts, resyncs, misses);
+        }
+    }
+};
+OracleDbgCounters g_oracleDbg;
+} // namespace
+
+OracleTracker::OracleTracker(const isa::Program &program,
+                             std::size_t mem_bytes)
+    : prog(program),
+      memory(std::make_unique<isa::MemoryImage>(mem_bytes)),
+      sim(std::make_unique<isa::FuncSim>(prog, *memory))
+{
+}
+
+void
+OracleTracker::reset()
+{
+    memory->clear();
+    sim->reset();
+    isSynced = true;
+    driftFrozen = false;
+}
+
+Addr
+OracleTracker::truePc() const
+{
+    return sim->state().pc;
+}
+
+isa::StepInfo
+OracleTracker::peek() const
+{
+    dmp_assert(isSynced, "OracleTracker::peek while desynced");
+    // Step a copy: FuncSim is cheap to copy via its state, but it holds
+    // references; instead, evaluate without side effects.
+    const isa::Inst &inst = prog.fetch(sim->state().pc);
+    isa::StepInfo info;
+    info.pc = sim->state().pc;
+    info.inst = inst;
+    info.isCondBranch = isa::isCondBranch(inst.op);
+
+    Word s1 = sim->state().read(inst.rs1);
+    Word s2 = sim->state().read(inst.rs2);
+    isa::ExecResult r = isa::evaluate(inst, info.pc, s1, s2);
+    info.taken = r.taken;
+    info.memAddr =
+        (isa::isLoad(inst.op) || isa::isStore(inst.op)) ? r.memAddr
+                                                        : kNoAddr;
+    info.nextPc = r.taken ? r.target : info.pc + isa::kInstBytes;
+    info.halted = inst.op == isa::Opcode::HALT;
+    return info;
+}
+
+void
+OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
+{
+    static int dbg = std::getenv("DMP_ORACLE_DEBUG") ? 40 : 0;
+    if (!isSynced) {
+        // Self-healing after a drift freeze: the refetched correct
+        // path walks through the frozen position.
+        if (driftFrozen && pc == sim->state().pc && !sim->halted()) {
+            isSynced = true;
+            driftFrozen = false;
+            g_oracleDbg.resyncs++;
+        } else {
+            return;
+        }
+    }
+    if (pc != sim->state().pc || sim->halted()) {
+        // The caller drifted without a redirect; freeze defensively.
+        if (dbg > 0) {
+            --dbg;
+            std::fprintf(stderr,
+                         "[oracle] drift-freeze pc=0x%llx true=0x%llx\n",
+                         (unsigned long long)pc,
+                         (unsigned long long)sim->state().pc);
+        }
+        g_oracleDbg.drifts++;
+        isSynced = false;
+        driftFrozen = true;
+        return;
+    }
+    isa::StepInfo info = sim->step();
+    if (info.halted)
+        return; // stay synced at the halt point
+    if (chosen_next_pc != info.nextPc) {
+        if (dbg > 0) {
+            --dbg;
+            std::fprintf(
+                stderr,
+                "[oracle] wrongpath-freeze pc=0x%llx chosen=0x%llx "
+                "true=0x%llx\n",
+                (unsigned long long)pc,
+                (unsigned long long)chosen_next_pc,
+                (unsigned long long)info.nextPc);
+        }
+        g_oracleDbg.freezes++;
+        if (dbg > 0)
+            std::fprintf(stderr, "[oracle] freeze#%llu at true-inst %llu pc=0x%llx\n",
+                         g_oracleDbg.freezes,
+                         (unsigned long long)sim->retiredInsts(),
+                         (unsigned long long)pc);
+        isSynced = false; // front-end went down the wrong path
+        driftFrozen = false;
+    }
+}
+
+void
+OracleTracker::onRedirect(Addr pc)
+{
+    static int dbg = std::getenv("DMP_ORACLE_DEBUG") ? 40 : 0;
+    if (sim->halted())
+        return;
+    if (!isSynced) {
+        if (dbg > 0) {
+            --dbg;
+            std::fprintf(stderr,
+                         "[oracle] redirect pc=0x%llx frozen=0x%llx %s\n",
+                         (unsigned long long)pc,
+                         (unsigned long long)sim->state().pc,
+                         pc == sim->state().pc ? "RESYNC" : "miss");
+        }
+        if (pc == sim->state().pc) {
+            driftFrozen = false;
+            g_oracleDbg.resyncs++;
+            if (dbg > 0)
+                std::fprintf(stderr, "[oracle] resync#%llu at true-inst %llu\n",
+                             g_oracleDbg.resyncs,
+                             (unsigned long long)sim->retiredInsts());
+            isSynced = true;
+        } else {
+            g_oracleDbg.misses++;
+        }
+    }
+}
+
+} // namespace dmp::bpred

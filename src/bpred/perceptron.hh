@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jimenez & Lin, HPCA 2001).
+ *
+ * The paper's baseline front-end uses a "64KB (59-bit history, 1021-entry)
+ * perceptron branch predictor" (Table 2); this implementation matches that
+ * geometry by default.
+ */
+
+#ifndef DMP_BPRED_PERCEPTRON_HH
+#define DMP_BPRED_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace dmp::bpred
+{
+
+/** Jimenez-Lin global-history perceptron predictor. */
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned numEntries = 1021; ///< prime, as in the paper
+        unsigned history = 59;      ///< history length in bits
+        int weightMin = -128;       ///< 8-bit weights
+        int weightMax = 127;
+    };
+
+    PerceptronPredictor();
+    explicit PerceptronPredictor(const Params &params);
+
+    bool predict(Addr pc, std::uint64_t ghr,
+                 PredictionInfo &info) override;
+
+    void train(Addr pc, bool taken, const PredictionInfo &info) override;
+
+    unsigned historyBits() const override { return p.history; }
+
+    /** Training threshold theta = 1.93 * h + 14 (from the original paper). */
+    int theta() const { return trainTheta; }
+
+  private:
+    std::uint32_t indexFor(Addr pc) const;
+    std::int32_t dotProduct(std::uint32_t index, std::uint64_t ghr) const;
+
+    Params p;
+    int trainTheta;
+    /** weights[i * (history + 1) + 0] is the bias weight. */
+    std::vector<std::int16_t> weights;
+};
+
+} // namespace dmp::bpred
+
+#endif // DMP_BPRED_PERCEPTRON_HH

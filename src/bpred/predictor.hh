@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Direction-predictor interface.
+ *
+ * Predictors are stateless with respect to history: the front-end owns
+ * the (speculative) global history register and passes it to predict();
+ * the information captured at prediction time travels with the dynamic
+ * instruction and is handed back to train() at retirement. This matches
+ * the paper's update discipline: "the pattern history table of the branch
+ * predictor is updated when a branch is retired, so it is not polluted by
+ * the outcome of wrong-path branches" (section 2.3).
+ */
+
+#ifndef DMP_BPRED_PREDICTOR_HH
+#define DMP_BPRED_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dmp::bpred
+{
+
+/** Per-prediction context captured at predict() and replayed at train(). */
+struct PredictionInfo
+{
+    std::uint64_t ghr = 0;  ///< global history at prediction time
+    bool predTaken = false; ///< the direction that was predicted
+    std::int32_t aux = 0;   ///< predictor-private (perceptron output y)
+    std::uint32_t index = 0;///< predictor-private table index
+};
+
+/** Abstract conditional-branch direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /**
+     * Predict the direction of the branch at pc.
+     * @param pc branch address
+     * @param ghr speculative global history at this fetch
+     * @param info out-param: context needed to train later
+     */
+    virtual bool predict(Addr pc, std::uint64_t ghr,
+                         PredictionInfo &info) = 0;
+
+    /**
+     * Train with the architectural outcome. Called at retirement, only
+     * for branches whose predicate was TRUE (or unpredicated ones).
+     */
+    virtual void train(Addr pc, bool taken,
+                       const PredictionInfo &info) = 0;
+
+    /** History bits the predictor actually consumes (<= 64). */
+    virtual unsigned historyBits() const = 0;
+};
+
+} // namespace dmp::bpred
+
+#endif // DMP_BPRED_PREDICTOR_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Classic table-based direction predictors: bimodal, gshare, and a
+ * tournament hybrid. These are not the paper's baseline predictor (the
+ * perceptron is), but they back the predictor-sensitivity ablations and
+ * give the test suite simple, analyzable references.
+ */
+
+#ifndef DMP_BPRED_TABLE_PREDICTORS_HH
+#define DMP_BPRED_TABLE_PREDICTORS_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace dmp::bpred
+{
+
+/** PC-indexed 2-bit counter table. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned log2_entries = 14);
+
+    bool predict(Addr pc, std::uint64_t ghr,
+                 PredictionInfo &info) override;
+    void train(Addr pc, bool taken, const PredictionInfo &info) override;
+    unsigned historyBits() const override { return 0; }
+
+  private:
+    std::uint32_t mask;
+    std::vector<SatCounter> table;
+};
+
+/** Global-history XOR PC indexed 2-bit counter table. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned log2_entries = 16,
+                             unsigned history = 16);
+
+    bool predict(Addr pc, std::uint64_t ghr,
+                 PredictionInfo &info) override;
+    void train(Addr pc, bool taken, const PredictionInfo &info) override;
+    unsigned historyBits() const override { return histBits; }
+
+  private:
+    std::uint32_t mask;
+    unsigned histBits;
+    std::vector<SatCounter> table;
+};
+
+/**
+ * Tournament predictor: a chooser table of 2-bit counters selects between
+ * a bimodal and a gshare component per branch (McFarling-style).
+ */
+class HybridPredictor : public DirectionPredictor
+{
+  public:
+    HybridPredictor(unsigned log2_chooser = 14,
+                    unsigned log2_bimodal = 14,
+                    unsigned log2_gshare = 16, unsigned history = 16);
+
+    bool predict(Addr pc, std::uint64_t ghr,
+                 PredictionInfo &info) override;
+    void train(Addr pc, bool taken, const PredictionInfo &info) override;
+    unsigned historyBits() const override { return gshare.historyBits(); }
+
+  private:
+    std::uint32_t chooserMask;
+    std::vector<SatCounter> chooser;
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+};
+
+} // namespace dmp::bpred
+
+#endif // DMP_BPRED_TABLE_PREDICTORS_HH

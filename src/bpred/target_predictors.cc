@@ -1,0 +1,110 @@
+#include "bpred/target_predictors.hh"
+
+#include "common/logging.hh"
+
+namespace dmp::bpred
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Btb::Btb(unsigned entries) : mask(entries - 1), table(entries)
+{
+    dmp_assert(isPowerOfTwo(entries), "BTB entries must be a power of two");
+}
+
+Addr
+Btb::lookup(Addr pc) const
+{
+    const Entry &e = table[std::uint32_t(pc >> 2) & mask];
+    return e.tag == pc ? e.target : kNoAddr;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry &e = table[std::uint32_t(pc >> 2) & mask];
+    e.tag = pc;
+    e.target = target;
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack(entries, kNoAddr)
+{
+    dmp_assert(entries >= 1, "RAS needs entries");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr)
+{
+    stack[top] = return_addr;
+    top = (top + 1) % stack.size();
+    if (used < stack.size())
+        ++used;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (used == 0)
+        return kNoAddr;
+    top = (top + stack.size() - 1) % stack.size();
+    --used;
+    return stack[top];
+}
+
+ReturnAddressStack::Checkpoint
+ReturnAddressStack::checkpoint() const
+{
+    Checkpoint cp;
+    cp.top = top;
+    cp.depth = used;
+    cp.topValue = used
+        ? stack[(top + stack.size() - 1) % stack.size()]
+        : kNoAddr;
+    return cp;
+}
+
+void
+ReturnAddressStack::restore(const Checkpoint &cp)
+{
+    top = cp.top;
+    used = cp.depth;
+    // Repair the top entry, which a wrong-path push may have clobbered.
+    if (used)
+        stack[(top + stack.size() - 1) % stack.size()] = cp.topValue;
+}
+
+IndirectTargetCache::IndirectTargetCache(unsigned entries)
+    : mask(entries - 1), table(entries, kNoAddr)
+{
+    dmp_assert(isPowerOfTwo(entries), "ITC entries must be a power of two");
+}
+
+std::uint32_t
+IndirectTargetCache::indexFor(Addr pc, std::uint64_t ghr) const
+{
+    return (std::uint32_t(pc >> 2) ^ std::uint32_t(ghr)) & mask;
+}
+
+Addr
+IndirectTargetCache::lookup(Addr pc, std::uint64_t ghr) const
+{
+    return table[indexFor(pc, ghr)];
+}
+
+void
+IndirectTargetCache::update(Addr pc, std::uint64_t ghr, Addr target)
+{
+    table[indexFor(pc, ghr)] = target;
+}
+
+} // namespace dmp::bpred

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Target predictors of the front-end: branch target buffer, return
+ * address stack, and indirect target cache (Table 2: 4K-entry BTB,
+ * 64-entry RAS, 64K-entry indirect target cache).
+ */
+
+#ifndef DMP_BPRED_TARGET_PREDICTORS_HH
+#define DMP_BPRED_TARGET_PREDICTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmp::bpred
+{
+
+/**
+ * Direct-mapped, tagged branch target buffer. A conditional branch that
+ * misses in the BTB is treated as not-taken by the front-end (its taken
+ * target is not available at fetch time).
+ */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 4096);
+
+    /** Predicted target of the branch at pc, or kNoAddr on miss. */
+    Addr lookup(Addr pc) const;
+
+    /** Install/refresh the target for pc (on branch execute/retire). */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = kNoAddr;
+        Addr target = kNoAddr;
+    };
+    std::uint32_t mask;
+    std::vector<Entry> table;
+};
+
+/**
+ * Return address stack with a speculative top-of-stack pointer. The
+ * stack wraps (oldest entries are overwritten); recovery snapshots the
+ * top pointer per-branch like real hardware does.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 64);
+
+    void push(Addr return_addr);
+    /** Pop the predicted return target (kNoAddr when empty). */
+    Addr pop();
+
+    /** Snapshot of the speculative state for checkpointing. */
+    struct Checkpoint
+    {
+        std::uint32_t top = 0;
+        std::uint32_t depth = 0;
+        Addr topValue = kNoAddr;
+    };
+    Checkpoint checkpoint() const;
+    void restore(const Checkpoint &cp);
+
+    std::uint32_t depth() const { return used; }
+
+  private:
+    std::vector<Addr> stack;
+    std::uint32_t top = 0;  ///< index of the next free slot
+    std::uint32_t used = 0; ///< live entries (saturates at capacity)
+};
+
+/** Global-history-hashed indirect target cache (tagless). */
+class IndirectTargetCache
+{
+  public:
+    explicit IndirectTargetCache(unsigned entries = 65536);
+
+    Addr lookup(Addr pc, std::uint64_t ghr) const;
+    void update(Addr pc, std::uint64_t ghr, Addr target);
+
+  private:
+    std::uint32_t indexFor(Addr pc, std::uint64_t ghr) const;
+    std::uint32_t mask;
+    std::vector<Addr> table;
+};
+
+} // namespace dmp::bpred
+
+#endif // DMP_BPRED_TARGET_PREDICTORS_HH

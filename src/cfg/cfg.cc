@@ -1,0 +1,135 @@
+#include "cfg/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace dmp::cfg
+{
+
+using isa::Inst;
+using isa::kInstBytes;
+using isa::Opcode;
+
+Cfg
+Cfg::build(const isa::Program &program)
+{
+    Cfg cfg;
+    if (program.size() == 0)
+        return cfg;
+
+    const Addr base = program.baseAddr();
+    const Addr end = program.endAddr();
+
+    // Pass 1: find leaders.
+    std::set<Addr> leaders;
+    leaders.insert(base);
+    for (Addr pc = base; pc < end; pc += kInstBytes) {
+        const Inst &inst = program.fetch(pc);
+        if (!isa::isControl(inst.op) && inst.op != Opcode::HALT)
+            continue;
+        // The instruction after any control transfer starts a block.
+        if (pc + kInstBytes < end)
+            leaders.insert(pc + kInstBytes);
+        // Direct targets start blocks.
+        if (inst.target != kNoAddr && program.contains(inst.target))
+            leaders.insert(inst.target);
+    }
+
+    // Pass 2: materialize blocks.
+    std::vector<Addr> starts(leaders.begin(), leaders.end());
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        BasicBlock bb;
+        bb.start = starts[i];
+        bb.end = (i + 1 < starts.size()) ? starts[i + 1] : end;
+        for (Addr pc = bb.start; pc < bb.end; pc += kInstBytes) {
+            const Inst &inst = program.fetch(pc);
+            if (isa::isCall(inst.op))
+                bb.hasCall = true;
+        }
+        const Inst &last = program.fetch(bb.lastInstPc());
+        bb.endsInCondBranch = isa::isCondBranch(last.op);
+        bb.endsInIndirect = isa::isIndirect(last.op);
+        bb.endsInHalt = last.op == Opcode::HALT;
+        cfg.startIndex[bb.start] = BlockId(cfg.blockList.size());
+        cfg.blockList.push_back(bb);
+    }
+    cfg.entryBlock = cfg.startIndex.at(base);
+
+    // Pass 3: edges.
+    for (BlockId id = 0; id < BlockId(cfg.blockList.size()); ++id) {
+        BasicBlock &bb = cfg.blockList[id];
+        const Inst &last = program.fetch(bb.lastInstPc());
+
+        auto link = [&](Addr target) {
+            auto it = cfg.startIndex.find(target);
+            if (it == cfg.startIndex.end())
+                return;
+            bb.succs.push_back(it->second);
+            cfg.blockList[it->second].preds.push_back(id);
+        };
+
+        if (bb.endsInHalt || bb.endsInIndirect) {
+            // No static successors (indirect targets are unknown; RET
+            // leaves the region). The post-dominator pass treats these
+            // as exits.
+            continue;
+        }
+        if (isa::isCondBranch(last.op)) {
+            // Fallthrough first, then taken target.
+            if (bb.end < end)
+                link(bb.end);
+            link(last.target);
+        } else if (last.op == Opcode::JMP) {
+            link(last.target);
+        } else if (last.op == Opcode::CALL) {
+            // Intra-procedural view: control returns to the fallthrough.
+            if (bb.end < end)
+                link(bb.end);
+        } else {
+            if (bb.end < end)
+                link(bb.end);
+        }
+    }
+
+    // Deduplicate succ/pred lists (a branch whose target equals its
+    // fallthrough would otherwise produce parallel edges).
+    for (auto &bb : cfg.blockList) {
+        std::sort(bb.succs.begin(), bb.succs.end());
+        bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                       bb.succs.end());
+        std::sort(bb.preds.begin(), bb.preds.end());
+        bb.preds.erase(std::unique(bb.preds.begin(), bb.preds.end()),
+                       bb.preds.end());
+    }
+
+    return cfg;
+}
+
+BlockId
+Cfg::blockContaining(Addr pc) const
+{
+    // Binary search over block start addresses.
+    if (blockList.empty())
+        return kNoBlock;
+    std::size_t lo = 0, hi = blockList.size();
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (blockList[mid].start <= pc)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const BasicBlock &bb = blockList[lo];
+    return (pc >= bb.start && pc < bb.end) ? BlockId(lo) : kNoBlock;
+}
+
+BlockId
+Cfg::blockStartingAt(Addr pc) const
+{
+    auto it = startIndex.find(pc);
+    return it == startIndex.end() ? kNoBlock : it->second;
+}
+
+} // namespace dmp::cfg

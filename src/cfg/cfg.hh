@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static control-flow graph over a Program.
+ *
+ * Used by the compiler side of the reproduction: simple-hammock
+ * detection for the DHP baseline, immediate post-dominator computation
+ * as a static CFM fallback, and structural classification of mispredicted
+ * branches (Figure 6).
+ */
+
+#ifndef DMP_CFG_CFG_HH
+#define DMP_CFG_CFG_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace dmp::cfg
+{
+
+/** Index of a basic block within its Cfg. */
+using BlockId = std::int32_t;
+
+constexpr BlockId kNoBlock = -1;
+
+/** One basic block: [start, end) in instruction addresses. */
+struct BasicBlock
+{
+    Addr start = 0;
+    Addr end = 0; ///< exclusive
+
+    std::vector<BlockId> succs;
+    std::vector<BlockId> preds;
+
+    /** The block ends with a conditional branch at `end - 4`. */
+    bool endsInCondBranch = false;
+    /** The block ends with an indirect transfer (JR/RET). */
+    bool endsInIndirect = false;
+    /** The block contains a CALL (disqualifies simple hammocks). */
+    bool hasCall = false;
+    /** The block ends with HALT. */
+    bool endsInHalt = false;
+
+    Addr lastInstPc() const { return end - isa::kInstBytes; }
+    std::size_t instCount() const
+    {
+        return (end - start) / isa::kInstBytes;
+    }
+};
+
+/** Whole-program control-flow graph. */
+class Cfg
+{
+  public:
+    /** Build the CFG of a program by leader analysis. */
+    static Cfg build(const isa::Program &program);
+
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+
+    const BasicBlock &block(BlockId id) const { return blockList[id]; }
+
+    /** Block containing pc, or kNoBlock. */
+    BlockId blockContaining(Addr pc) const;
+
+    /** Block starting exactly at pc, or kNoBlock. */
+    BlockId blockStartingAt(Addr pc) const;
+
+    /** Entry block id (program base address). */
+    BlockId entry() const { return entryBlock; }
+
+    std::size_t size() const { return blockList.size(); }
+
+  private:
+    std::vector<BasicBlock> blockList;
+    std::unordered_map<Addr, BlockId> startIndex;
+    BlockId entryBlock = kNoBlock;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_CFG_HH

@@ -1,0 +1,165 @@
+#include "cfg/dominators.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmp::cfg
+{
+
+namespace
+{
+
+/**
+ * Reverse post-order of the reverse CFG (i.e., order from exits inward),
+ * with a virtual exit node of index n.
+ */
+void
+reversePostOrderFromExit(const Cfg &cfg, std::vector<BlockId> &order,
+                         std::vector<int> &rpo_num)
+{
+    const int n = int(cfg.size());
+    std::vector<char> visited(n + 1, 0);
+    order.clear();
+    order.reserve(n + 1);
+
+    // Iterative DFS on the reverse graph starting from the virtual exit.
+    // Virtual exit's "predecessors in the reverse graph" are all blocks
+    // with no static successors.
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    auto rpreds = [&](BlockId b) -> std::vector<BlockId> {
+        if (b == n) {
+            std::vector<BlockId> exits;
+            for (BlockId i = 0; i < n; ++i) {
+                if (cfg.block(i).succs.empty())
+                    exits.push_back(i);
+            }
+            return exits;
+        }
+        return cfg.block(b).preds;
+    };
+
+    stack.emplace_back(n, 0);
+    visited[n] = 1;
+    std::vector<BlockId> post;
+    // Classic iterative post-order: expand children (here: CFG preds)
+    // before emitting the node.
+    std::vector<std::vector<BlockId>> memo(n + 1);
+    memo[n] = rpreds(n);
+    while (!stack.empty()) {
+        auto &[node, next] = stack.back();
+        if (next < memo[node].size()) {
+            BlockId child = memo[node][next++];
+            if (!visited[child]) {
+                visited[child] = 1;
+                memo[child] = rpreds(child);
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            post.push_back(node);
+            stack.pop_back();
+        }
+    }
+    // Reverse post-order.
+    order.assign(post.rbegin(), post.rend());
+    rpo_num.assign(n + 1, -1);
+    for (int i = 0; i < int(order.size()); ++i)
+        rpo_num[order[i]] = i;
+}
+
+} // namespace
+
+PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
+{
+    const int n = int(cfg.size());
+    const BlockId virtual_exit = n;
+    idom.assign(n + 1, kNoBlock);
+    if (n == 0)
+        return;
+
+    std::vector<BlockId> order;
+    std::vector<int> rpo;
+    reversePostOrderFromExit(cfg, order, rpo);
+
+    // Cooper-Harvey-Kennedy on the reverse graph.
+    std::vector<BlockId> doms(n + 1, kNoBlock); // kNoBlock == undefined
+    doms[virtual_exit] = virtual_exit;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo[a] > rpo[b])
+                a = doms[a];
+            while (rpo[b] > rpo[a])
+                b = doms[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId node : order) {
+            if (node == virtual_exit)
+                continue;
+            // "Predecessors" in the reverse graph == CFG successors;
+            // successor-less blocks flow to the virtual exit.
+            BlockId new_idom = kNoBlock;
+            auto consider = [&](BlockId s) {
+                if (doms[s] == kNoBlock)
+                    return;
+                new_idom = (new_idom == kNoBlock) ? s
+                                                  : intersect(s, new_idom);
+            };
+            const auto &succs = cfg.block(node).succs;
+            if (succs.empty()) {
+                consider(virtual_exit);
+            } else {
+                for (BlockId s : succs)
+                    consider(s);
+            }
+            if (new_idom != kNoBlock && doms[node] != new_idom) {
+                doms[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (BlockId b = 0; b < n; ++b)
+        idom[b] = (doms[b] == virtual_exit || doms[b] == kNoBlock)
+                      ? kNoBlock
+                      : doms[b];
+    idom[virtual_exit] = kNoBlock;
+}
+
+BlockId
+PostDomTree::ipdom(BlockId id) const
+{
+    dmp_assert(id >= 0 && id < BlockId(graph.size()), "bad block id");
+    return idom[id];
+}
+
+bool
+PostDomTree::postDominates(BlockId a, BlockId b) const
+{
+    if (a == b)
+        return true;
+    BlockId cur = idom[b];
+    while (cur != kNoBlock) {
+        if (cur == a)
+            return true;
+        cur = idom[cur];
+    }
+    return false;
+}
+
+Addr
+PostDomTree::ipdomAddr(Addr branch_pc) const
+{
+    BlockId b = graph.blockContaining(branch_pc);
+    if (b == kNoBlock)
+        return kNoAddr;
+    BlockId p = ipdom(b);
+    return p == kNoBlock ? kNoAddr : graph.block(p).start;
+}
+
+} // namespace dmp::cfg

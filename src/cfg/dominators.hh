@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Post-dominator analysis over a Cfg.
+ *
+ * The paper contrasts profile-driven CFM points with the immediate
+ * post-dominator ("If there were no dashed lines ... the CFM point would
+ * also be the immediate post-dominator of block A", section 2.3). We
+ * compute immediate post-dominators both as a static CFM fallback policy
+ * and to reason about control independence in tests and the Figure 1
+ * classifier.
+ */
+
+#ifndef DMP_CFG_DOMINATORS_HH
+#define DMP_CFG_DOMINATORS_HH
+
+#include <vector>
+
+#include "cfg/cfg.hh"
+
+namespace dmp::cfg
+{
+
+/**
+ * Immediate post-dominator tree of a Cfg, computed with the
+ * Cooper-Harvey-Kennedy iterative algorithm on the reverse graph with a
+ * virtual exit node collecting HALT/indirect/successor-less blocks.
+ */
+class PostDomTree
+{
+  public:
+    explicit PostDomTree(const Cfg &cfg);
+
+    /**
+     * Immediate post-dominator block of `id`, or kNoBlock when the only
+     * post-dominator is the virtual exit.
+     */
+    BlockId ipdom(BlockId id) const;
+
+    /** True when `a` post-dominates `b`. */
+    bool postDominates(BlockId a, BlockId b) const;
+
+    /**
+     * First-instruction address of the immediate post-dominator block of
+     * the block containing branch_pc, or kNoAddr.
+     */
+    Addr ipdomAddr(Addr branch_pc) const;
+
+  private:
+    const Cfg &graph;
+    /** ipdom indexed by block; kNoBlock means the virtual exit. */
+    std::vector<BlockId> idom;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_DOMINATORS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for the reorder buffer, store buffer,
+ * and front-end pipeline stages. Indices are stable "sequence slots":
+ * entries are addressed relative to the head so age comparisons are O(1).
+ */
+
+#ifndef DMP_COMMON_CIRCULAR_BUFFER_HH
+#define DMP_COMMON_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dmp
+{
+
+/** A bounded FIFO with head/tail access and positional iteration. */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t capacity_)
+        : slots(capacity_), cap(capacity_)
+    {
+        dmp_assert(capacity_ > 0, "CircularBuffer capacity must be > 0");
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+
+    /** Append at the tail; the buffer must not be full. */
+    T &
+    pushBack(T v)
+    {
+        dmp_assert(!full(), "pushBack on full CircularBuffer");
+        std::size_t pos = (head + count) % cap;
+        slots[pos] = std::move(v);
+        ++count;
+        return slots[pos];
+    }
+
+    /** Remove from the head; the buffer must not be empty. */
+    T
+    popFront()
+    {
+        dmp_assert(!empty(), "popFront on empty CircularBuffer");
+        T v = std::move(slots[head]);
+        head = (head + 1) % cap;
+        --count;
+        return v;
+    }
+
+    /** Drop the newest n entries (squash on misprediction). */
+    void
+    truncate(std::size_t new_size)
+    {
+        dmp_assert(new_size <= count, "truncate growing CircularBuffer");
+        count = new_size;
+    }
+
+    /** i-th oldest entry (0 == head). */
+    T &
+    at(std::size_t i)
+    {
+        dmp_assert(i < count, "CircularBuffer index out of range");
+        return slots[(head + i) % cap];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        dmp_assert(i < count, "CircularBuffer index out of range");
+        return slots[(head + i) % cap];
+    }
+
+    T &front() { return at(0); }
+    T &back() { return at(count - 1); }
+    const T &front() const { return at(0); }
+    const T &back() const { return at(count - 1); }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> slots;
+    std::size_t cap;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace dmp
+
+#endif // DMP_COMMON_CIRCULAR_BUFFER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random sources.
+ *
+ * The simulator never consults wall-clock entropy: every stochastic
+ * component (workload data generation, tie-breaking policies, fuzz tests)
+ * draws from an explicitly seeded Random instance so experiments are
+ * bit-reproducible.
+ */
+
+#ifndef DMP_COMMON_RANDOM_HH
+#define DMP_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dmp
+{
+
+/**
+ * xorshift64* generator: tiny state, good statistical quality for
+ * workload synthesis, and fully deterministic given the seed.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+    {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        dmp_assert(bound != 0, "Random::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        dmp_assert(lo <= hi, "Random::range inverted bounds");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability per_mille / 1000. */
+    bool
+    chancePerMille(unsigned per_mille)
+    {
+        return below(1000) < per_mille;
+    }
+
+    /** Bernoulli draw: true with probability pct / 100. */
+    bool
+    chancePercent(unsigned pct)
+    {
+        return below(100) < pct;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace dmp
+
+#endif // DMP_COMMON_RANDOM_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Saturating up/down counter, the workhorse state element of branch
+ * predictors and confidence estimators.
+ */
+
+#ifndef DMP_COMMON_SAT_COUNTER_HH
+#define DMP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dmp
+{
+
+/** An n-bit saturating counter (n <= 16). */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits counter width in bits.
+     * @param initial initial count (clamped to the representable range).
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1),
+          count(initial > maxVal ? maxVal : initial)
+    {
+        dmp_assert(bits >= 1 && bits <= 16, "SatCounter width out of range");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (count < maxVal)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Raw count. */
+    unsigned value() const { return count; }
+
+    /** Maximum representable count. */
+    unsigned max() const { return maxVal; }
+
+    /** True when the count is in the upper half (taken / confident). */
+    bool isSet() const { return count > maxVal / 2; }
+
+    /** True when saturated at the maximum. */
+    bool isSaturated() const { return count == maxVal; }
+
+    /** Reset to a given value. */
+    void
+    set(unsigned v)
+    {
+        count = v > maxVal ? maxVal : v;
+    }
+
+  private:
+    unsigned maxVal = 3;
+    unsigned count = 0;
+};
+
+} // namespace dmp
+
+#endif // DMP_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-width branch-history shift register (up to 64 bits), used for the
+ * global history register (GHR), JRS estimator history, and perceptron
+ * history, with checkpoint/restore support for dynamic-predication mode.
+ */
+
+#ifndef DMP_COMMON_SHIFT_REG_HH
+#define DMP_COMMON_SHIFT_REG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dmp
+{
+
+/** A width-bit history register; bit 0 is the most recent outcome. */
+class ShiftReg
+{
+  public:
+    ShiftReg() = default;
+
+    explicit ShiftReg(unsigned width_)
+        : widthBits(width_),
+          mask(width_ >= 64 ? ~0ULL : ((1ULL << width_) - 1))
+    {
+        dmp_assert(width_ >= 1 && width_ <= 64,
+                   "ShiftReg width out of range");
+    }
+
+    /** Shift in one outcome bit. */
+    void
+    push(bool taken)
+    {
+        bits = ((bits << 1) | (taken ? 1 : 0)) & mask;
+    }
+
+    /** Raw history bits. */
+    std::uint64_t value() const { return bits; }
+
+    /** History bit i (0 = most recent). */
+    bool bit(unsigned i) const { return (bits >> i) & 1; }
+
+    /** Register width in bits. */
+    unsigned width() const { return widthBits; }
+
+    /** Overwrite the full history (checkpoint restore). */
+    void restore(std::uint64_t v) { bits = v & mask; }
+
+    /**
+     * Replace the most recent outcome bit. Used by the DMP front-end: the
+     * GHR checkpointed at a diverge branch has its last bit set for the
+     * taken path and cleared for the not-taken path (paper section 2.3).
+     */
+    void
+    setLastOutcome(bool taken)
+    {
+        bits = (bits & ~1ULL) | (taken ? 1 : 0);
+        bits &= mask;
+    }
+
+  private:
+    unsigned widthBits = 1;
+    std::uint64_t mask = 1;
+    std::uint64_t bits = 0;
+};
+
+} // namespace dmp
+
+#endif // DMP_COMMON_SHIFT_REG_HH

@@ -1,0 +1,65 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dmp
+{
+
+void
+StatGroup::addStat(const std::string &name, Counter *c, std::string desc)
+{
+    dmp_assert(c != nullptr, "null counter registered: ", name);
+    dmp_assert(index.find(name) == index.end(),
+               "duplicate stat name: ", groupName, ".", name);
+    index[name] = entries.size();
+    entries.push_back(Entry{name, c, std::move(desc)});
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        dmp_fatal("unknown stat: ", groupName, ".", name);
+    return entries[it->second].counter->value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return index.find(name) != index.end();
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &e : entries)
+        out.push_back(e.name);
+    return out;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &e : entries) {
+        os << groupName << '.' << e.name << ' ' << e.counter->value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : entries)
+        e.counter->reset();
+}
+
+} // namespace dmp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Each simulator component owns Counter/Scalar stats registered in a
+ * StatGroup; experiment harnesses read them by name to build the paper's
+ * tables. The registry is plain data: no global state, no macros.
+ */
+
+#ifndef DMP_COMMON_STATS_HH
+#define DMP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmp
+{
+
+/** A single monotonically updated statistic value. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++val; }
+    void operator++(int) { ++val; }
+    void operator+=(std::uint64_t d) { val += d; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A flat group of named counters. Components register their counters at
+ * construction; harnesses dump or query them after a run.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name_) : groupName(std::move(name_)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under this group. The counter must outlive us. */
+    void addStat(const std::string &name, Counter *c, std::string desc = "");
+
+    /** Value of a registered counter; fatal if the name is unknown. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True when a counter with the given name is registered. */
+    bool has(const std::string &name) const;
+
+    /** All registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Render "group.name value # desc" lines. */
+    std::string dump() const;
+
+    /** Reset every registered counter. */
+    void resetAll();
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter *counter;
+        std::string desc;
+    };
+
+    std::string groupName;
+    std::vector<Entry> entries;
+    std::map<std::string, std::size_t> index;
+};
+
+} // namespace dmp
+
+#endif // DMP_COMMON_STATS_HH

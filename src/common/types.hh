@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the DMP simulator.
+ */
+
+#ifndef DMP_COMMON_TYPES_HH
+#define DMP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dmp
+{
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Architectural register index. */
+using ArchReg = std::uint8_t;
+
+/** Physical register index (timing core namespace). */
+using PhysReg = std::uint16_t;
+
+/**
+ * Predicate register id (dynamic-predication namespace). Ids are
+ * monotonically increasing in the implementation; the *hardware*
+ * namespace limit is enforced as a bound on unresolved ids in flight.
+ */
+using PredId = std::uint32_t;
+
+/** 64-bit machine word: every architectural register holds one. */
+using Word = std::uint64_t;
+
+/** Signed view of a machine word (for arithmetic comparisons). */
+using SWord = std::int64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no predicate": instruction is not predicated. */
+constexpr PredId kNoPred = std::numeric_limits<PredId>::max();
+
+/** Sentinel cycle meaning "never" / "not yet scheduled". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace dmp
+
+#endif // DMP_COMMON_TYPES_HH

@@ -1,0 +1,467 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+#include "bpred/perceptron.hh"
+#include "bpred/table_predictors.hh"
+#include "common/logging.hh"
+
+namespace dmp::core
+{
+
+CoreStats::CoreStats()
+{
+    group.addStat("cycles", &cycles, "simulated cycles");
+    group.addStat("retired_insts", &retiredInsts,
+                  "committed program instructions");
+    group.addStat("retired_false_insts", &retiredFalseInsts,
+                  "predicated-FALSE program instructions");
+    group.addStat("retired_extra_uops", &retiredExtraUops,
+                  "enter/exit dpred uops");
+    group.addStat("retired_select_uops", &retiredSelectUops, "select-uops");
+    group.addStat("fetched_insts", &fetchedInsts,
+                  "program instructions fetched (incl. wrong path)");
+    group.addStat("executed_insts", &executedInsts,
+                  "program instructions issued");
+    group.addStat("executed_extra_uops", &executedExtraUops, "");
+    group.addStat("executed_select_uops", &executedSelectUops, "");
+    group.addStat("retired_cond_branches", &retiredCondBranches, "");
+    group.addStat("retired_mispred_cond_branches",
+                  &retiredMispredCondBranches, "");
+    group.addStat("retired_control", &retiredControl, "");
+    group.addStat("pipeline_flushes", &pipelineFlushes, "all flush events");
+    group.addStat("cond_branch_flushes", &condBranchFlushes,
+                  "flushes caused by conditional branches");
+    group.addStat("flushed_insts", &flushedInsts, "");
+    group.addStat("dpred_entries", &dpredEntries,
+                  "dynamic predication episodes started");
+    group.addStat("exit_case1", &exitCase[0], "Table 1 case 1");
+    group.addStat("exit_case2", &exitCase[1], "Table 1 case 2");
+    group.addStat("exit_case3", &exitCase[2], "Table 1 case 3");
+    group.addStat("exit_case4", &exitCase[3], "Table 1 case 4");
+    group.addStat("exit_case5", &exitCase[4], "Table 1 case 5");
+    group.addStat("exit_case6", &exitCase[5], "Table 1 case 6");
+    group.addStat("early_exits", &earlyExits, "section 2.7.2 early exits");
+    group.addStat("mdb_conversions", &mdbConversions,
+                  "section 2.7.3 conversions");
+    group.addStat("overflow_conversions", &overflowConversions,
+                  "path-length cap conversions");
+    group.addStat("squashed_episodes", &squashedEpisodes,
+                  "episodes killed by an older misprediction");
+    group.addStat("dual_forks", &dualForks, "dual-path episodes");
+    group.addStat("wrong_path_fetched", &wrongPathFetched,
+                  "wrong-path program instructions fetched");
+    group.addStat("wp_control_dependent", &wpControlDependent,
+                  "flushed insts before reconvergence");
+    group.addStat("wp_control_independent", &wpControlIndependent,
+                  "flushed insts after reconvergence");
+    group.addStat("btb_misses", &btbMisses, "");
+    group.addStat("low_conf_diverge_fetches", &lowConfDivergeFetches, "");
+}
+
+void
+CoreStats::reset()
+{
+    group.resetAll();
+}
+
+namespace
+{
+
+std::unique_ptr<bpred::DirectionPredictor>
+makePredictor(const CoreParams &p)
+{
+    switch (p.predictor) {
+      case PredictorKind::Perceptron:
+        return std::make_unique<bpred::PerceptronPredictor>();
+      case PredictorKind::Gshare:
+        return std::make_unique<bpred::GsharePredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<bpred::BimodalPredictor>();
+      case PredictorKind::Hybrid:
+        return std::make_unique<bpred::HybridPredictor>();
+    }
+    dmp_panic("unknown predictor kind");
+}
+
+} // namespace
+
+Core::Core(const isa::Program &program, const CoreParams &params)
+    : prog(program),
+      p(params),
+      memory(std::make_unique<isa::MemoryImage>(p.memoryBytes)),
+      predictor(makePredictor(p)),
+      jrs(std::make_unique<bpred::JrsConfidenceEstimator>()),
+      btb(p.btbEntries),
+      ras(p.rasEntries),
+      itc(p.itcEntries),
+      caches(),
+      prf(p.effectivePhysRegs()),
+      cpPool(p.maxCheckpoints),
+      sb(p.storeBufferSize),
+      preds(p.predRegisters),
+      rob(p.robSize)
+{
+    dmp_assert((p.memoryBytes & (p.memoryBytes - 1)) == 0,
+               "memoryBytes must be a power of two");
+    traceEnabled = std::getenv("DMP_TRACE") != nullptr;
+    if (p.perfectCondPredictor || p.perfectConfidence ||
+        p.classifyWrongPath) {
+        oracle = std::make_unique<bpred::OracleTracker>(prog,
+                                                        p.memoryBytes);
+    }
+    reset();
+}
+
+Core::~Core() = default;
+
+void
+Core::reset()
+{
+    memory->clear();
+    for (const auto &[addr, value] : prog.initialData())
+        memory->store(addr, value);
+    retiredArch = isa::ArchState{};
+    retiredArch.pc = prog.baseAddr();
+
+    // Identity rename map: arch reg i -> phys reg i.
+    activeMap = RenameMap{};
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        activeMap.map[r] = PhysReg(r);
+    activeMap.clearMBits();
+    dualAltMap = RenameMap{};
+    dualAltMapValid = false;
+
+    prf.reset();
+    cpPool.reset();
+    sb.clear();
+    preds.reset();
+
+    for (auto &slot : rob)
+        slot.valid = false;
+    robHead = 0;
+    robCount = 0;
+    nextSeq = 1;
+
+    fetchQueue.clear();
+    fetchPc = prog.size() ? prog.baseAddr() : kNoAddr;
+    fetchStallUntil = 0;
+    ghr = 0;
+    fdp.clear();
+    fdual.clear();
+
+    episodes.clear();
+    nextEpisodeId = 1;
+
+    readyQueue = {};
+    events = {};
+    stalledLoads.clear();
+
+    now = 0;
+    isHalted = prog.size() == 0;
+
+    // Recreate the prediction structures so reset() reproduces a fresh
+    // machine bit-for-bit.
+    predictor = makePredictor(p);
+    jrs = std::make_unique<bpred::JrsConfidenceEstimator>();
+    btb = bpred::Btb(p.btbEntries);
+    ras = bpred::ReturnAddressStack(p.rasEntries);
+    itc = bpred::IndirectTargetCache(p.itcEntries);
+
+    caches.reset();
+    if (oracle)
+        oracle->reset();
+    wpRecords.clear();
+}
+
+bool
+Core::tick()
+{
+    if (isHalted)
+        return false;
+    retireStage();
+    if (isHalted) {
+        ++st.cycles;
+        ++now;
+        finalizeAllClassifiers();
+        return false;
+    }
+    completeStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    ++st.cycles;
+    ++now;
+    return true;
+}
+
+std::uint64_t
+Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
+{
+    std::uint64_t start = st.retiredInsts.value();
+    std::uint64_t start_cycle = now;
+    std::uint64_t last_progress_cycle = now;
+    std::uint64_t last_retired = st.retiredInsts.value() +
+                                 st.retiredFalseInsts.value();
+    while (!isHalted && st.retiredInsts.value() - start < max_insts &&
+           now - start_cycle < max_cycles) {
+        tick();
+        std::uint64_t retired_now = st.retiredInsts.value() +
+                                    st.retiredFalseInsts.value() +
+                                    st.retiredExtraUops.value() +
+                                    st.retiredSelectUops.value();
+        if (retired_now != last_retired) {
+            last_retired = retired_now;
+            last_progress_cycle = now;
+        } else if (now - last_progress_cycle > 200000) {
+            dumpDeadlockState();
+        }
+    }
+    if (!isHalted)
+        finalizeAllClassifiers();
+    return st.retiredInsts.value() - start;
+}
+
+void
+Core::dumpDeadlockState()
+{
+    std::fprintf(stderr,
+                 "DEADLOCK at cycle %llu: rob=%u fq=%zu fetchPc=0x%llx "
+                 "stall=%llu fdp{ep=%llu path=%d cfm=0x%llx cnt=%u} "
+                 "dual=%d readyQ=%zu events=%zu stalledLoads=%zu\n",
+                 (unsigned long long)now, robCount, fetchQueue.size(),
+                 (unsigned long long)fetchPc,
+                 (unsigned long long)fetchStallUntil,
+                 (unsigned long long)fdp.episodeId, int(fdp.path),
+                 (unsigned long long)fdp.chosenCfm, fdp.pathInstCount,
+                 int(fdual.active), readyQueue.size(), events.size(),
+                 stalledLoads.size());
+    for (std::uint32_t i = 0; i < std::min(robCount, 8u); ++i) {
+        DynInst &di = robAt(i);
+        std::fprintf(
+            stderr,
+            "  rob[%u] seq=%llu kind=%d pc=0x%llx op=%s disp=%d "
+            "issued=%d exec=%d deps=%u awaitPred=%d pred=%u pres=%d "
+            "pval=%d\n",
+            i, (unsigned long long)di.seq, int(di.kind),
+            (unsigned long long)di.pc, isa::opcodeName(di.si.op),
+            int(di.dispatched), int(di.issued), int(di.executed),
+            di.depsOutstanding, int(di.awaitingPredicate),
+            unsigned(di.pred), int(di.predResolved), int(di.predValue));
+        std::fprintf(stderr,
+                     "         src1=%u(r%d rdy=%d) src2=%u(r%d rdy=%d) "
+                     "dest=%u ep=%llu path=%d\n",
+                     unsigned(di.src1), int(di.si.rs1),
+                     di.src1 != kNoPhysReg ? int(prf.ready(di.src1)) : -1,
+                     unsigned(di.src2), int(di.si.rs2),
+                     di.src2 != kNoPhysReg ? int(prf.ready(di.src2)) : -1,
+                     unsigned(di.dest), (unsigned long long)di.episode,
+                     int(di.path));
+    }
+    {
+        // Which registers hold the head instruction's lost waiters?
+        InstRef head_ref{robHead, rob[robHead].seq};
+        for (PhysReg r : prf.regsWaitedOnBy(head_ref)) {
+            std::fprintf(stderr,
+                         "  head waits on pr%u ready=%d value=%llu\n",
+                         unsigned(r), int(prf.ready(r)),
+                         (unsigned long long)prf.value(r));
+        }
+    }
+    if (!fetchQueue.empty()) {
+        const FetchedInst &fi = fetchQueue.front();
+        std::fprintf(stderr,
+                     "  fq.front kind=%d pc=0x%llx readyAt=%llu ep=%llu\n",
+                     int(fi.kind), (unsigned long long)fi.pc,
+                     (unsigned long long)fi.renameReadyAt,
+                     (unsigned long long)fi.episode);
+    }
+    std::fprintf(stderr, "  free: prf=%zu cp=%u sb=%zu\n",
+                 prf.numFree(), cpPool.freeCount(), sb.size());
+    dmp_panic("no retirement progress for 200000 cycles");
+}
+
+// ---------------------------------------------------------------------
+// ROB plumbing
+// ---------------------------------------------------------------------
+
+DynInst *
+Core::lookup(InstRef ref)
+{
+    DynInst &di = rob[ref.slot];
+    if (!di.valid || di.seq != ref.seq)
+        return nullptr;
+    return &di;
+}
+
+DynInst &
+Core::robAt(std::uint32_t idx)
+{
+    dmp_assert(idx < robCount, "robAt out of range");
+    return rob[(robHead + idx) % p.robSize];
+}
+
+std::uint32_t
+Core::robTailSlot() const
+{
+    dmp_assert(robCount > 0, "robTailSlot on empty ROB");
+    return (robHead + robCount - 1) % p.robSize;
+}
+
+InstRef
+Core::allocRob()
+{
+    dmp_assert(!robFull(), "allocRob on full ROB");
+    std::uint32_t slot = (robHead + robCount) % p.robSize;
+    ++robCount;
+    rob[slot] = DynInst{};
+    rob[slot].valid = true;
+    rob[slot].seq = nextSeq++;
+    return InstRef{slot, rob[slot].seq};
+}
+
+// ---------------------------------------------------------------------
+// Episodes
+// ---------------------------------------------------------------------
+
+Episode &
+Core::episode(EpisodeId id)
+{
+    auto it = episodes.find(id);
+    dmp_assert(it != episodes.end(), "unknown episode ", id);
+    return it->second;
+}
+
+Episode *
+Core::episodeIfAlive(EpisodeId id)
+{
+    if (id == kNoEpisode)
+        return nullptr;
+    auto it = episodes.find(id);
+    if (it == episodes.end() || it->second.dead)
+        return nullptr;
+    return &it->second;
+}
+
+void
+Core::killEpisode(Episode &ep)
+{
+    if (ep.dead)
+        return;
+    ep.dead = true;
+    ++st.squashedEpisodes;
+    // Release the predicate namespace: no tagged instruction survives a
+    // kill (they are all younger than the diverge branch).
+    if (ep.p1 != kNoPred && !preds.get(ep.p1).resolved)
+        preds.resolve(ep.p1, true, true);
+    if (ep.p2 != kNoPred && !preds.get(ep.p2).resolved)
+        preds.resolve(ep.p2, true, true);
+    if (fdp.episodeId == ep.id)
+        fdp.clear();
+    if (fdual.episodeId == ep.id)
+        fdual.clear();
+}
+
+void
+Core::classifyExit(Episode &ep, ExitCase c)
+{
+    dmp_assert(ep.exitCase == ExitCase::None, "episode classified twice");
+    ep.exitCase = c;
+    ++st.exitCase[unsigned(c) - 1];
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 wrong-path classifier
+// ---------------------------------------------------------------------
+
+void
+Core::noteFlushForClassifier(std::uint64_t survive_seq)
+{
+    if (!p.classifyWrongPath)
+        return;
+    WrongPathRecord rec;
+    for (std::uint32_t i = 0; i < robCount; ++i) {
+        DynInst &di = robAt(i);
+        if (di.seq > survive_seq && di.countsAsProgramInst())
+            rec.squashedPcs.push_back(di.pc);
+    }
+    for (const FetchedInst &fi : fetchQueue) {
+        if (fi.kind == UopKind::Normal)
+            rec.squashedPcs.push_back(fi.pc);
+    }
+    if (!rec.squashedPcs.empty())
+        wpRecords.push_back(std::move(rec));
+}
+
+void
+Core::noteFetchForClassifier(Addr pc)
+{
+    if (!p.classifyWrongPath || wpRecords.empty())
+        return;
+    // The reconvergence search window matches the compiler's CFM
+    // distance bound: beyond ~120 instructions the correct path wraps
+    // into later loop iterations and every address would "reconverge".
+    constexpr std::size_t kReconvergenceWindow = 120;
+    for (std::size_t i = 0; i < wpRecords.size();) {
+        WrongPathRecord &rec = wpRecords[i];
+        rec.correctPcs.push_back(pc);
+        if (rec.correctPcs.size() >= kReconvergenceWindow) {
+            finalizeClassifier(rec);
+            wpRecords.erase(wpRecords.begin() + std::ptrdiff_t(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Core::finalizeClassifier(WrongPathRecord &rec)
+{
+    std::unordered_set<Addr> correct(rec.correctPcs.begin(),
+                                     rec.correctPcs.end());
+    // First squashed instruction whose PC reappears on the correct path
+    // approximates the reconvergence point; everything from there on is
+    // control-independent wrong-path work.
+    std::size_t reconv = rec.squashedPcs.size();
+    for (std::size_t i = 0; i < rec.squashedPcs.size(); ++i) {
+        if (correct.count(rec.squashedPcs[i])) {
+            reconv = i;
+            break;
+        }
+    }
+    st.wpControlDependent += reconv;
+    st.wpControlIndependent += rec.squashedPcs.size() - reconv;
+}
+
+void
+Core::finalizeAllClassifiers()
+{
+    for (auto &rec : wpRecords)
+        finalizeClassifier(rec);
+    wpRecords.clear();
+}
+
+bool
+Core::resourcesQuiescent() const
+{
+    return robCount == 0 && sb.empty() && fetchQueue.empty() &&
+           cpPool.freeCount() == p.maxCheckpoints &&
+           prf.numFree() == p.effectivePhysRegs() - isa::kNumArchRegs;
+}
+
+std::string
+Core::resourceReport() const
+{
+    std::ostringstream os;
+    os << "rob=" << robCount << " sb=" << sb.size() << " fq="
+       << fetchQueue.size() << " cpFree=" << cpPool.freeCount() << "/"
+       << p.maxCheckpoints << " prfFree=" << prf.numFree() << "/"
+       << (p.effectivePhysRegs() - isa::kNumArchRegs);
+    return os.str();
+}
+
+} // namespace dmp::core

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The diverge-merge processor core.
+ *
+ * A cycle-level out-of-order core with real register renaming onto a
+ * physical register file, faithful wrong-path fetch/execute, and the
+ * paper's dynamic-predication machinery:
+ *
+ *  - Baseline mode: aggressive speculative OoO core (Table 2).
+ *  - Diverge-merge mode (PredicationScope::Diverge): low-confidence
+ *    compiler-marked diverge branches enter dynamic predication; the
+ *    predicted path runs to the CFM point, then the alternate path, then
+ *    select-uops merge the dataflow (sections 2.3-2.6). Enhancements:
+ *    multiple CFM points, early exit, multiple diverge branches (2.7),
+ *    and the diverge-loop-branch / selective-update extensions (2.7.4).
+ *  - DHP mode (PredicationScope::SimpleHammock): same machinery
+ *    restricted to statically-marked simple hammocks (Klauser et al.).
+ *  - Dual-path mode: selective dual-path execution (section 5.3).
+ *
+ * Pipeline: fetch -> (frontendDepth cycles) -> rename/dispatch ->
+ * dataflow issue -> execute -> in-order retire. The minimum branch
+ * misprediction penalty equals frontendDepth.
+ */
+
+#ifndef DMP_CORE_CORE_HH
+#define DMP_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/confidence.hh"
+#include "bpred/oracle.hh"
+#include "bpred/predictor.hh"
+#include "bpred/target_predictors.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "core/episode.hh"
+#include "core/params.hh"
+#include "core/rename_map.hh"
+#include "core/store_buffer.hh"
+#include "isa/func_sim.hh"
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+
+namespace dmp::core
+{
+
+/** Aggregated run statistics (Figures 1, 7-13; Table 3). */
+struct CoreStats
+{
+    Counter cycles;
+    Counter retiredInsts;      ///< committed program instructions
+    Counter retiredFalseInsts; ///< predicated-FALSE program instructions
+    Counter retiredExtraUops;  ///< enter.pred/enter.alt/exit.pred
+    Counter retiredSelectUops;
+    Counter fetchedInsts;      ///< program instructions fetched
+    Counter executedInsts;     ///< program instructions issued
+    Counter executedExtraUops;
+    Counter executedSelectUops;
+
+    Counter retiredCondBranches;
+    Counter retiredMispredCondBranches;
+    Counter retiredControl;
+    Counter pipelineFlushes;        ///< all flush events
+    Counter condBranchFlushes;      ///< flushes from conditional branches
+    Counter flushedInsts;
+
+    Counter dpredEntries;           ///< dynamic predication episodes
+    Counter exitCase[6];            ///< Table 1 cases 1..6
+    Counter earlyExits;
+    Counter mdbConversions;
+    Counter overflowConversions;
+    Counter squashedEpisodes;
+    Counter dualForks;
+
+    Counter wrongPathFetched;       ///< oracle-flagged wrong-path fetches
+    Counter wpControlDependent;     ///< flushed, before reconvergence
+    Counter wpControlIndependent;   ///< flushed, after reconvergence
+
+    Counter btbMisses;
+    Counter lowConfDivergeFetches;
+
+    StatGroup group{"core"};
+
+    CoreStats();
+    void reset();
+};
+
+/** The out-of-order diverge-merge core. */
+class Core
+{
+  public:
+    /**
+     * @param program marked program image (diverge/CFM marks read here)
+     * @param params machine configuration
+     */
+    Core(const isa::Program &program, const CoreParams &params);
+    ~Core();
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Restart the machine from the program entry point. */
+    void reset();
+
+    /** Advance one cycle. @return false once HALT has retired. */
+    bool tick();
+
+    /**
+     * Run until HALT retires or a limit is hit.
+     * @return retired program instructions this call.
+     */
+    std::uint64_t run(std::uint64_t max_insts = ~0ULL,
+                      std::uint64_t max_cycles = ~0ULL);
+
+    bool halted() const { return isHalted; }
+    Cycle cycle() const { return now; }
+
+    const CoreStats &stats() const { return st; }
+    CoreStats &stats() { return st; }
+
+    /** Committed architectural register file (for verification). */
+    const isa::ArchState &retiredState() const { return retiredArch; }
+    /** Committed memory image (for verification). */
+    const isa::MemoryImage &retiredMemory() const { return *memory; }
+
+    const CoreParams &params() const { return p; }
+
+    /** Liveness check used by leak tests: all pools back to full. */
+    bool resourcesQuiescent() const;
+
+    /** Human-readable pool occupancy (for leak-test diagnostics). */
+    std::string resourceReport() const;
+
+  private:
+    // ---- Pipeline stages (called oldest-stage-first each cycle) ----
+    void retireStage();
+    void completeStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // ---- Fetch helpers ----
+    void fetchNormalCycle();
+    void fetchDualCycle();
+    /** Fetch one instruction at pc; returns false to end the cycle. */
+    bool fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
+                  unsigned &branches_this_cycle);
+    void predictControl(FetchedInst &fi, Addr &next_pc,
+                        std::uint64_t &ghr_ref, PathId dual_path);
+    bool tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark);
+    bool tryStartDualEpisode(FetchedInst &fi);
+    void switchToAlternatePath();
+    void normalDpredExit();
+    void convertEpisode(Episode &ep, ConversionReason reason,
+                        bool redirect_to_cfm);
+    void enqueueMarker(UopKind kind, EpisodeId episode);
+    void pushFetched(FetchedInst fi);
+    unsigned effectiveEarlyExitThreshold(const Episode &ep) const;
+
+    // ---- Rename helpers ----
+    bool renameOne(FetchedInst &fi);
+    void renameProgramInst(FetchedInst &fi);
+    void renameEnterPred(const FetchedInst &fi);
+    void renameEnterAlt(const FetchedInst &fi);
+    bool renameExitPred(const FetchedInst &fi);
+    void renameRestoreMap(const FetchedInst &fi);
+    void setupDependencies(InstRef ref);
+    InstRef allocRob();
+    RenameMap &renameMapFor(PathId path, EpisodeId episode);
+
+    // ---- Backend helpers ----
+    void executeReady(InstRef ref);
+    bool tryIssueLoad(InstRef ref);
+    void scheduleCompletion(InstRef ref, Cycle when);
+    void writeback(InstRef ref);
+    void resolveControl(InstRef ref);
+    void resolveDivergeBranch(DynInst &di, Episode &ep);
+    void resolveDualFork(DynInst &di, Episode &ep);
+    void broadcastPredicate(PredId pred, bool value, bool assumed);
+    void wakeSelectUop(DynInst &di);
+    void flushAfter(InstRef branch_ref, Addr redirect_pc);
+    void squashYoungerThan(std::uint64_t survive_seq);
+    void clearFetchQueue();
+    void redirectFetch(Addr pc);
+
+    // ---- Retire helpers ----
+    void commitInst(DynInst &di);
+    void trainPredictors(DynInst &di);
+
+    // ---- ROB plumbing ----
+    DynInst *lookup(InstRef ref);
+    DynInst &robAt(std::uint32_t idx); ///< idx-th oldest (0 == head)
+    std::uint32_t robTailSlot() const;
+    bool robFull() const { return robCount == p.robSize; }
+    bool robEmpty() const { return robCount == 0; }
+
+    // ---- Episodes ----
+    Episode &episode(EpisodeId id);
+    Episode *episodeIfAlive(EpisodeId id);
+    void killEpisode(Episode &ep);
+    void classifyExit(Episode &ep, ExitCase c);
+
+    // ---- Wrong-path classification (Figure 1) ----
+    struct WrongPathRecord
+    {
+        std::vector<Addr> squashedPcs;
+        std::vector<Addr> correctPcs;
+        bool sawRedirect = false;
+    };
+    void noteFlushForClassifier(std::uint64_t survive_seq);
+    void noteFetchForClassifier(Addr pc);
+    void finalizeClassifier(WrongPathRecord &rec);
+    void finalizeAllClassifiers();
+
+    /** Diagnostic dump + panic when retirement stops making progress. */
+    [[noreturn]] void dumpDeadlockState();
+
+    // ---- Configuration & members ----
+    const isa::Program &prog;
+    CoreParams p;
+    CoreStats st;
+
+    // Architectural (committed) state.
+    std::unique_ptr<isa::MemoryImage> memory;
+    isa::ArchState retiredArch;
+
+    // Prediction.
+    std::unique_ptr<bpred::DirectionPredictor> predictor;
+    std::unique_ptr<bpred::JrsConfidenceEstimator> jrs;
+    bpred::Btb btb;
+    bpred::ReturnAddressStack ras;
+    bpred::IndirectTargetCache itc;
+    std::unique_ptr<bpred::OracleTracker> oracle;
+
+    // Memory timing.
+    mem::CacheHierarchy caches;
+
+    // Rename state.
+    RenameMap activeMap;
+    RenameMap dualAltMap;
+    bool dualAltMapValid = false;
+    PhysRegFile prf;
+    CheckpointPool cpPool;
+    StoreBuffer sb;
+    PredicateFile preds;
+
+    // ROB: fixed slot array, FIFO via head/count.
+    std::vector<DynInst> rob;
+    std::uint32_t robHead = 0;
+    std::uint32_t robCount = 0;
+    std::uint64_t nextSeq = 1;
+
+    // Front end.
+    std::deque<FetchedInst> fetchQueue;
+    Addr fetchPc = kNoAddr;
+    Cycle fetchStallUntil = 0;
+    std::uint64_t ghr = 0;
+
+    /** Dynamic-predication fetch state. */
+    struct FetchDpred
+    {
+        EpisodeId episodeId = kNoEpisode;
+        PathId path = PathId::None;
+        Addr chosenCfm = kNoAddr;
+        std::uint32_t pathInstCount = 0;
+        bool active() const { return episodeId != kNoEpisode; }
+        void clear() { *this = FetchDpred{}; }
+    } fdp;
+
+    /** Dual-path fetch state: stream 0 = predicted, 1 = alternate. */
+    struct FetchDual
+    {
+        bool active = false;
+        EpisodeId episodeId = kNoEpisode;
+        Addr pc[2] = {kNoAddr, kNoAddr};
+        std::uint64_t ghr[2] = {0, 0};
+        int toggle = 0;
+        void clear() { *this = FetchDual{}; }
+    } fdual;
+
+    // Episodes.
+    std::unordered_map<EpisodeId, Episode> episodes;
+    EpisodeId nextEpisodeId = 1;
+
+    // Scheduler.
+    struct SeqOrder
+    {
+        bool
+        operator()(const InstRef &a, const InstRef &b) const
+        {
+            return a.seq > b.seq; // min-heap by age
+        }
+    };
+    std::priority_queue<InstRef, std::vector<InstRef>, SeqOrder> readyQueue;
+
+    struct Event
+    {
+        Cycle when;
+        InstRef ref;
+    };
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when
+                                    : a.ref.seq > b.ref.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+
+    std::vector<InstRef> stalledLoads;
+
+    // Run state.
+    Cycle now = 0;
+    bool isHalted = false;
+    /** Event tracing enabled via DMP_TRACE=1 (debug builds of runs). */
+    bool traceEnabled = false;
+
+    // Figure 1 classifier.
+    std::vector<WrongPathRecord> wpRecords;
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_CORE_HH

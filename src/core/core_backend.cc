@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Backend of the diverge-merge core: dataflow issue, execution and
+ * writeback, control resolution (including the six dynamic-predication
+ * exit cases of Table 1 and dual-path collapse), predicate broadcast,
+ * and misprediction recovery.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+
+namespace dmp::core
+{
+
+using isa::ExecClass;
+using isa::Inst;
+using isa::kInstBytes;
+using isa::Opcode;
+
+namespace
+{
+
+/** Clamp a speculative address into the data image (8-byte aligned). */
+Addr
+maskSpecAddr(Addr a, std::size_t mem_bytes)
+{
+    return a & (mem_bytes - 1) & ~Addr(7);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+
+    // Replay memory-ordering-stalled loads first (oldest first).
+    for (std::size_t i = 0; i < stalledLoads.size() &&
+                            issued < p.issueWidth;) {
+        DynInst *di = lookup(stalledLoads[i]);
+        if (!di || di->issued) {
+            stalledLoads.erase(stalledLoads.begin() + std::ptrdiff_t(i));
+            continue;
+        }
+        if (tryIssueLoad(stalledLoads[i])) {
+            ++issued;
+            stalledLoads.erase(stalledLoads.begin() + std::ptrdiff_t(i));
+        } else {
+            ++i;
+        }
+    }
+
+    while (issued < p.issueWidth && !readyQueue.empty()) {
+        InstRef ref = readyQueue.top();
+        readyQueue.pop();
+        DynInst *di = lookup(ref);
+        if (!di || di->issued || di->depsOutstanding != 0 ||
+            di->awaitingPredicate) {
+            continue; // stale or re-queued entry
+        }
+        if (di->isLoad()) {
+            if (tryIssueLoad(ref))
+                ++issued;
+            else
+                stalledLoads.push_back(ref);
+            continue;
+        }
+        executeReady(ref);
+        ++issued;
+    }
+}
+
+bool
+Core::tryIssueLoad(InstRef ref)
+{
+    DynInst &di = *lookup(ref);
+    Word base = di.src1 != kNoPhysReg ? prf.value(di.src1) : 0;
+    Addr addr = maskSpecAddr(base + Word(di.si.imm), p.memoryBytes);
+    di.memAddr = addr;
+
+    Word forwarded = 0;
+    ForwardResult fr = sb.probe(di.seq, addr, di.pred, forwarded);
+    if (fr == ForwardResult::MustWait)
+        return false;
+
+    di.issued = true;
+    ++st.executedInsts;
+    if (fr == ForwardResult::Forward) {
+        di.result = forwarded;
+        scheduleCompletion(ref, now + p.agenLatency + p.forwardLatency);
+    } else {
+        di.result = memory->load(addr);
+        Cycle done = caches.loadAccess(addr, now + p.agenLatency);
+        scheduleCompletion(ref, done);
+    }
+    return true;
+}
+
+void
+Core::executeReady(InstRef ref)
+{
+    DynInst &di = *lookup(ref);
+    di.issued = true;
+
+    Cycle latency = p.aluLatency;
+    switch (di.kind) {
+      case UopKind::Select: {
+        dmp_assert(di.predResolved, "select issued without predicate");
+        PhysReg src = di.predValue ? di.selTrue : di.selFalse;
+        di.result = prf.value(src);
+        ++st.executedSelectUops;
+        break;
+      }
+      case UopKind::EnterPred:
+      case UopKind::EnterAlt:
+      case UopKind::ExitPred:
+        ++st.executedExtraUops;
+        break;
+      case UopKind::Normal: {
+        ++st.executedInsts;
+        Word s1 = di.src1 != kNoPhysReg ? prf.value(di.src1) : 0;
+        Word s2 = di.src2 != kNoPhysReg ? prf.value(di.src2) : 0;
+        isa::ExecResult r = isa::evaluate(di.si, di.pc, s1, s2);
+        switch (isa::execClass(di.si.op)) {
+          case ExecClass::MUL:
+            latency = p.mulLatency;
+            break;
+          case ExecClass::DIV:
+            latency = p.divLatency;
+            break;
+          case ExecClass::FP:
+            latency = p.fpLatency;
+            break;
+          case ExecClass::BRANCH:
+            latency = p.branchLatency;
+            break;
+          case ExecClass::MEM:
+            latency = p.agenLatency;
+            break;
+          default:
+            latency = p.aluLatency;
+            break;
+        }
+        if (di.isStore()) {
+            Addr addr = maskSpecAddr(r.memAddr, p.memoryBytes);
+            di.memAddr = addr;
+            di.result = r.value;
+            sb.fill(di.seq, addr, r.value);
+        } else if (di.isControl) {
+            di.actualTaken = r.taken;
+            di.actualNextPc =
+                r.taken ? r.target : di.pc + kInstBytes;
+            di.result = r.value; // CALL link value
+        } else {
+            di.result = r.value;
+        }
+        break;
+      }
+      default:
+        dmp_panic("executeReady: bad uop kind");
+    }
+
+    scheduleCompletion(ref, now + latency);
+}
+
+void
+Core::scheduleCompletion(InstRef ref, Cycle when)
+{
+    DynInst &di = *lookup(ref);
+    di.completeAt = when;
+    events.push(Event{when, ref});
+}
+
+// ---------------------------------------------------------------------
+// Completion / writeback / resolution
+// ---------------------------------------------------------------------
+
+void
+Core::completeStage()
+{
+    while (!events.empty() && events.top().when <= now) {
+        Event ev = events.top();
+        events.pop();
+        DynInst *di = lookup(ev.ref);
+        if (!di || !di->issued || di->executed)
+            continue; // squashed or stale
+        writeback(ev.ref);
+    }
+}
+
+void
+Core::writeback(InstRef ref)
+{
+    DynInst &di = *lookup(ref);
+    di.executed = true;
+
+    if (di.hasDest) {
+        prf.setReady(di.dest, di.result);
+        for (InstRef w : prf.takeWaiters(di.dest)) {
+            DynInst *c = lookup(w);
+            if (!c || !c->dispatched || c->issued)
+                continue;
+            dmp_assert(c->depsOutstanding > 0, "dependency underflow");
+            if (--c->depsOutstanding == 0 && !c->awaitingPredicate)
+                readyQueue.push(w);
+        }
+    }
+
+    if (di.kind == UopKind::Normal && di.isControl)
+        resolveControl(ref);
+}
+
+void
+Core::resolveControl(InstRef ref)
+{
+    DynInst &di = *lookup(ref);
+
+    if (di.predNextPc == kNoAddr) {
+        // Unpredicted indirect (ITC miss / empty RAS): the front end has
+        // idled since this instruction was fetched; redirect it. If an
+        // exit-case redirect already restarted fetch (this instruction
+        // was on a resolved-FALSE path), leave fetch alone.
+        if (fdual.active && di.episode == fdual.episodeId &&
+            di.path != PathId::None) {
+            int s = di.path == PathId::Predicted ? 0 : 1;
+            if (fdual.pc[s] == kNoAddr)
+                fdual.pc[s] = di.actualNextPc;
+        } else if (fetchPc == kNoAddr) {
+            redirectFetch(di.actualNextPc);
+        }
+        return;
+    }
+
+    di.mispredicted = di.actualNextPc != di.predNextPc;
+
+    // Diverge branch / dual fork resolution.
+    if (di.isDivergeStarter && di.episode != kNoEpisode) {
+        Episode *ep = episodeIfAlive(di.episode);
+        if (ep && !ep->resolved) {
+            if (ep->isDualPath) {
+                resolveDualFork(di, *ep);
+                return;
+            }
+            if (!ep->isConverted()) {
+                resolveDivergeBranch(di, *ep);
+                return;
+            }
+            // Converted episode: the branch reverted to normal branch
+            // prediction (sections 2.7.2/2.7.3). Re-broadcast the real
+            // predicate values and classify as case 5/6.
+            ep->resolved = true;
+            ep->resolvedCorrect = !di.mispredicted;
+            preds.resolve(ep->p1, !di.mispredicted, false);
+            if (ep->p2 != kNoPred)
+                preds.resolve(ep->p2, di.mispredicted, false);
+            if (ep->exitCase == ExitCase::None) {
+                classifyExit(*ep, di.mispredicted ? ExitCase::Case6
+                                                  : ExitCase::Case5);
+            }
+            // fall through to the normal misprediction check
+        }
+    }
+
+    if (!di.mispredicted)
+        return;
+
+    // A resolved-FALSE predicated branch is a NOP; never flush for it.
+    if (di.pred != kNoPred && di.predResolved && !di.predValue)
+        return;
+
+    // Nested misprediction inside an unresolved dual-path episode: the
+    // interleaved streams cannot be squashed independently, so flush
+    // back to the fork and restart *both* streams from there (the fork
+    // stays covered by the episode).
+    if (fdual.active) {
+        Episode *fork_ep = episodeIfAlive(fdual.episodeId);
+        if (fork_ep && !fork_ep->resolved &&
+            di.seq > fork_ep->divergeSeq) {
+            // Locate the fork instruction in the ROB.
+            for (std::uint32_t i = 0; i < robCount; ++i) {
+                DynInst &fork = robAt(i);
+                if (fork.seq == fork_ep->divergeSeq) {
+                    InstRef fork_ref{
+                        std::uint32_t((robHead + i) % p.robSize),
+                        fork.seq};
+                    Episode &ep = *fork_ep;
+                    flushAfter(fork_ref, fork.predNextPc);
+                    // Re-enter the dual episode from the fork point.
+                    fdual.clear();
+                    fdual.active = true;
+                    fdual.episodeId = ep.id;
+                    fdual.pc[0] = ep.predStartPc;
+                    fdual.pc[1] = ep.altStartPc;
+                    fdual.ghr[0] =
+                        (ep.savedGhr << 1) | (ep.predTaken ? 1 : 0);
+                    fdual.ghr[1] =
+                        (ep.savedGhr << 1) | (ep.predTaken ? 0 : 1);
+                    fdual.toggle = 0;
+                    dualAltMapValid = false;
+                    return;
+                }
+            }
+            dmp_panic("dual fork not found in ROB");
+        }
+    }
+
+    if (di.isCondBranch)
+        ++st.condBranchFlushes;
+    flushAfter(ref, di.actualNextPc);
+}
+
+void
+Core::resolveDivergeBranch(DynInst &di, Episode &ep)
+{
+    bool correct = !di.mispredicted;
+    if (traceEnabled)
+        std::fprintf(stderr,
+                     "T%llu EP%llu resolve seq=%llu correct=%d fdpEp=%llu "
+                     "fdpPath=%d\n",
+                     (unsigned long long)now, (unsigned long long)ep.id,
+                     (unsigned long long)di.seq, int(correct),
+                     (unsigned long long)fdp.episodeId, int(fdp.path));
+    ep.resolved = true;
+    ep.resolvedCorrect = correct;
+
+    broadcastPredicate(ep.p1, correct, false);
+    if (ep.p2 != kNoPred && !preds.get(ep.p2).resolved)
+        broadcastPredicate(ep.p2, !correct, false);
+
+    if (fdp.episodeId == ep.id) {
+        if (fdp.path == PathId::Predicted) {
+            ep.fetchDone = true;
+            fdp.clear();
+            if (correct) {
+                // Case 5: keep following the predicted path normally.
+                classifyExit(ep, ExitCase::Case5);
+            } else {
+                // Case 6: conventional flush.
+                classifyExit(ep, ExitCase::Case6);
+                ++st.condBranchFlushes;
+                // Find this branch's ref for the flush.
+                for (std::uint32_t i = 0; i < robCount; ++i) {
+                    DynInst &b = robAt(i);
+                    if (b.seq == di.seq) {
+                        flushAfter(InstRef{std::uint32_t(
+                                               (robHead + i) % p.robSize),
+                                           b.seq},
+                                   di.actualNextPc);
+                        return;
+                    }
+                }
+                dmp_panic("diverge branch missing at case-6 flush");
+            }
+        } else { // Alternate path
+            ep.fetchDone = true;
+            Addr cfm = fdp.chosenCfm;
+            fdp.clear();
+            if (correct) {
+                // Case 3: the alternate path was wasted work; continue
+                // from the end-of-predicted-path state at the CFM point.
+                classifyExit(ep, ExitCase::Case3);
+                enqueueMarker(UopKind::RestoreMap, ep.id);
+                redirectFetch(cfm);
+            } else {
+                // Case 4: the alternate path is the correct path; just
+                // keep fetching it (flush avoided).
+                classifyExit(ep, ExitCase::Case4);
+            }
+        }
+    } else {
+        // Fetch already exited dynamic predication normally.
+        classifyExit(ep, correct ? ExitCase::Case1 : ExitCase::Case2);
+    }
+}
+
+void
+Core::resolveDualFork(DynInst &di, Episode &ep)
+{
+    bool correct = !di.mispredicted;
+    ep.resolved = true;
+    ep.resolvedCorrect = correct;
+    ep.fetchDone = true;
+
+    broadcastPredicate(ep.p1, correct, false);
+    broadcastPredicate(ep.p2, !correct, false);
+
+    enqueueMarker(UopKind::DualCollapse, ep.id);
+
+    if (fdual.active && fdual.episodeId == ep.id) {
+        int winner = correct ? 0 : 1;
+        Addr win_pc = fdual.pc[winner];
+        std::uint64_t win_ghr = fdual.ghr[winner];
+        fdual.clear();
+        ghr = win_ghr;
+        if (!correct)
+            ras.restore(ep.savedRas); // stream B never touched the RAS
+        fetchPc = win_pc;
+        fetchStallUntil = now + 1;
+        if (oracle && win_pc != kNoAddr)
+            oracle->onRedirect(win_pc);
+    }
+}
+
+void
+Core::broadcastPredicate(PredId pred, bool value, bool assumed)
+{
+    preds.resolve(pred, value, assumed);
+    sb.resolvePredicate(pred, value);
+
+    for (std::uint32_t i = 0; i < robCount; ++i) {
+        DynInst &di = robAt(i);
+        if (di.pred != pred)
+            continue;
+        di.predResolved = true;
+        di.predValue = value;
+        if (di.kind == UopKind::Select && di.awaitingPredicate)
+            wakeSelectUop(di);
+    }
+}
+
+void
+Core::wakeSelectUop(DynInst &di)
+{
+    dmp_assert(di.predResolved, "waking select without predicate");
+    di.awaitingPredicate = false;
+    InstRef ref{std::uint32_t(&di - rob.data()), di.seq};
+    PhysReg src = di.predValue ? di.selTrue : di.selFalse;
+    if (src != kNoPhysReg && !prf.ready(src)) {
+        prf.addWaiter(src, ref);
+        ++di.depsOutstanding;
+    }
+    if (di.depsOutstanding == 0)
+        readyQueue.push(ref);
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+void
+Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
+{
+    DynInst &b = *lookup(branch_ref);
+    dmp_assert(b.checkpointId >= 0, "flush without a checkpoint");
+    if (traceEnabled) {
+        Checkpoint &tcp = cpPool.get(b.checkpointId);
+        std::fprintf(stderr,
+                     "T%llu FLUSH seq=%llu pc=0x%llx path=%d pred=%u "
+                     "cpEp=%llu cpPath=%d redirect=0x%llx\n",
+                     (unsigned long long)now, (unsigned long long)b.seq,
+                     (unsigned long long)b.pc, int(b.path),
+                     unsigned(b.pred), (unsigned long long)tcp.episode,
+                     int(tcp.dpredPath), (unsigned long long)redirect_pc);
+    }
+
+    ++st.pipelineFlushes;
+    noteFlushForClassifier(b.seq);
+    squashYoungerThan(b.seq);
+    sb.squashYoungerThan(b.seq);
+    clearFetchQueue();
+
+    Checkpoint &cp = cpPool.get(b.checkpointId);
+    activeMap = cp.map;
+    ghr = cp.ghr;
+    if (b.isCondBranch)
+        ghr = (ghr << 1) | (b.actualTaken ? 1 : 0);
+    ras.restore(cp.ras);
+    if (isa::isReturn(b.si.op))
+        ras.pop();
+    if (isa::isCall(b.si.op))
+        ras.push(b.pc + kInstBytes);
+
+    // Resume dynamic predication mode if the branch sat inside a still-
+    // live episode (paper footnote 11).
+    Episode *ep = episodeIfAlive(cp.episode);
+    if (ep && !ep->resolved && !ep->isConverted()) {
+        fdp.episodeId = cp.episode;
+        fdp.path = cp.dpredPath;
+        fdp.chosenCfm = cp.chosenCfm;
+        fdp.pathInstCount = cp.pathInstCount;
+        ep->fetchDone = false;
+    } else {
+        fdp.clear();
+    }
+
+    dualAltMapValid = false;
+    redirectFetch(redirect_pc);
+}
+
+void
+Core::squashYoungerThan(std::uint64_t survive_seq)
+{
+    while (robCount > 0) {
+        std::uint32_t slot = robTailSlot();
+        DynInst &di = rob[slot];
+        if (di.seq <= survive_seq)
+            break;
+        if (di.kind == UopKind::Normal)
+            ++st.flushedInsts;
+        if (di.hasDest)
+            prf.free(di.dest, 1, di.seq); // squash
+        if (di.checkpointId >= 0)
+            cpPool.release(di.checkpointId, di.seq);
+        if (di.isDivergeStarter) {
+            Episode *ep = episodeIfAlive(di.episode);
+            if (ep)
+                killEpisode(*ep);
+        }
+        if (di.kind == UopKind::EnterAlt) {
+            Episode *ep = episodeIfAlive(di.episode);
+            if (ep) {
+                // The alternate-path entry is being undone: drop CP2 and
+                // release the alternate predicate for re-allocation.
+                ep->endPredMapValid = false;
+                if (ep->p2 != kNoPred && !preds.get(ep->p2).resolved)
+                    preds.resolve(ep->p2, true, true);
+                ep->p2 = kNoPred;
+            }
+        }
+        di.valid = false;
+        --robCount;
+    }
+}
+
+void
+Core::clearFetchQueue()
+{
+    for (FetchedInst &fi : fetchQueue) {
+        switch (fi.kind) {
+          case UopKind::EnterPred:
+          case UopKind::EnterAlt:
+          case UopKind::ExitPred:
+          case UopKind::RestoreMap:
+          case UopKind::DualCollapse:
+            episode(fi.episode).pendingMarkers--;
+            break;
+          case UopKind::Normal:
+            if (fi.isDivergeStarter) {
+                Episode *ep = episodeIfAlive(fi.episode);
+                if (ep)
+                    killEpisode(*ep);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    fetchQueue.clear();
+}
+
+} // namespace dmp::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * In-order retirement: architectural commit, predicated-FALSE
+ * instruction disposal (section 2.5), store commit through the
+ * predicate-aware store buffer, and retirement-time predictor training
+ * (section 2.3: the PHT is updated at retire and never sees
+ * predicated-FALSE branches).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+
+namespace dmp::core
+{
+
+using isa::kInstBytes;
+using isa::Opcode;
+
+void
+Core::retireStage()
+{
+    for (unsigned w = 0; w < p.retireWidth && robCount > 0; ++w) {
+        DynInst &di = rob[robHead];
+        if (!di.executed)
+            break;
+        dmp_assert(di.pred == kNoPred || di.predResolved,
+                   "unresolved predicate at retirement");
+
+        commitInst(di);
+
+        bool halt = di.kind == UopKind::Normal &&
+                    di.si.op == Opcode::HALT &&
+                    !(di.predResolved && !di.predValue);
+
+        di.valid = false;
+        robHead = (robHead + 1) % p.robSize;
+        --robCount;
+
+        if (halt) {
+            isHalted = true;
+            retiredArch.pc = di.pc + kInstBytes;
+            // Discard everything younger than the committed HALT
+            // (wrong-path or false-path leftovers past program end).
+            squashYoungerThan(di.seq);
+            sb.squashYoungerThan(di.seq);
+            clearFetchQueue();
+            break;
+        }
+    }
+}
+
+void
+Core::commitInst(DynInst &di)
+{
+    const bool is_false =
+        di.pred != kNoPred && di.predResolved && !di.predValue;
+
+    switch (di.kind) {
+      case UopKind::Select: {
+        // The select-uop commits the merged value and supersedes the
+        // selected source mapping (the non-selected one is freed by its
+        // own predicated-FALSE producer).
+        retiredArch.write(di.archDest, di.result);
+        prf.free(di.predValue ? di.selTrue : di.selFalse, 4, di.seq);
+        ++st.retiredSelectUops;
+        break;
+      }
+      case UopKind::EnterPred:
+      case UopKind::EnterAlt:
+      case UopKind::ExitPred:
+        ++st.retiredExtraUops;
+        break;
+      case UopKind::Normal: {
+        if (is_false) {
+            // A predicated-FALSE instruction frees the physical register
+            // it allocated itself and leaves no architectural trace.
+            ++st.retiredFalseInsts;
+            if (di.hasDest)
+                prf.free(di.dest, 3, di.seq); // false-path self free
+            if (di.isStore())
+                sb.retireHead(di.seq); // dropped, not sent to memory
+            break;
+        }
+
+        if (di.hasDest) {
+            retiredArch.write(di.archDest, di.result);
+            if (di.oldDest != kNoPhysReg)
+                prf.free(di.oldDest, 2, di.seq); // superseded mapping
+        }
+        if (di.isStore()) {
+            SbEntry e = sb.retireHead(di.seq);
+            dmp_assert(e.addrKnown, "retiring store without address");
+            if (!e.dead) {
+                memory->store(e.addr, e.data);
+                caches.storeAccess(e.addr, now);
+            }
+        }
+        ++st.retiredInsts;
+
+        if (di.isCondBranch) {
+            ++st.retiredCondBranches;
+            if (di.actualNextPc != di.predNextPc) {
+                ++st.retiredMispredCondBranches;
+                if (traceEnabled) {
+                    std::fprintf(stderr,
+                                 "RETMISP pc=0x%llx starter=%d mark=%d "
+                                 "lowconf=%d\n",
+                                 (unsigned long long)di.pc,
+                                 int(di.isDivergeStarter),
+                                 int(prog.mark(di.pc) != nullptr),
+                                 int(di.lowConfidence));
+                }
+            }
+            trainPredictors(di);
+        } else if (di.isControl) {
+            ++st.retiredControl;
+            if (isa::isIndirect(di.si.op)) {
+                itc.update(di.pc, di.predInfo.ghr, di.actualNextPc);
+            } else if (di.actualTaken) {
+                btb.update(di.pc, di.actualNextPc);
+            }
+        }
+        break;
+      }
+      default:
+        dmp_panic("commitInst: bad uop kind");
+    }
+
+    if (di.checkpointId >= 0)
+        cpPool.release(di.checkpointId, di.seq);
+}
+
+void
+Core::trainPredictors(DynInst &di)
+{
+    // Section 2.7.4 extension: optionally exclude dynamically predicated
+    // diverge branches from direction-predictor training.
+    bool was_dpred_starter =
+        di.isDivergeStarter && di.episode != kNoEpisode;
+    if (!(p.extSelectiveUpdate && was_dpred_starter))
+        predictor->train(di.pc, di.actualTaken, di.predInfo);
+
+    if (!p.perfectConfidence)
+        jrs->update(di.confIndex, di.actualNextPc != di.predNextPc);
+
+    if (di.actualTaken)
+        btb.update(di.pc, di.actualNextPc);
+}
+
+} // namespace dmp::core

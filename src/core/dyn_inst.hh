@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Dynamic instruction records: the fetch-queue entry (pre-rename) and the
+ * reorder-buffer entry (post-rename).
+ */
+
+#ifndef DMP_CORE_DYN_INST_HH
+#define DMP_CORE_DYN_INST_HH
+
+#include <cstdint>
+
+#include "bpred/predictor.hh"
+#include "bpred/target_predictors.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace dmp::core
+{
+
+/** Kinds of entries flowing through the pipeline. */
+enum class UopKind : std::uint8_t
+{
+    /** A program instruction. */
+    Normal,
+    /** enter.pred.path: creates CP1, defines p1 (section 2.4). */
+    EnterPred,
+    /** enter.alternate.path: creates CP2, restores CP1, defines p2. */
+    EnterAlt,
+    /** exit.pred: triggers select-uop insertion. */
+    ExitPred,
+    /** select-uop: dest = p ? srcTrue : srcFalse. */
+    Select,
+    /**
+     * Front-end-internal marker: restore the active rename map from an
+     * episode checkpoint (case-3 / early-exit redirection to the CFM).
+     * Consumes no ROB entry.
+     */
+    RestoreMap,
+    /**
+     * Front-end-internal marker: a dual-path fork resolved; if the
+     * alternate stream won, its rename map becomes the active one.
+     * Consumes no ROB entry.
+     */
+    DualCollapse,
+};
+
+/** Which dynamically-predicated path an entry belongs to. */
+enum class PathId : std::uint8_t
+{
+    None,      ///< not under dynamic predication
+    Predicted, ///< first-fetched path (p1)
+    Alternate, ///< second-fetched path (p2)
+};
+
+/** Monotonic episode identifier (one per dynamic-predication instance). */
+using EpisodeId = std::uint64_t;
+constexpr EpisodeId kNoEpisode = ~0ULL;
+
+/** A fetched, not-yet-renamed entry in the front-end pipeline. */
+struct FetchedInst
+{
+    UopKind kind = UopKind::Normal;
+    Addr pc = 0;
+    isa::Inst si;
+    /** Cycle this entry reaches the rename stage. */
+    Cycle renameReadyAt = 0;
+
+    // Branch prediction context (conditional + indirect control).
+    bool isCondBranch = false;
+    bool isControl = false;
+    bool predTaken = false;
+    Addr predNextPc = 0;
+    bpred::PredictionInfo predInfo;
+    std::uint32_t confIndex = 0;
+    bool lowConfidence = false;
+    bool usedOracleDirection = false;
+
+    // Dynamic predication context.
+    EpisodeId episode = kNoEpisode;
+    PathId path = PathId::None;
+    PredId pred = kNoPred;
+    /** This conditional branch started the episode. */
+    bool isDivergeStarter = false;
+
+    /** Fetched while the front-end was (transitively) on a wrong path
+     *  according to the oracle tracker; measurement only. */
+    bool oracleWrongPath = false;
+
+    // Fetch-state snapshot carried to rename for checkpointing (control
+    // instructions only): state *before* this instruction's own effects.
+    std::uint64_t ghrAtFetch = 0;
+    bpred::ReturnAddressStack::Checkpoint rasAtFetch;
+    EpisodeId cpEpisode = kNoEpisode;
+    PathId cpPath = PathId::None;
+    Addr cpChosenCfm = kNoAddr;
+    std::uint32_t cpPathCount = 0;
+};
+
+/** Scheduler/ROB state of one in-flight instruction. */
+struct DynInst
+{
+    // Identity.
+    std::uint64_t seq = 0;
+    Addr pc = 0;
+    isa::Inst si;
+    UopKind kind = UopKind::Normal;
+    bool valid = false; ///< slot occupied
+
+    // Renaming.
+    PhysReg src1 = kNoPhysReg;
+    PhysReg src2 = kNoPhysReg;
+    PhysReg dest = kNoPhysReg;
+    PhysReg oldDest = kNoPhysReg;
+    ArchReg archDest = 0;
+    bool hasDest = false;
+
+    // Select-uop operands: srcTrue = committed mapping if predicate TRUE.
+    PhysReg selTrue = kNoPhysReg;
+    PhysReg selFalse = kNoPhysReg;
+
+    // Predication.
+    PredId pred = kNoPred;
+    EpisodeId episode = kNoEpisode;
+    PathId path = PathId::None;
+    bool predResolved = false;
+    bool predValue = true;
+    bool isDivergeStarter = false;
+    /** Early-exit / mdb conversion turned this diverge branch back into a
+     *  normal branch: mispredict now flushes. */
+    bool revertedToNormal = false;
+
+    // Scheduling.
+    std::uint32_t depsOutstanding = 0;
+    bool dispatched = false;  ///< entered the wakeup network
+    bool issued = false;
+    bool executed = false;
+    bool awaitingPredicate = false; ///< select-uop waiting for predicate
+    Cycle completeAt = kNeverCycle;
+
+    // Branch state.
+    bool isCondBranch = false;
+    bool isControl = false;
+    bool predTaken = false;
+    Addr predNextPc = 0;
+    bool actualTaken = false;
+    Addr actualNextPc = 0;
+    bool mispredicted = false;
+    bpred::PredictionInfo predInfo;
+    std::uint32_t confIndex = 0;
+    bool lowConfidence = false;
+    std::int32_t checkpointId = -1;
+
+    // Memory state.
+    std::int32_t sbIndex = -1; ///< store-buffer slot for stores
+    Addr memAddr = kNoAddr;
+    Word result = 0; ///< dataflow result (dest value / store data)
+
+    // Measurement.
+    bool oracleWrongPath = false;
+
+    bool isLoad() const { return isa::isLoad(si.op); }
+    bool isStore() const { return isa::isStore(si.op); }
+    bool
+    countsAsProgramInst() const
+    {
+        return kind == UopKind::Normal;
+    }
+};
+
+/** Stable reference into the ROB slot array. */
+struct InstRef
+{
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_DYN_INST_HH

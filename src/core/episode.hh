@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Dynamic-predication episode state and the predicate register file.
+ *
+ * An Episode is one dynamic instance of predication: created when a
+ * low-confidence diverge branch is fetched, finished by one of the six
+ * exit cases of Table 1 (or by an early-exit / multiple-diverge-branch
+ * conversion back to normal branch prediction).
+ */
+
+#ifndef DMP_CORE_EPISODE_HH
+#define DMP_CORE_EPISODE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/target_predictors.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "core/rename_map.hh"
+
+namespace dmp::core
+{
+
+/** Table 1 exit-case classification (0 == not yet classified). */
+enum class ExitCase : std::uint8_t
+{
+    None = 0,
+    Case1, ///< both paths reached CFM, prediction correct (overhead)
+    Case2, ///< both paths reached CFM, mispredicted (flush avoided)
+    Case3, ///< resolved on alternate path, correct (worst case)
+    Case4, ///< resolved on alternate path, mispredicted (flush avoided)
+    Case5, ///< resolved on predicted path, correct (same as baseline)
+    Case6, ///< resolved on predicted path, mispredicted (flush)
+};
+
+/** Why an episode was converted back to normal branch prediction. */
+enum class ConversionReason : std::uint8_t
+{
+    NotConverted = 0,
+    EarlyExit,       ///< section 2.7.2 alternate-path give-up
+    MultiDiverge,    ///< section 2.7.3: a newer diverge branch took over
+    PathOverflow,    ///< hardware cap on predicated path length
+};
+
+/** One dynamic-predication (or dual-path) episode. */
+struct Episode
+{
+    EpisodeId id = kNoEpisode;
+    bool isDualPath = false;
+
+    // The diverge branch.
+    Addr divergePc = kNoAddr;
+    bool predTaken = false;
+    Addr predStartPc = kNoAddr; ///< first predicted-path address
+    Addr altStartPc = kNoAddr;  ///< first alternate-path address
+    std::uint64_t divergeSeq = ~0ULL; ///< set when the branch renames
+
+    // CFM CAM contents (basic machine: one entry).
+    std::vector<Addr> cfms;
+    Addr chosenCfm = kNoAddr;
+    std::uint32_t earlyExitThreshold = 0;
+
+    // Predicates: p1 covers the predicted path, p2 the alternate path.
+    PredId p1 = kNoPred;
+    PredId p2 = kNoPred;
+
+    // Front-end state saved at the diverge branch for the path switch.
+    std::uint64_t savedGhr = 0;
+    bpred::ReturnAddressStack::Checkpoint savedRas;
+
+    // Rename-side state.
+    /** RAT at the diverge branch (CP1 content), captured at EnterPred. */
+    RenameMap atBranchMap;
+    bool atBranchMapValid = false;
+    /** RAT at the end of the predicted path (CP2), captured at EnterAlt. */
+    RenameMap endPredMap;
+    bool endPredMapValid = false;
+
+    // Lifecycle.
+    bool resolved = false;
+    bool resolvedCorrect = false;
+    bool dead = false; ///< squashed before resolution
+    ConversionReason converted = ConversionReason::NotConverted;
+    ExitCase exitCase = ExitCase::None;
+    /** Queued front-end markers still referencing this episode. */
+    std::int32_t pendingMarkers = 0;
+    /** Fetch finished with this episode. */
+    bool fetchDone = false;
+
+    bool
+    isConverted() const
+    {
+        return converted != ConversionReason::NotConverted;
+    }
+};
+
+/** Resolution state of one predicate id. */
+struct PredState
+{
+    bool resolved = false;
+    bool value = true;
+    /** True when the value was assumed (early exit footnote 12), not
+     *  produced by the diverge branch. */
+    bool assumed = false;
+};
+
+/**
+ * Predicate register file. Ids grow monotonically; the hardware
+ * namespace limit is modeled as a cap on unresolved ids in flight.
+ */
+class PredicateFile
+{
+  public:
+    explicit PredicateFile(unsigned hw_limit) : limit(hw_limit) {}
+
+    /** True when a new (unresolved) predicate can be allocated. */
+    bool canAllocate() const { return unresolved < limit; }
+
+    PredId
+    allocate()
+    {
+        dmp_assert(canAllocate(), "predicate namespace exhausted");
+        PredId id = nextId++;
+        states.emplace(id, PredState{});
+        ++unresolved;
+        return id;
+    }
+
+    const PredState &
+    get(PredId id) const
+    {
+        auto it = states.find(id);
+        dmp_assert(it != states.end(), "unknown predicate id ", id);
+        return it->second;
+    }
+
+    bool known(PredId id) const { return states.count(id) != 0; }
+
+    /** Resolve (or re-resolve an assumed value with the real one). */
+    void
+    resolve(PredId id, bool value, bool assumed)
+    {
+        auto it = states.find(id);
+        dmp_assert(it != states.end(), "resolving unknown predicate ", id);
+        if (!it->second.resolved) {
+            --unresolved;
+        }
+        it->second.resolved = true;
+        it->second.value = value;
+        it->second.assumed = assumed;
+    }
+
+    void
+    reset()
+    {
+        states.clear();
+        unresolved = 0;
+        nextId = 0;
+    }
+
+  private:
+    unsigned limit;
+    unsigned unresolved = 0;
+    PredId nextId = 0;
+    std::unordered_map<PredId, PredState> states;
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_EPISODE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Text assembler for the simulated ISA.
+ *
+ * Syntax (one instruction per line, ';' or '#' starts a comment):
+ *
+ *   .base 0x1000          ; program base address (optional, first line)
+ *   .data 0x100000 42     ; seed one data word
+ *   loop:                 ; label
+ *     li   r1, 5
+ *     add  r2, r1, r1
+ *     ld   r3, [r2 + 8]
+ *     st   [r2 + 16], r3
+ *     beq  r1, r2, loop
+ *     jmp  done
+ *     call fn
+ *     ret
+ *   done:
+ *     halt
+ */
+
+#ifndef DMP_ISA_ASSEMBLER_HH
+#define DMP_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace dmp::isa
+{
+
+/**
+ * Assemble a source listing into a Program.
+ *
+ * Syntax errors are reported with line numbers through dmp_fatal (they
+ * are user errors, not simulator bugs).
+ */
+Program assemble(const std::string &source);
+
+} // namespace dmp::isa
+
+#endif // DMP_ISA_ASSEMBLER_HH

@@ -1,0 +1,84 @@
+#include "isa/func_sim.hh"
+
+#include "common/logging.hh"
+
+namespace dmp::isa
+{
+
+FuncSim::FuncSim(const Program &program, MemoryImage &mem)
+    : prog(program), memory(mem)
+{
+    reset();
+}
+
+void
+FuncSim::reset()
+{
+    arch = ArchState{};
+    arch.pc = prog.baseAddr();
+    isHalted = prog.size() == 0;
+    retired = 0;
+    for (const auto &[addr, value] : prog.initialData())
+        memory.store(addr, value);
+}
+
+StepInfo
+FuncSim::step()
+{
+    StepInfo info;
+    if (isHalted) {
+        info.halted = true;
+        info.pc = arch.pc;
+        return info;
+    }
+
+    const Inst &inst = prog.fetch(arch.pc);
+    info.pc = arch.pc;
+    info.inst = inst;
+    info.isCondBranch = isCondBranch(inst.op);
+
+    Word s1 = arch.read(inst.rs1);
+    Word s2 = arch.read(inst.rs2);
+    ExecResult r = evaluate(inst, arch.pc, s1, s2);
+
+    Addr next_pc = arch.pc + kInstBytes;
+    switch (inst.op) {
+      case Opcode::HALT:
+        isHalted = true;
+        info.halted = true;
+        break;
+      case Opcode::LD:
+        info.memAddr = r.memAddr;
+        arch.write(inst.rd, memory.load(r.memAddr));
+        break;
+      case Opcode::ST:
+        info.memAddr = r.memAddr;
+        memory.store(r.memAddr, r.value);
+        break;
+      default:
+        if (r.taken)
+            next_pc = r.target;
+        if (writesDest(inst))
+            arch.write(inst.rd, r.value);
+        break;
+    }
+
+    info.taken = r.taken;
+    info.nextPc = next_pc;
+    arch.pc = next_pc;
+    ++retired;
+    return info;
+}
+
+std::uint64_t
+FuncSim::run(std::uint64_t max_insts)
+{
+    std::uint64_t n = 0;
+    while (n < max_insts && !isHalted) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace dmp::isa

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional reference simulator.
+ *
+ * Executes a Program one instruction at a time with architectural state
+ * only. It is the ground truth the timing core is validated against, the
+ * engine behind the profiler's "train run", and the oracle used by
+ * perfect-branch-prediction / perfect-confidence configurations.
+ */
+
+#ifndef DMP_ISA_FUNC_SIM_HH
+#define DMP_ISA_FUNC_SIM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+
+namespace dmp::isa
+{
+
+/** Architectural register file + PC. */
+struct ArchState
+{
+    std::array<Word, kNumArchRegs> regs{};
+    Addr pc = 0;
+
+    Word
+    read(ArchReg r) const
+    {
+        return r == kZeroReg ? 0 : regs[r];
+    }
+
+    void
+    write(ArchReg r, Word v)
+    {
+        if (r != kZeroReg)
+            regs[r] = v;
+    }
+};
+
+/** What one functional step did (consumed by profiler and tests). */
+struct StepInfo
+{
+    Addr pc = 0;
+    Inst inst;
+    bool isCondBranch = false;
+    bool taken = false;
+    Addr nextPc = 0;
+    Addr memAddr = kNoAddr; ///< effective address for LD/ST
+    bool halted = false;
+};
+
+/** In-order architectural interpreter for one Program. */
+class FuncSim
+{
+  public:
+    /**
+     * @param program the program to run (not owned; must outlive us)
+     * @param mem the architectural memory (not owned; seeded from the
+     *            program's initial data)
+     */
+    FuncSim(const Program &program, MemoryImage &mem);
+
+    /** Reset PC/registers and re-seed memory from the program image. */
+    void reset();
+
+    /** Execute one instruction. No-op when halted. */
+    StepInfo step();
+
+    /** Run up to max_insts instructions or until HALT. @return count. */
+    std::uint64_t run(std::uint64_t max_insts);
+
+    bool halted() const { return isHalted; }
+    const ArchState &state() const { return arch; }
+    ArchState &state() { return arch; }
+    std::uint64_t retiredInsts() const { return retired; }
+
+  private:
+    const Program &prog;
+    MemoryImage &memory;
+    ArchState arch;
+    bool isHalted = false;
+    std::uint64_t retired = 0;
+};
+
+} // namespace dmp::isa
+
+#endif // DMP_ISA_FUNC_SIM_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The simulated instruction set.
+ *
+ * A from-scratch 64-bit load/store RISC ISA standing in for the Alpha ISA
+ * the paper compiles SPEC to. Dynamic predication only cares about
+ * conditional branches, register dataflow, and memory instructions; all
+ * are present here. Each instruction occupies four bytes of the simulated
+ * address space.
+ *
+ * Register convention: 64 architectural integer registers. r0 reads as
+ * zero and ignores writes. r63 is the link register written by CALL and
+ * read by RET. "Floating-point" opcodes (FADD/FMUL/FDIV) operate on the
+ * same register file with longer execution latency: the paper's FP
+ * benchmarks need FP-class latency behaviour, not IEEE semantics.
+ */
+
+#ifndef DMP_ISA_ISA_HH
+#define DMP_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dmp::isa
+{
+
+/** Bytes per instruction in the simulated address space. */
+constexpr Addr kInstBytes = 4;
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumArchRegs = 64;
+
+/** r0 is hardwired to zero. */
+constexpr ArchReg kZeroReg = 0;
+
+/** r63 holds return addresses (written by CALL, consumed by RET). */
+constexpr ArchReg kLinkReg = 63;
+
+/** Every opcode in the ISA. */
+enum class Opcode : std::uint8_t
+{
+    NOP,
+    HALT,
+
+    // Register-register ALU.
+    ADD, SUB, MUL, DIVQ,
+    AND, OR, XOR,
+    SHL, SHR, SRA,
+    SLT, SLTU, SEQ,
+
+    // Register-immediate ALU.
+    ADDI, MULI, ANDI, ORI, XORI,
+    SHLI, SHRI, SLTI, SEQI,
+    LI,
+
+    // Long-latency arithmetic ("floating point" latency class).
+    FADD, FMUL, FDIV,
+
+    // Memory (64-bit words, 8-byte aligned).
+    LD, ST,
+
+    // Control.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JMP, JR, CALL, RET,
+
+    NUM_OPCODES
+};
+
+/** Execution-latency class, mapped to functional units by the core. */
+enum class ExecClass : std::uint8_t
+{
+    ALU,       ///< 1-cycle integer op
+    MUL,       ///< pipelined multiply
+    DIV,       ///< unpipelined divide
+    FP,        ///< long-latency arithmetic
+    MEM,       ///< load/store (address generation + cache access)
+    BRANCH,    ///< control transfer
+    NONE       ///< NOP/HALT
+};
+
+/**
+ * One decoded instruction. This is the storage format: programs are
+ * vectors of Inst. Field meaning by format:
+ *  - ALU reg-reg:   rd <- rs1 op rs2
+ *  - ALU reg-imm:   rd <- rs1 op imm      (LI: rd <- imm)
+ *  - LD:            rd <- mem[rs1 + imm]
+ *  - ST:            mem[rs1 + imm] <- rs2
+ *  - Bxx:           if (rs1 cmp rs2) pc <- target
+ *  - JMP/CALL:      pc <- target          (CALL: r63 <- pc + 4)
+ *  - JR:            pc <- rs1
+ *  - RET:           pc <- r63
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    ArchReg rd = 0;
+    ArchReg rs1 = 0;
+    ArchReg rs2 = 0;
+    std::int64_t imm = 0;
+    Addr target = kNoAddr;
+};
+
+/** True for the six conditional-branch opcodes. */
+bool isCondBranch(Opcode op);
+
+/** True for any instruction that can redirect the PC. */
+bool isControl(Opcode op);
+
+/** True for direct unconditional transfers (JMP/CALL). */
+bool isDirectJump(Opcode op);
+
+/** True for indirect transfers (JR/RET). */
+bool isIndirect(Opcode op);
+
+bool isCall(Opcode op);
+bool isReturn(Opcode op);
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+
+/** True when the instruction architecturally writes rd. */
+bool writesDest(const Inst &inst);
+
+/** True when rs1 (resp. rs2) is an architectural source. */
+bool readsSrc1(const Inst &inst);
+bool readsSrc2(const Inst &inst);
+
+/** The latency class the core schedules this opcode on. */
+ExecClass execClass(Opcode op);
+
+/** Mnemonic for diagnostics and the assembler. */
+const char *opcodeName(Opcode op);
+
+/** Disassemble one instruction at pc. */
+std::string disassemble(const Inst &inst, Addr pc);
+
+/**
+ * Pure dataflow result of executing one instruction.
+ *
+ * The timing core and the functional simulator share this single
+ * definition of ISA semantics so they cannot drift apart.
+ */
+struct ExecResult
+{
+    Word value = 0;        ///< rd result (or store data passthrough)
+    bool taken = false;    ///< conditional-branch outcome
+    Addr target = kNoAddr; ///< control-transfer destination
+    Addr memAddr = 0;      ///< effective address for LD/ST
+};
+
+/**
+ * Evaluate an instruction's dataflow function.
+ *
+ * @param inst the instruction
+ * @param pc its address (for CALL link values and fallthrough math)
+ * @param s1 value of rs1
+ * @param s2 value of rs2
+ * @return computed result; loads leave value to be filled from memory.
+ */
+ExecResult evaluate(const Inst &inst, Addr pc, Word s1, Word s2);
+
+} // namespace dmp::isa
+
+#endif // DMP_ISA_ISA_HH

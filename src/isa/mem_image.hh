@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Architectural data memory.
+ *
+ * Holds the *values* of the simulated memory space; the cache hierarchy in
+ * src/mem models access *timing* only. Word-granular (64-bit), 8-byte
+ * aligned accesses, flat backing store sized at construction.
+ */
+
+#ifndef DMP_ISA_MEM_IMAGE_HH
+#define DMP_ISA_MEM_IMAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dmp::isa
+{
+
+/** Flat, word-addressable architectural memory image. */
+class MemoryImage
+{
+  public:
+    /** @param bytes size of the simulated data space. */
+    explicit MemoryImage(std::size_t bytes = 64 * 1024 * 1024)
+        : words(bytes / sizeof(Word), 0)
+    {}
+
+    std::size_t sizeBytes() const { return words.size() * sizeof(Word); }
+
+    /** Read the word at a byte address (must be 8-byte aligned). */
+    Word
+    load(Addr addr) const
+    {
+        return words[wordIndex(addr)];
+    }
+
+    /** Write the word at a byte address (must be 8-byte aligned). */
+    void
+    store(Addr addr, Word value)
+    {
+        words[wordIndex(addr)] = value;
+    }
+
+    /** Zero the whole image. */
+    void
+    clear()
+    {
+        std::fill(words.begin(), words.end(), 0);
+    }
+
+    bool
+    operator==(const MemoryImage &other) const
+    {
+        return words == other.words;
+    }
+
+  private:
+    std::size_t
+    wordIndex(Addr addr) const
+    {
+        dmp_assert(addr % sizeof(Word) == 0,
+                   "unaligned memory access at 0x", std::hex, addr);
+        std::size_t idx = addr / sizeof(Word);
+        if (idx >= words.size())
+            dmp_fatal("memory access out of bounds: 0x", std::hex, addr);
+        return idx;
+    }
+
+    std::vector<Word> words;
+};
+
+} // namespace dmp::isa
+
+#endif // DMP_ISA_MEM_IMAGE_HH

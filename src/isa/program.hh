@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Program image: instructions, initial data, and compiler markings.
+ *
+ * A Program is what the "compiler" side of the paper produces: the
+ * instruction stream plus per-branch diverge/CFM annotations conveyed to
+ * the microarchitecture "through modifications in the ISA" (paper
+ * section 2.2). The profiler writes the markings; the core reads them.
+ */
+
+#ifndef DMP_ISA_PROGRAM_HH
+#define DMP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace dmp::isa
+{
+
+/**
+ * Compiler marking attached to one static conditional branch.
+ *
+ * A branch can be marked as a diverge branch (DMP), as a simple hammock
+ * (DHP baseline), or both. CFM points are ordered most-frequent first;
+ * the basic DMP machine uses only the first entry, the enhanced machine
+ * loads all of them into its CFM CAM (section 2.7.1).
+ */
+struct DivergeMark
+{
+    bool isDiverge = false;
+    bool isSimpleHammock = false;
+    /** Backward (loop) diverge branch, for the section 2.7.4 extension. */
+    bool isLoopBranch = false;
+    std::vector<Addr> cfmPoints;
+    /**
+     * Compiler-selected early-exit threshold N: maximum alternate-path
+     * instructions to fetch before giving up on reconvergence
+     * (section 2.7.2). Zero means "use the machine's static default".
+     */
+    std::uint32_t earlyExitThreshold = 0;
+};
+
+/** An immutable, fully linked program image. */
+class Program
+{
+  public:
+    Program() = default;
+
+    Program(Addr base, std::vector<Inst> insts_,
+            std::vector<std::pair<Addr, Word>> data_,
+            std::unordered_map<std::string, Addr> labels_);
+
+    /** First instruction address. */
+    Addr baseAddr() const { return base; }
+
+    /** One past the last instruction address. */
+    Addr endAddr() const { return base + insts.size() * kInstBytes; }
+
+    /** Number of static instructions. */
+    std::size_t size() const { return insts.size(); }
+
+    /** True when pc addresses an instruction of this program. */
+    bool contains(Addr pc) const;
+
+    /** The instruction at pc; fatal when pc is outside the image. */
+    const Inst &fetch(Addr pc) const;
+
+    /** Initial data image: (byte address, word value) pairs. */
+    const std::vector<std::pair<Addr, Word>> &initialData() const
+    {
+        return data;
+    }
+
+    /** Address of a label; fatal when unknown. */
+    Addr labelAddr(const std::string &name) const;
+
+    /** All label names (for diagnostics and the disassembler). */
+    const std::unordered_map<std::string, Addr> &labels() const
+    {
+        return labelMap;
+    }
+
+    /** @name Compiler markings (mutated by the profiler/marker). */
+    /// @{
+    void setMark(Addr pc, DivergeMark mark);
+    const DivergeMark *mark(Addr pc) const;
+    const std::map<Addr, DivergeMark> &allMarks() const { return marks; }
+    void clearMarks() { marks.clear(); }
+    /// @}
+
+    /** Full-program disassembly listing. */
+    std::string listing() const;
+
+  private:
+    Addr base = 0x1000;
+    std::vector<Inst> insts;
+    std::vector<std::pair<Addr, Word>> data;
+    std::unordered_map<std::string, Addr> labelMap;
+    std::map<Addr, DivergeMark> marks;
+};
+
+/** A forward reference to a not-yet-bound code location. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(std::size_t id_) : id(id_), valid(true) {}
+    std::size_t id = 0;
+    bool valid = false;
+};
+
+/**
+ * Incremental program constructor with label fixup.
+ *
+ * Workloads and tests build programs through this API; the text
+ * assembler lowers onto it as well. All emit methods return the address
+ * of the emitted instruction.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr base_ = 0x1000) : base(base_) {}
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction's address. */
+    void bind(Label l);
+
+    /** Bind a named label (also retrievable from the built Program). */
+    void bindNamed(const std::string &name, Label l);
+
+    /** Address the next emitted instruction will occupy. */
+    Addr here() const { return base + insts.size() * kInstBytes; }
+
+    /** @name Raw emission */
+    /// @{
+    Addr emit(Inst inst);
+    Addr emitBranch(Opcode op, ArchReg rs1, ArchReg rs2, Label target);
+    Addr emitJump(Opcode op, Label target);
+    /// @}
+
+    /** @name Mnemonic helpers */
+    /// @{
+    Addr nop() { return emit({Opcode::NOP, 0, 0, 0, 0, kNoAddr}); }
+    Addr halt() { return emit({Opcode::HALT, 0, 0, 0, 0, kNoAddr}); }
+
+    Addr add(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::ADD, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr sub(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SUB, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr mul(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::MUL, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr divq(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::DIVQ, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr and_(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::AND, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr or_(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::OR, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr xor_(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::XOR, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr shl(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SHL, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr shr(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SHR, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr sra(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SRA, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr slt(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SLT, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr sltu(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SLTU, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr seq(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::SEQ, rd, rs1, rs2, 0, kNoAddr}); }
+
+    Addr addi(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::ADDI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr muli(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::MULI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr andi(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::ANDI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr ori(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::ORI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr xori(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::XORI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr shli(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::SHLI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr shri(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::SHRI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr slti(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::SLTI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr seqi(ArchReg rd, ArchReg rs1, std::int64_t imm)
+    { return emit({Opcode::SEQI, rd, rs1, 0, imm, kNoAddr}); }
+    Addr li(ArchReg rd, std::int64_t imm)
+    { return emit({Opcode::LI, rd, 0, 0, imm, kNoAddr}); }
+
+    Addr fadd(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::FADD, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr fmul(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::FMUL, rd, rs1, rs2, 0, kNoAddr}); }
+    Addr fdiv(ArchReg rd, ArchReg rs1, ArchReg rs2)
+    { return emit({Opcode::FDIV, rd, rs1, rs2, 0, kNoAddr}); }
+
+    Addr ld(ArchReg rd, ArchReg rs1, std::int64_t imm = 0)
+    { return emit({Opcode::LD, rd, rs1, 0, imm, kNoAddr}); }
+    Addr st(ArchReg rs1, std::int64_t imm, ArchReg rs2)
+    { return emit({Opcode::ST, 0, rs1, rs2, imm, kNoAddr}); }
+
+    Addr beq(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BEQ, a, b, t); }
+    Addr bne(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BNE, a, b, t); }
+    Addr blt(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BLT, a, b, t); }
+    Addr bge(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BGE, a, b, t); }
+    Addr bltu(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BLTU, a, b, t); }
+    Addr bgeu(ArchReg a, ArchReg b, Label t)
+    { return emitBranch(Opcode::BGEU, a, b, t); }
+    Addr jmp(Label t) { return emitJump(Opcode::JMP, t); }
+    Addr call(Label t)
+    {
+        Addr a = emitJump(Opcode::CALL, t);
+        instAt(a).rd = kLinkReg;
+        return a;
+    }
+    Addr ret()
+    { return emit({Opcode::RET, 0, kLinkReg, 0, 0, kNoAddr}); }
+    Addr jr(ArchReg rs1)
+    { return emit({Opcode::JR, 0, rs1, 0, 0, kNoAddr}); }
+    /// @}
+
+    /** Seed one word of the initial data image. */
+    void dataWord(Addr addr, Word value);
+
+    /** Link: resolve label fixups and produce the immutable Program. */
+    Program build();
+
+  private:
+    Inst &instAt(Addr pc);
+
+    Addr base;
+    std::vector<Inst> insts;
+    std::vector<std::pair<Addr, Word>> data;
+    std::vector<Addr> labelAddrs;       // kNoAddr while unbound
+    std::vector<std::string> labelNames; // empty when anonymous
+    struct Fixup
+    {
+        std::size_t instIndex;
+        std::size_t labelId;
+    };
+    std::vector<Fixup> fixups;
+    bool built = false;
+};
+
+} // namespace dmp::isa
+
+#endif // DMP_ISA_PROGRAM_HH

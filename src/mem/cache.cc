@@ -1,0 +1,219 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmp::mem
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : p(params),
+      numSets(p.sizeBytes / (p.lineBytes * p.assoc)),
+      lines(std::size_t(numSets) * p.assoc),
+      bankFreeAt(p.banks, 0),
+      statGroup(p.name)
+{
+    dmp_assert(isPowerOfTwo(p.lineBytes), "line size must be 2^n");
+    dmp_assert(isPowerOfTwo(numSets), "set count must be 2^n: ", p.name);
+    dmp_assert(p.banks >= 1, "cache needs at least one bank");
+    statGroup.addStat("hits", &hitCount, "demand hits");
+    statGroup.addStat("misses", &missCount, "demand misses");
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return std::uint32_t(addr / p.lineBytes) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / p.lineBytes / numSets;
+}
+
+std::uint32_t
+Cache::bankOf(Addr addr) const
+{
+    return std::uint32_t(addr / p.lineBytes) % p.banks;
+}
+
+bool
+Cache::access(Addr addr, Cycle now, Cycle &ready_out, Cycle &avail_out)
+{
+    // Bank conflict: the request waits for its bank.
+    std::uint32_t bank = bankOf(addr);
+    Cycle start = std::max(now, bankFreeAt[bank]);
+    bankFreeAt[bank] = start + 1; // one new access per bank per cycle
+    ready_out = start;
+    avail_out = start;
+
+    Line *set = &lines[std::size_t(setIndex(addr)) * p.assoc];
+    Addr tag = tagOf(addr);
+
+    for (std::uint32_t w = 0; w < p.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lruStamp = ++lruClock;
+            ++hitCount;
+            avail_out = std::max(start, set[w].fillAt);
+            return true;
+        }
+    }
+
+    // Miss: allocate the LRU way; the caller announces the fill time.
+    ++missCount;
+    Line *victim = &set[0];
+    for (std::uint32_t w = 1; w < p.assoc; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lruStamp < victim->lruStamp && victim->valid)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = ++lruClock;
+    victim->fillAt = kNeverCycle; // until setFillTime()
+    return false;
+}
+
+void
+Cache::setFillTime(Addr addr, Cycle fill_at)
+{
+    Line *set = &lines[std::size_t(setIndex(addr)) * p.assoc];
+    Addr tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < p.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].fillAt = fill_at;
+            return;
+        }
+    }
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Line *set = &lines[std::size_t(setIndex(addr)) * p.assoc];
+    Addr tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < p.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines.begin(), lines.end(), Line{});
+    std::fill(bankFreeAt.begin(), bankFreeAt.end(), 0);
+    lruClock = 0;
+    hitCount.reset();
+    missCount.reset();
+}
+
+CacheHierarchy::CacheHierarchy() : CacheHierarchy(Params{})
+{
+}
+
+CacheHierarchy::CacheHierarchy(const Params &params)
+    : p(params),
+      l1iCache(p.l1i),
+      l1dCache(p.l1d),
+      l2Cache(p.l2),
+      memBankFreeAt(p.memBanks, 0)
+{
+}
+
+Cycle
+CacheHierarchy::memoryAccess(Addr addr, Cycle now)
+{
+    std::uint32_t bank = std::uint32_t(addr / p.l2.lineBytes) % p.memBanks;
+    Cycle start = std::max(now, memBankFreeAt[bank]);
+    memBankFreeAt[bank] = start + p.memBankBusy;
+    return start + p.memLatency;
+}
+
+namespace
+{
+
+/** Demand access through one level; returns the data-ready cycle. */
+Cycle
+levelAccess(Cache &cache, Addr addr, Cycle now, bool &hit)
+{
+    Cycle ready, avail;
+    hit = cache.access(addr, now, ready, avail);
+    return hit ? std::max(avail, ready) + cache.params().hitLatency
+               : ready + cache.params().hitLatency;
+}
+
+} // namespace
+
+Cycle
+CacheHierarchy::fetchAccess(Addr addr, Cycle now)
+{
+    bool hit;
+    Cycle l1_done = levelAccess(l1iCache, addr, now, hit);
+    if (hit)
+        return l1_done;
+    Cycle l2_done = levelAccess(l2Cache, addr, l1_done, hit);
+    if (!hit) {
+        l2_done = memoryAccess(addr, l2_done);
+        l2Cache.setFillTime(addr, l2_done);
+    }
+    l1iCache.setFillTime(addr, l2_done);
+    return l2_done;
+}
+
+Cycle
+CacheHierarchy::loadAccess(Addr addr, Cycle now)
+{
+    bool hit;
+    Cycle l1_done = levelAccess(l1dCache, addr, now, hit);
+    if (hit)
+        return l1_done;
+    Cycle l2_done = levelAccess(l2Cache, addr, l1_done, hit);
+    if (!hit) {
+        l2_done = memoryAccess(addr, l2_done);
+        l2Cache.setFillTime(addr, l2_done);
+    }
+    l1dCache.setFillTime(addr, l2_done);
+    return l2_done;
+}
+
+void
+CacheHierarchy::storeAccess(Addr addr, Cycle now)
+{
+    // Write-allocate into L1D; latency is absorbed by the write buffer.
+    Cycle ready, avail;
+    if (!l1dCache.access(addr, now, ready, avail)) {
+        Cycle l2_done;
+        if (!l2Cache.access(addr, ready, l2_done, avail))
+            l2Cache.setFillTime(addr, l2_done + p.memLatency);
+        l1dCache.setFillTime(addr, ready + p.l2.hitLatency);
+    }
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1iCache.reset();
+    l1dCache.reset();
+    l2Cache.reset();
+    std::fill(memBankFreeAt.begin(), memBankFreeAt.end(), 0);
+}
+
+} // namespace dmp::mem

@@ -1,0 +1,47 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace dmp::sim
+{
+
+std::pair<isa::Program, profile::MarkingReport>
+prepareMarkedProgram(const SimConfig &cfg)
+{
+    isa::Program train =
+        workloads::buildWorkload(cfg.workload, cfg.train);
+    profile::MarkingReport report = profile::profileAndMark(
+        train, cfg.core.memoryBytes, cfg.marker);
+
+    isa::Program ref = workloads::buildWorkload(cfg.workload, cfg.ref);
+    profile::transferMarks(train, ref);
+    return {std::move(ref), std::move(report)};
+}
+
+SimResult
+runSim(const SimConfig &cfg)
+{
+    auto [ref, report] = prepareMarkedProgram(cfg);
+
+    core::Core machine(ref, cfg.core);
+    machine.run(cfg.maxInsts ? cfg.maxInsts : ~0ULL,
+                cfg.maxCycles ? cfg.maxCycles : ~0ULL);
+
+    SimResult r;
+    r.marking = std::move(report);
+    const core::CoreStats &st = machine.stats();
+    r.cycles = st.cycles.value();
+    r.retiredInsts = st.retiredInsts.value();
+    r.ipc = r.cycles ? double(r.retiredInsts) / double(r.cycles) : 0.0;
+    for (const std::string &name : st.group.names())
+        r.counters[name] = st.group.get(name);
+    return r;
+}
+
+double
+pctDelta(double a, double b)
+{
+    return b == 0 ? 0 : 100.0 * (a - b) / b;
+}
+
+} // namespace dmp::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment facade: builds a workload, runs the compiler/profiling
+ * pass on the train input, transfers the markings onto the ref-input
+ * binary, and runs the timing core — the full flow of paper section 3.
+ */
+
+#ifndef DMP_SIM_SIMULATOR_HH
+#define DMP_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/core.hh"
+#include "core/params.hh"
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+#include "workloads/workloads.hh"
+
+namespace dmp::sim
+{
+
+/** One experiment's configuration. */
+struct SimConfig
+{
+    std::string workload = "bzip2";
+    core::CoreParams core;             ///< Table 2 defaults
+    profile::MarkerConfig marker;      ///< section 3.2 heuristics
+    workloads::WorkloadParams train;   ///< profile ("train") input
+    workloads::WorkloadParams ref;     ///< measurement ("ref") input
+    /** Timing-run instruction budget (0 = to completion). */
+    std::uint64_t maxInsts = 0;
+    /** Timing-run cycle budget (0 = unlimited). */
+    std::uint64_t maxCycles = 0;
+
+    SimConfig()
+    {
+        train.seed = 0x7e41a; // "train input"
+        ref.seed = 0x4ef;     // "ref input"
+    }
+};
+
+/** Condensed results of one timing run. */
+struct SimResult
+{
+    double ipc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t retiredInsts = 0;
+    std::map<std::string, std::uint64_t> counters;
+    profile::MarkingReport marking;
+
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+};
+
+/**
+ * Build + profile + mark + run one configuration.
+ *
+ * The profiling pass always runs (it is cheap and deterministic) so
+ * that Figure 6 style classification data is available even for
+ * baseline configurations; the core simply ignores markings when
+ * predication is off.
+ */
+SimResult runSim(const SimConfig &cfg);
+
+/**
+ * Profile-and-mark only: returns the marked ref program and the
+ * marking report (used by benches that need the program itself).
+ */
+std::pair<isa::Program, profile::MarkingReport>
+prepareMarkedProgram(const SimConfig &cfg);
+
+/** Percentage helper: 100 * (a - b) / b. */
+double pctDelta(double a, double b);
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_SIMULATOR_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * dmp-run — command-line driver for the diverge-merge simulator.
+ *
+ * Runs one workload (or an assembly file) through a chosen machine
+ * configuration and prints the full statistics dump.
+ *
+ *   dmp-run [options] <workload-name | file.s>
+ *
+ *   --mode=base|dhp|dmp|dmp-enhanced|dual   machine mode
+ *   --iters=N            workload loop iterations (default 2000)
+ *   --seed=N             data seed of the measured run
+ *   --rob=N              reorder buffer size
+ *   --depth=N            front-end depth (min. mispredict penalty)
+ *   --width=N            fetch/issue/retire width
+ *   --predictor=perceptron|gshare|bimodal|hybrid
+ *   --perfect-cbp        perfect conditional branch prediction
+ *   --perfect-conf       perfect confidence estimation
+ *   --loop-ext           diverge loop branches (section 2.7.4)
+ *   --list               list workloads and exit
+ *   --marks              print the marked-program listing and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/core.hh"
+#include "isa/assembler.hh"
+#include "profile/profiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmp;
+
+namespace
+{
+
+struct Options
+{
+    std::string target;
+    std::string mode = "dmp-enhanced";
+    std::uint64_t iters = 2000;
+    std::uint64_t seed = 0x4ef;
+    unsigned rob = 0;
+    unsigned depth = 0;
+    unsigned width = 0;
+    std::string predictor;
+    bool perfectCbp = false;
+    bool perfectConf = false;
+    bool loopExt = false;
+    bool list = false;
+    bool marks = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, "usage: dmp-run [options] <workload|file.s>\n"
+                         "see the file header or README for options\n");
+    std::exit(2);
+}
+
+bool
+flagValue(const char *arg, const char *name, std::string &out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char *a = argv[i];
+        if (flagValue(a, "--mode", v))
+            o.mode = v;
+        else if (flagValue(a, "--iters", v))
+            o.iters = std::strtoull(v.c_str(), nullptr, 0);
+        else if (flagValue(a, "--seed", v))
+            o.seed = std::strtoull(v.c_str(), nullptr, 0);
+        else if (flagValue(a, "--rob", v))
+            o.rob = unsigned(std::strtoul(v.c_str(), nullptr, 0));
+        else if (flagValue(a, "--depth", v))
+            o.depth = unsigned(std::strtoul(v.c_str(), nullptr, 0));
+        else if (flagValue(a, "--width", v))
+            o.width = unsigned(std::strtoul(v.c_str(), nullptr, 0));
+        else if (flagValue(a, "--predictor", v))
+            o.predictor = v;
+        else if (std::strcmp(a, "--perfect-cbp") == 0)
+            o.perfectCbp = true;
+        else if (std::strcmp(a, "--perfect-conf") == 0)
+            o.perfectConf = true;
+        else if (std::strcmp(a, "--loop-ext") == 0)
+            o.loopExt = true;
+        else if (std::strcmp(a, "--list") == 0)
+            o.list = true;
+        else if (std::strcmp(a, "--marks") == 0)
+            o.marks = true;
+        else if (a[0] == '-')
+            usage();
+        else if (o.target.empty())
+            o.target = a;
+        else
+            usage();
+    }
+    return o;
+}
+
+core::CoreParams
+machineFor(const Options &o)
+{
+    core::CoreParams p;
+    if (o.mode == "base") {
+    } else if (o.mode == "dhp") {
+        p.predication = core::PredicationScope::SimpleHammock;
+    } else if (o.mode == "dmp") {
+        p.predication = core::PredicationScope::Diverge;
+    } else if (o.mode == "dmp-enhanced") {
+        p.predication = core::PredicationScope::Diverge;
+        p.enhMultiCfm = true;
+        p.enhEarlyExit = true;
+        p.enhMultiDiverge = true;
+    } else if (o.mode == "dual") {
+        p.mode = core::CoreMode::DualPath;
+    } else {
+        dmp_fatal("unknown --mode: ", o.mode);
+    }
+    if (o.rob)
+        p.robSize = o.rob;
+    if (o.depth)
+        p.frontendDepth = o.depth;
+    if (o.width) {
+        p.fetchWidth = o.width;
+        p.issueWidth = o.width;
+        p.retireWidth = o.width;
+    }
+    if (!o.predictor.empty()) {
+        if (o.predictor == "perceptron")
+            p.predictor = core::PredictorKind::Perceptron;
+        else if (o.predictor == "gshare")
+            p.predictor = core::PredictorKind::Gshare;
+        else if (o.predictor == "bimodal")
+            p.predictor = core::PredictorKind::Bimodal;
+        else if (o.predictor == "hybrid")
+            p.predictor = core::PredictorKind::Hybrid;
+        else
+            dmp_fatal("unknown --predictor: ", o.predictor);
+    }
+    p.perfectCondPredictor = o.perfectCbp;
+    p.perfectConfidence = o.perfectConf;
+    p.extLoopBranches = o.loopExt;
+    return p;
+}
+
+bool
+isWorkload(const std::string &name)
+{
+    for (const auto &info : workloads::workloadList())
+        if (info.name == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    if (o.list) {
+        for (const auto &info : workloads::workloadList())
+            std::printf("%-10s %s\n", info.name.c_str(),
+                        info.summary.c_str());
+        return 0;
+    }
+    if (o.target.empty())
+        usage();
+
+    core::CoreParams params = machineFor(o);
+
+    // Build or load the program.
+    isa::Program prog;
+    profile::MarkingReport report;
+    if (isWorkload(o.target)) {
+        workloads::WorkloadParams train;
+        train.iterations = o.iters;
+        train.seed = 0x7e41a;
+        isa::Program tp = workloads::buildWorkload(o.target, train);
+        profile::MarkerConfig mc;
+        mc.markLoopBranches = o.loopExt;
+        report = profile::profileAndMark(tp, params.memoryBytes, mc);
+
+        workloads::WorkloadParams ref;
+        ref.iterations = o.iters;
+        ref.seed = o.seed;
+        prog = workloads::buildWorkload(o.target, ref);
+        profile::transferMarks(tp, prog);
+    } else {
+        std::ifstream in(o.target);
+        if (!in)
+            dmp_fatal("cannot open ", o.target);
+        std::ostringstream text;
+        text << in.rdbuf();
+        prog = isa::assemble(text.str());
+        profile::MarkerConfig mc;
+        mc.markLoopBranches = o.loopExt;
+        report = profile::profileAndMark(prog, params.memoryBytes, mc);
+    }
+
+    if (o.marks) {
+        std::fputs(prog.listing().c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("target=%s mode=%s marked: %llu diverge, %llu hammock\n",
+                o.target.c_str(), o.mode.c_str(),
+                (unsigned long long)report.markedDiverge,
+                (unsigned long long)report.markedSimpleHammock);
+
+    core::Core machine(prog, params);
+    machine.run();
+
+    const core::CoreStats &st = machine.stats();
+    double ipc = st.cycles.value()
+                     ? double(st.retiredInsts.value()) /
+                           double(st.cycles.value())
+                     : 0.0;
+    std::printf("IPC %.3f over %llu cycles\n\n", ipc,
+                (unsigned long long)st.cycles.value());
+    std::fputs(st.group.dump().c_str(), stdout);
+    return machine.halted() ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Random-program generator for property-based testing.
+ *
+ * Generates structurally valid, always-terminating programs out of the
+ * same idioms the workloads use (hammocks, diverge shapes,
+ * non-mergeable regions, calls, switches, loads/stores), with the
+ * structure drawn from `structure_seed` and data from `data_seed`.
+ * The test suite runs these through the timing core in every mode and
+ * checks architectural equivalence against the functional simulator.
+ */
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+#include "workloads/workloads.hh"
+
+namespace dmp::workloads
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+isa::Program
+buildRandomProgram(std::uint64_t structure_seed, std::uint64_t data_seed,
+                   unsigned size_class)
+{
+    ProgramBuilder b;
+    Random srng(structure_seed ^ 0xD1CE);
+    Random drng(data_seed ^ 0xF00D);
+
+    const unsigned table_log2 = 10 + srng.below(3); // 8-32KB tables
+    const std::uint64_t iters = 40ULL * (size_class + 1) +
+                                srng.below(60 * (size_class + 1));
+    const Addr data_base = 0x100000;
+
+    seedData(b, drng, data_base, 1u << table_log2);
+
+    // Optional callee.
+    Label fn = b.newLabel();
+    bool has_fn = srng.chancePercent(70);
+    if (has_fn) {
+        Label over = b.newLabel();
+        b.jmp(over);
+        b.bind(fn);
+        emitAluBlock(b, srng, 2 + unsigned(srng.below(8)), 16);
+        if (srng.chancePercent(50))
+            emitSimpleHammock(b, srng, 15, unsigned(srng.below(24)), 3,
+                              3);
+        b.ret();
+        b.bind(over);
+    }
+
+    b.li(rCnt, 0);
+    b.li(rBound, std::int64_t(iters));
+    b.li(rData, std::int64_t(data_base));
+    b.li(rOut, std::int64_t(data_base + (1u << 19)));
+    b.li(rRng, std::int64_t(drng.next() >> 1));
+    for (ArchReg r = 15; r <= 22; ++r)
+        b.li(r, std::int64_t(drng.below(1 << 16)));
+    for (ArchReg r = 32; r <= 39; ++r)
+        b.li(r, std::int64_t(drng.below(1 << 16)));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+
+    const unsigned regions = 2 + unsigned(srng.below(4 + size_class));
+    for (unsigned i = 0; i < regions; ++i) {
+        emitLcg(b, 23);
+        switch (srng.below(7)) {
+          case 0:
+            emitSimpleHammock(b, srng, 23, unsigned(srng.below(32)),
+                              1 + unsigned(srng.below(6)),
+                              unsigned(srng.below(6)));
+            break;
+          case 1:
+            emitComplexDiverge(b, srng, 23,
+                               4 + unsigned(srng.below(10)),
+                               500 + unsigned(srng.below(500)),
+                               unsigned(srng.below(200)));
+            break;
+          case 2:
+            emitNonMergeable(b, srng, 23,
+                             30 + unsigned(srng.below(120)));
+            break;
+          case 3: {
+            // Load + dependent hammock.
+            b.andi(8, 23, (1LL << table_log2) - 1);
+            b.shli(8, 8, 3);
+            b.add(8, 8, rData);
+            b.ld(24, 8, 0);
+            emitSimpleHammock(b, srng, 24, unsigned(srng.below(24)),
+                              1 + unsigned(srng.below(5)),
+                              unsigned(srng.below(5)));
+            break;
+          }
+          case 4: {
+            // Store then load back (forwarding paths).
+            b.andi(8, 23, 1023);
+            b.shli(8, 8, 3);
+            b.add(8, 8, rOut);
+            b.st(8, 0, 23);
+            if (srng.chancePercent(60))
+                b.ld(25, 8, 0);
+            break;
+          }
+          case 5:
+            if (has_fn) {
+                b.call(fn);
+                break;
+            }
+            [[fallthrough]];
+          default:
+            emitAluBlock(b, srng, 3 + unsigned(srng.below(10)), 23);
+            break;
+        }
+    }
+
+    // Occasionally a small inner loop (bounded trip count).
+    if (srng.chancePercent(50)) {
+        b.andi(26, 23, 7);
+        Label inner = b.newLabel();
+        b.bind(inner);
+        emitAluBlock(b, srng, 2 + unsigned(srng.below(4)), 26);
+        b.addi(26, 26, -1);
+        b.blt(0, 26, inner);
+    }
+
+    b.addi(rCnt, rCnt, 1);
+    b.blt(rCnt, rBound, loop);
+    b.add(15, 15, 16);
+    b.add(15, 15, 17);
+    b.add(15, 15, 33);
+    b.add(15, 15, 36);
+    b.st(rOut, 0, 15);
+    b.st(rOut, 8, rRng);
+    b.halt();
+    return b.build();
+}
+
+} // namespace dmp::workloads

@@ -1,0 +1,141 @@
+/** @file Unit tests for the direction predictors. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/perceptron.hh"
+#include "bpred/table_predictors.hh"
+#include "common/random.hh"
+
+namespace dmp::bpred
+{
+namespace
+{
+
+/** Train/evaluate a predictor on a generated outcome stream. */
+template <typename Gen>
+double
+accuracy(DirectionPredictor &pred, Gen gen, unsigned warmup,
+         unsigned measure, Addr pc = 0x1000)
+{
+    std::uint64_t ghr = 0;
+    unsigned correct = 0;
+    for (unsigned i = 0; i < warmup + measure; ++i) {
+        bool outcome = gen(i);
+        PredictionInfo info;
+        bool guess = pred.predict(pc, ghr, info);
+        if (i >= warmup && guess == outcome)
+            ++correct;
+        pred.train(pc, outcome, info);
+        ghr = (ghr << 1) | (outcome ? 1 : 0);
+    }
+    return double(correct) / measure;
+}
+
+TEST(Perceptron, LearnsAlwaysTaken)
+{
+    PerceptronPredictor p;
+    double acc = accuracy(p, [](unsigned) { return true; }, 64, 1000);
+    EXPECT_GT(acc, 0.999);
+}
+
+TEST(Perceptron, LearnsShortPeriodicPattern)
+{
+    PerceptronPredictor p;
+    double acc =
+        accuracy(p, [](unsigned i) { return i % 4 == 0; }, 512, 2000);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Perceptron, LearnsHistoryCorrelation)
+{
+    // Outcome = outcome 3 branches ago: pure history correlation.
+    PerceptronPredictor p;
+    Random rng(42);
+    bool hist[3] = {false, true, false};
+    double acc = accuracy(
+        p,
+        [&](unsigned i) {
+            bool out = hist[i % 3];
+            if (i % 7 == 0)
+                hist[(i + 1) % 3] = rng.chancePercent(50);
+            return out;
+        },
+        1024, 2000);
+    EXPECT_GT(acc, 0.80);
+}
+
+TEST(Perceptron, CannotLearnRandom)
+{
+    PerceptronPredictor p;
+    Random rng(7);
+    double acc = accuracy(
+        p, [&](unsigned) { return rng.chancePercent(50); }, 1024, 4000);
+    EXPECT_LT(acc, 0.60);
+    EXPECT_GT(acc, 0.40);
+}
+
+TEST(Perceptron, ThetaMatchesJimenezLin)
+{
+    PerceptronPredictor p;
+    EXPECT_EQ(p.theta(), int(1.93 * 59 + 14));
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor p;
+    Random rng(3);
+    double acc = accuracy(
+        p, [&](unsigned) { return !rng.chancePercent(5); }, 64, 2000);
+    EXPECT_GT(acc, 0.90);
+}
+
+TEST(Bimodal, IgnoresHistory)
+{
+    // Alternating pattern defeats a bimodal predictor (~50%).
+    BimodalPredictor p;
+    double acc =
+        accuracy(p, [](unsigned i) { return i % 2 == 0; }, 64, 2000);
+    EXPECT_LT(acc, 0.7);
+}
+
+TEST(Gshare, LearnsAlternation)
+{
+    GsharePredictor p;
+    double acc =
+        accuracy(p, [](unsigned i) { return i % 2 == 0; }, 256, 2000);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Hybrid, AtLeastAsGoodAsComponentsOnMixed)
+{
+    HybridPredictor p;
+    // Mixture: strongly biased branch.
+    Random rng(11);
+    double acc = accuracy(
+        p, [&](unsigned) { return !rng.chancePercent(3); }, 256, 2000);
+    EXPECT_GT(acc, 0.92);
+}
+
+TEST(Predictors, DistinctBranchesDoNotDestructivelyAlias)
+{
+    // Two branches with opposite fixed behaviour, interleaved.
+    PerceptronPredictor p;
+    std::uint64_t ghr = 0;
+    unsigned correct = 0, total = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+        Addr pc = (i % 2) ? 0x1000 : 0x2000;
+        bool outcome = (i % 2) != 0;
+        PredictionInfo info;
+        bool guess = p.predict(pc, ghr, info);
+        if (i > 200) {
+            ++total;
+            correct += guess == outcome;
+        }
+        p.train(pc, outcome, info);
+        ghr = (ghr << 1) | (outcome ? 1 : 0);
+    }
+    EXPECT_GT(double(correct) / total, 0.98);
+}
+
+} // namespace
+} // namespace dmp::bpred

@@ -1,0 +1,103 @@
+/** @file Unit tests for BTB, return address stack and indirect cache. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/target_predictors.hh"
+
+namespace dmp::bpred
+{
+namespace
+{
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(16);
+    EXPECT_EQ(btb.lookup(0x1000), kNoAddr);
+    btb.update(0x1000, 0x2000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x2000u);
+}
+
+TEST(Btb, ConflictEviction)
+{
+    Btb btb(16);
+    // Same index (pc >> 2 mod 16), different tags.
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000 + 16 * 4, 0x3000);
+    EXPECT_EQ(btb.lookup(0x1000), kNoAddr); // evicted
+    EXPECT_EQ(btb.lookup(0x1000 + 16 * 4), 0x3000u);
+}
+
+TEST(Ras, PushPopOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), kNoAddr);
+}
+
+TEST(Ras, WrapsWhenFull)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300); // overwrites 0x100
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), kNoAddr); // 0x100 lost
+}
+
+TEST(Ras, CheckpointRestoreRepairsTop)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    auto cp = ras.checkpoint();
+
+    // Wrong path: pop both, push garbage over the top entry.
+    ras.pop();
+    ras.pop();
+    ras.push(0xdead);
+    ras.push(0xbeef);
+
+    ras.restore(cp);
+    EXPECT_EQ(ras.depth(), 2u);
+    // The checkpoint repairs the top entry; deeper entries clobbered by
+    // wrong-path pushes stay corrupted (real-hardware limitation).
+    EXPECT_EQ(ras.pop(), 0x200u);
+    ras.pop(); // possibly corrupted, value unspecified
+    EXPECT_EQ(ras.pop(), kNoAddr);
+}
+
+TEST(Ras, CheckpointOfEmptyStack)
+{
+    ReturnAddressStack ras(4);
+    auto cp = ras.checkpoint();
+    ras.push(0x100);
+    ras.restore(cp);
+    EXPECT_EQ(ras.pop(), kNoAddr);
+}
+
+TEST(Itc, HistoryDistinguishesTargets)
+{
+    IndirectTargetCache itc(1024);
+    EXPECT_EQ(itc.lookup(0x1000, 0), kNoAddr);
+    itc.update(0x1000, 0b00, 0x2000);
+    itc.update(0x1000, 0b11, 0x3000);
+    EXPECT_EQ(itc.lookup(0x1000, 0b00), 0x2000u);
+    EXPECT_EQ(itc.lookup(0x1000, 0b11), 0x3000u);
+}
+
+TEST(Itc, UpdateOverwrites)
+{
+    IndirectTargetCache itc(1024);
+    itc.update(0x1000, 0, 0x2000);
+    itc.update(0x1000, 0, 0x4000);
+    EXPECT_EQ(itc.lookup(0x1000, 0), 0x4000u);
+}
+
+} // namespace
+} // namespace dmp::bpred

@@ -1,0 +1,136 @@
+/** @file Unit tests for basic-block discovery and CFG edges. */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "isa/program.hh"
+
+namespace dmp::cfg
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+Program
+diamond()
+{
+    // A: cond -> {B, C}; B,C -> D; D: halt
+    ProgramBuilder b;
+    Label c = b.newLabel(), d = b.newLabel();
+    b.li(1, 1);
+    b.beq(1, 2, c); // A
+    b.addi(3, 3, 1); // B
+    b.jmp(d);
+    b.bind(c);
+    b.addi(3, 3, 2); // C
+    b.bind(d);
+    b.halt(); // D
+    return b.build();
+}
+
+TEST(Cfg, DiamondStructure)
+{
+    Program p = diamond();
+    Cfg g = Cfg::build(p);
+    ASSERT_EQ(g.size(), 4u);
+
+    BlockId a = g.entry();
+    const BasicBlock &ab = g.block(a);
+    EXPECT_TRUE(ab.endsInCondBranch);
+    ASSERT_EQ(ab.succs.size(), 2u);
+
+    // Both successors reach the same join.
+    BlockId s0 = ab.succs[0], s1 = ab.succs[1];
+    ASSERT_EQ(g.block(s0).succs.size(), 1u);
+    ASSERT_EQ(g.block(s1).succs.size(), 1u);
+    EXPECT_EQ(g.block(s0).succs[0], g.block(s1).succs[0]);
+
+    BlockId join = g.block(s0).succs[0];
+    EXPECT_TRUE(g.block(join).endsInHalt);
+    EXPECT_TRUE(g.block(join).succs.empty());
+    EXPECT_EQ(g.block(join).preds.size(), 2u);
+}
+
+TEST(Cfg, BlockContaining)
+{
+    Program p = diamond();
+    Cfg g = Cfg::build(p);
+    BlockId a = g.blockContaining(0x1000);
+    EXPECT_EQ(a, g.entry());
+    EXPECT_EQ(g.blockContaining(0x1004), g.entry());
+    EXPECT_NE(g.blockContaining(0x1008), g.entry());
+    EXPECT_EQ(g.blockStartingAt(0x1008), g.blockContaining(0x1008));
+    EXPECT_EQ(g.blockStartingAt(0x1004), kNoBlock);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    ProgramBuilder b;
+    Label loop = b.newLabel();
+    b.li(1, 0);
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+
+    BlockId body = g.blockStartingAt(0x1004);
+    ASSERT_NE(body, kNoBlock);
+    const BasicBlock &bb = g.block(body);
+    EXPECT_TRUE(bb.endsInCondBranch);
+    // Self-loop: body is its own successor.
+    EXPECT_NE(std::find(bb.succs.begin(), bb.succs.end(), body),
+              bb.succs.end());
+}
+
+TEST(Cfg, CallsFallThroughAndFlagged)
+{
+    ProgramBuilder b;
+    Label fn = b.newLabel(), over = b.newLabel();
+    b.jmp(over);
+    b.bind(fn);
+    b.ret();
+    b.bind(over);
+    b.call(fn);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+
+    // Layout: jmp(0x1000) fn:ret(0x1004) over:call(0x1008) halt(0x100c)
+    BlockId call_block = g.blockContaining(0x1008);
+    const BasicBlock &cb = g.block(call_block);
+    EXPECT_TRUE(cb.hasCall);
+    // Intra-procedural view: the call falls through to the halt block.
+    ASSERT_EQ(cb.succs.size(), 1u);
+    EXPECT_TRUE(g.block(cb.succs[0]).endsInHalt);
+
+    // RET block has no static successors.
+    BlockId ret_block = g.blockStartingAt(0x1004);
+    EXPECT_TRUE(g.block(ret_block).endsInIndirect);
+    EXPECT_TRUE(g.block(ret_block).succs.empty());
+}
+
+TEST(Cfg, BranchToOwnFallthroughDeduplicated)
+{
+    ProgramBuilder b;
+    Label next = b.newLabel();
+    b.beq(1, 2, next);
+    b.bind(next);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    EXPECT_EQ(g.block(g.entry()).succs.size(), 1u);
+}
+
+TEST(Cfg, EmptyProgram)
+{
+    Cfg g = Cfg::build(isa::Program{});
+    EXPECT_EQ(g.size(), 0u);
+}
+
+} // namespace
+} // namespace dmp::cfg

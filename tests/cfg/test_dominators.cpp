@@ -1,0 +1,130 @@
+/** @file Unit tests for the post-dominator analysis. */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "cfg/dominators.hh"
+#include "isa/program.hh"
+
+namespace dmp::cfg
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+TEST(PostDom, DiamondJoinPostDominatesBranch)
+{
+    ProgramBuilder b;
+    Label c = b.newLabel(), d = b.newLabel();
+    b.beq(1, 2, c); // A
+    b.nop();        // B
+    b.jmp(d);
+    b.bind(c);
+    b.nop(); // C
+    b.bind(d);
+    b.halt(); // D
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    PostDomTree pd(g);
+
+    BlockId a = g.entry();
+    BlockId join = g.blockStartingAt(p.fetch(0x1000).target);
+    ASSERT_NE(join, kNoBlock);
+
+    // D is the immediate post-dominator of A (and of B and C).
+    BlockId d_block = g.blockContaining(0x1010);
+    EXPECT_EQ(pd.ipdom(a), d_block);
+    EXPECT_TRUE(pd.postDominates(d_block, a));
+    EXPECT_FALSE(pd.postDominates(a, d_block));
+    EXPECT_EQ(pd.ipdomAddr(0x1000), 0x1010u);
+}
+
+TEST(PostDom, NestedDiamonds)
+{
+    // Outer diamond whose true arm contains an inner diamond.
+    ProgramBuilder b;
+    Label outer_c = b.newLabel(), outer_j = b.newLabel();
+    Label inner_c = b.newLabel(), inner_j = b.newLabel();
+    b.beq(1, 2, outer_c); // A (outer)
+    b.beq(3, 4, inner_c); // B (inner branch)
+    b.nop();
+    b.jmp(inner_j);
+    b.bind(inner_c);
+    b.nop();
+    b.bind(inner_j);
+    b.nop(); // inner join
+    b.jmp(outer_j);
+    b.bind(outer_c);
+    b.nop();
+    b.bind(outer_j);
+    b.halt(); // outer join
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    PostDomTree pd(g);
+
+    Addr inner_branch = 0x1004;
+    Addr outer_branch = 0x1000;
+    // Inner branch's ipdom is the inner join; outer's is the outer join.
+    Addr inner_join_addr = pd.ipdomAddr(inner_branch);
+    Addr outer_join_addr = pd.ipdomAddr(outer_branch);
+    EXPECT_LT(inner_join_addr, outer_join_addr);
+    // The outer join post-dominates everything.
+    BlockId oj = g.blockContaining(outer_join_addr);
+    for (BlockId i = 0; i < BlockId(g.size()); ++i)
+        EXPECT_TRUE(pd.postDominates(oj, i)) << "block " << i;
+}
+
+TEST(PostDom, HaltOnOneArmBreaksPostDominance)
+{
+    // if (c) halt; else ...; join — the join does NOT post-dominate the
+    // branch because one arm exits.
+    ProgramBuilder b;
+    Label halt_arm = b.newLabel(), join = b.newLabel();
+    b.beq(1, 2, halt_arm);
+    b.nop();
+    b.jmp(join);
+    b.bind(halt_arm);
+    b.halt();
+    b.bind(join);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    PostDomTree pd(g);
+
+    // The branch block's only post-dominator is the virtual exit.
+    EXPECT_EQ(pd.ipdom(g.entry()), kNoBlock);
+    EXPECT_EQ(pd.ipdomAddr(0x1000), kNoAddr);
+}
+
+TEST(PostDom, LoopBodyPostDominatedByExit)
+{
+    ProgramBuilder b;
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    PostDomTree pd(g);
+
+    BlockId body = g.entry();
+    BlockId exit = g.blockContaining(0x1008);
+    EXPECT_EQ(pd.ipdom(body), exit);
+}
+
+TEST(PostDom, SelfPostDominance)
+{
+    ProgramBuilder b;
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    PostDomTree pd(g);
+    EXPECT_TRUE(pd.postDominates(g.entry(), g.entry()));
+}
+
+} // namespace
+} // namespace dmp::cfg

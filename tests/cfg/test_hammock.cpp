@@ -1,0 +1,157 @@
+/** @file Unit tests for simple-hammock detection (DHP marking). */
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hh"
+#include "cfg/hammock.hh"
+#include "isa/program.hh"
+
+namespace dmp::cfg
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+HammockInfo
+classifyFirstBranch(const Program &p)
+{
+    Cfg g = Cfg::build(p);
+    for (BlockId i = 0; i < BlockId(g.size()); ++i) {
+        if (g.block(i).endsInCondBranch)
+            return classifyHammock(g, p, i);
+    }
+    return HammockInfo{};
+}
+
+TEST(Hammock, BareIf)
+{
+    // if (!c) { work } join
+    ProgramBuilder b;
+    Label join = b.newLabel();
+    b.beq(1, 2, join);
+    b.addi(3, 3, 1);
+    b.addi(4, 4, 1);
+    b.bind(join);
+    b.halt();
+    Program p = b.build();
+    HammockInfo h = classifyFirstBranch(p);
+    EXPECT_TRUE(h.isSimpleHammock);
+    EXPECT_FALSE(h.hasElse);
+    EXPECT_EQ(h.joinAddr, p.fetch(0x1000).target);
+}
+
+TEST(Hammock, IfElse)
+{
+    ProgramBuilder b;
+    Label e = b.newLabel(), join = b.newLabel();
+    b.beq(1, 2, e);
+    b.addi(3, 3, 1); // then
+    b.jmp(join);
+    b.bind(e);
+    b.addi(3, 3, 2); // else
+    b.bind(join);
+    b.halt();
+    Program p = b.build();
+    HammockInfo h = classifyFirstBranch(p);
+    EXPECT_TRUE(h.isSimpleHammock);
+    EXPECT_TRUE(h.hasElse);
+}
+
+TEST(Hammock, InnerBranchDisqualifies)
+{
+    // The then-arm contains another conditional branch: complex.
+    ProgramBuilder b;
+    Label e = b.newLabel(), join = b.newLabel(), inner = b.newLabel();
+    b.beq(1, 2, e);
+    b.beq(3, 4, inner); // control flow inside the arm
+    b.nop();
+    b.bind(inner);
+    b.jmp(join);
+    b.bind(e);
+    b.addi(3, 3, 2);
+    b.bind(join);
+    b.halt();
+    Program p = b.build();
+    HammockInfo h = classifyFirstBranch(p);
+    EXPECT_FALSE(h.isSimpleHammock);
+}
+
+TEST(Hammock, CallInsideArmDisqualifies)
+{
+    ProgramBuilder b;
+    Label fn = b.newLabel(), over = b.newLabel();
+    Label join = b.newLabel();
+    b.jmp(over);
+    b.bind(fn);
+    b.ret();
+    b.bind(over);
+    b.beq(1, 2, join);
+    b.call(fn); // call inside the arm
+    b.bind(join);
+    b.halt();
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    BlockId branch = g.blockContaining(0x100c);
+    HammockInfo h = classifyHammock(g, p, branch);
+    EXPECT_FALSE(h.isSimpleHammock);
+}
+
+TEST(Hammock, ArmsJoiningDifferentPlacesDisqualify)
+{
+    ProgramBuilder b;
+    Label e = b.newLabel(), j1 = b.newLabel(), j2 = b.newLabel();
+    b.beq(1, 2, e);
+    b.nop();
+    b.jmp(j1);
+    b.bind(e);
+    b.nop();
+    b.jmp(j2);
+    b.bind(j1);
+    b.nop();
+    b.bind(j2);
+    b.halt();
+    Program p = b.build();
+    HammockInfo h = classifyFirstBranch(p);
+    EXPECT_FALSE(h.isSimpleHammock);
+}
+
+TEST(Hammock, SideBlockWithSecondPredecessorDisqualifies)
+{
+    // Another block also jumps into the then-arm: not a simple hammock.
+    ProgramBuilder b;
+    Label arm = b.newLabel(), join = b.newLabel(), entry2 = b.newLabel();
+    b.jmp(entry2);
+    b.bind(entry2);
+    b.beq(1, 2, join);
+    b.bind(arm);
+    b.addi(3, 3, 1);
+    b.bind(join);
+    b.halt();
+    // Add a second edge into the arm.
+    Program p = b.build();
+    Cfg g = Cfg::build(p);
+    // The structure above is still a bare if; rebuild with an extra
+    // jump targeting the arm start.
+    ProgramBuilder b2;
+    Label arm2 = b2.newLabel(), join2 = b2.newLabel();
+    Label skip = b2.newLabel();
+    b2.beq(1, 2, join2); // branch at 0x1000
+    b2.bind(arm2);
+    b2.addi(3, 3, 1);
+    b2.jmp(join2);
+    b2.bind(skip);
+    b2.jmp(arm2); // second predecessor of the arm
+    b2.bind(join2);
+    b2.halt();
+    Program p2 = b2.build();
+    Cfg g2 = Cfg::build(p2);
+    BlockId branch = g2.blockContaining(0x1000);
+    HammockInfo h = classifyHammock(g2, p2, branch);
+    EXPECT_FALSE(h.isSimpleHammock);
+}
+
+} // namespace
+} // namespace dmp::cfg

@@ -1,0 +1,99 @@
+/** @file Unit tests for CircularBuffer. */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_buffer.hh"
+
+namespace dmp
+{
+namespace
+{
+
+TEST(CircularBuffer, StartsEmpty)
+{
+    CircularBuffer<int> cb(4);
+    EXPECT_TRUE(cb.empty());
+    EXPECT_FALSE(cb.full());
+    EXPECT_EQ(cb.size(), 0u);
+    EXPECT_EQ(cb.capacity(), 4u);
+}
+
+TEST(CircularBuffer, FifoOrder)
+{
+    CircularBuffer<int> cb(3);
+    cb.pushBack(1);
+    cb.pushBack(2);
+    cb.pushBack(3);
+    EXPECT_TRUE(cb.full());
+    EXPECT_EQ(cb.popFront(), 1);
+    EXPECT_EQ(cb.popFront(), 2);
+    cb.pushBack(4);
+    cb.pushBack(5);
+    EXPECT_EQ(cb.popFront(), 3);
+    EXPECT_EQ(cb.popFront(), 4);
+    EXPECT_EQ(cb.popFront(), 5);
+    EXPECT_TRUE(cb.empty());
+}
+
+TEST(CircularBuffer, WrapsAroundManyTimes)
+{
+    CircularBuffer<int> cb(5);
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 5; ++i)
+            cb.pushBack(round * 5 + i);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(cb.popFront(), round * 5 + i);
+    }
+}
+
+TEST(CircularBuffer, PositionalAccess)
+{
+    CircularBuffer<int> cb(4);
+    cb.pushBack(10);
+    cb.pushBack(20);
+    cb.pushBack(30);
+    EXPECT_EQ(cb.at(0), 10);
+    EXPECT_EQ(cb.at(1), 20);
+    EXPECT_EQ(cb.at(2), 30);
+    EXPECT_EQ(cb.front(), 10);
+    EXPECT_EQ(cb.back(), 30);
+}
+
+TEST(CircularBuffer, TruncateDropsNewest)
+{
+    CircularBuffer<int> cb(4);
+    cb.pushBack(1);
+    cb.pushBack(2);
+    cb.pushBack(3);
+    cb.truncate(1);
+    EXPECT_EQ(cb.size(), 1u);
+    EXPECT_EQ(cb.front(), 1);
+    cb.pushBack(9);
+    EXPECT_EQ(cb.back(), 9);
+}
+
+TEST(CircularBuffer, ClearResets)
+{
+    CircularBuffer<int> cb(2);
+    cb.pushBack(1);
+    cb.clear();
+    EXPECT_TRUE(cb.empty());
+    cb.pushBack(7);
+    EXPECT_EQ(cb.front(), 7);
+}
+
+TEST(CircularBufferDeath, OverflowPanics)
+{
+    CircularBuffer<int> cb(1);
+    cb.pushBack(1);
+    EXPECT_DEATH(cb.pushBack(2), "pushBack on full");
+}
+
+TEST(CircularBufferDeath, UnderflowPanics)
+{
+    CircularBuffer<int> cb(1);
+    EXPECT_DEATH(cb.popFront(), "popFront on empty");
+}
+
+} // namespace
+} // namespace dmp

@@ -1,0 +1,79 @@
+/** @file Unit tests for the deterministic Random source. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace dmp
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random r(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chancePerMille(250);
+    // 25% +- 2%.
+    EXPECT_NEAR(double(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Random, ZeroSeedIsRemapped)
+{
+    Random r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Random, BitsLookBalanced)
+{
+    Random r(123);
+    int ones = 0;
+    const int draws = 10000;
+    for (int i = 0; i < draws; ++i)
+        ones += __builtin_popcountll(r.next());
+    double frac = double(ones) / (64.0 * draws);
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace dmp

@@ -1,0 +1,66 @@
+/** @file Unit tests for SatCounter. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+namespace dmp
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesAtMax)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, SaturatesAtZero)
+{
+    SatCounter c(2, 1);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, IsSetAboveMidpoint)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.isSet()); // 0
+    c.increment();
+    EXPECT_FALSE(c.isSet()); // 1 (weakly not-taken)
+    c.increment();
+    EXPECT_TRUE(c.isSet()); // 2 (weakly taken)
+    c.increment();
+    EXPECT_TRUE(c.isSet()); // 3
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(4, 0);
+    c.set(99);
+    EXPECT_EQ(c.value(), 15u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(SatCounter, WidthDefinesRange)
+{
+    SatCounter c(4, 0);
+    EXPECT_EQ(c.max(), 15u);
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 15u);
+}
+
+} // namespace
+} // namespace dmp

@@ -1,0 +1,73 @@
+/** @file Unit tests for the history ShiftReg. */
+
+#include <gtest/gtest.h>
+
+#include "common/shift_reg.hh"
+
+namespace dmp
+{
+namespace
+{
+
+TEST(ShiftReg, PushShiftsInAtBitZero)
+{
+    ShiftReg r(8);
+    r.push(true);
+    EXPECT_EQ(r.value(), 0b1u);
+    r.push(false);
+    EXPECT_EQ(r.value(), 0b10u);
+    r.push(true);
+    EXPECT_EQ(r.value(), 0b101u);
+    EXPECT_TRUE(r.bit(0));
+    EXPECT_FALSE(r.bit(1));
+    EXPECT_TRUE(r.bit(2));
+}
+
+TEST(ShiftReg, MaskedToWidth)
+{
+    ShiftReg r(3);
+    for (int i = 0; i < 10; ++i)
+        r.push(true);
+    EXPECT_EQ(r.value(), 0b111u);
+}
+
+TEST(ShiftReg, RestoreOverwrites)
+{
+    ShiftReg r(8);
+    for (int i = 0; i < 8; ++i)
+        r.push(i % 2);
+    r.restore(0xAB);
+    EXPECT_EQ(r.value(), 0xABu);
+}
+
+TEST(ShiftReg, RestoreMasksToWidth)
+{
+    ShiftReg r(4);
+    r.restore(0xFF);
+    EXPECT_EQ(r.value(), 0xFu);
+}
+
+TEST(ShiftReg, SetLastOutcomeFlipsBitZero)
+{
+    // The DMP front-end sets the diverge branch's GHR bit to the taken
+    // direction for the predicted path and clears it for the alternate
+    // path (paper section 2.3).
+    ShiftReg r(8);
+    r.push(true);
+    r.push(true);
+    r.setLastOutcome(false);
+    EXPECT_EQ(r.value(), 0b10u);
+    r.setLastOutcome(true);
+    EXPECT_EQ(r.value(), 0b11u);
+}
+
+TEST(ShiftReg, FullWidth64)
+{
+    ShiftReg r(64);
+    for (int i = 0; i < 64; ++i)
+        r.push(true);
+    EXPECT_EQ(r.value(), ~0ULL);
+}
+
+} // namespace
+} // namespace dmp

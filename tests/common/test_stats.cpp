@@ -1,0 +1,85 @@
+/** @file Unit tests for the stats registry. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace dmp
+{
+namespace
+{
+
+TEST(Stats, CounterArithmetic)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupLookup)
+{
+    StatGroup g("test");
+    Counter a, b;
+    g.addStat("a", &a, "first");
+    g.addStat("b", &b);
+    a += 3;
+    ++b;
+    EXPECT_EQ(g.get("a"), 3u);
+    EXPECT_EQ(g.get("b"), 1u);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("c"));
+}
+
+TEST(Stats, NamesInRegistrationOrder)
+{
+    StatGroup g("test");
+    Counter a, b, c;
+    g.addStat("z", &a);
+    g.addStat("y", &b);
+    g.addStat("x", &c);
+    auto names = g.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "z");
+    EXPECT_EQ(names[1], "y");
+    EXPECT_EQ(names[2], "x");
+}
+
+TEST(Stats, DumpContainsGroupPrefix)
+{
+    StatGroup g("core");
+    Counter a;
+    g.addStat("cycles", &a, "simulated cycles");
+    a += 42;
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("core.cycles 42"), std::string::npos);
+    EXPECT_NE(dump.find("simulated cycles"), std::string::npos);
+}
+
+TEST(Stats, ResetAllZeroesCounters)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.addStat("a", &a);
+    g.addStat("b", &b);
+    a += 10;
+    b += 20;
+    g.resetAll();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.get("b"), 0u);
+}
+
+TEST(StatsDeath, DuplicateNamePanics)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.addStat("a", &a);
+    EXPECT_DEATH(g.addStat("a", &b), "duplicate stat name");
+}
+
+} // namespace
+} // namespace dmp

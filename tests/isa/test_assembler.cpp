@@ -1,0 +1,153 @@
+/** @file Unit tests for the text assembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/func_sim.hh"
+#include "isa/mem_image.hh"
+
+namespace dmp::isa
+{
+namespace
+{
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        li r1, 5
+        li r2, 7
+        add r3, r1, r2
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.state().read(3), 12u);
+}
+
+TEST(Assembler, CustomBase)
+{
+    Program p = assemble(R"(
+        .base 0x4000
+        nop
+        halt
+    )");
+    EXPECT_EQ(p.baseAddr(), 0x4000u);
+    EXPECT_TRUE(p.contains(0x4000));
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        li r1, 0
+        li r2, 10
+    loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    )");
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(1000);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.state().read(1), 10u);
+}
+
+TEST(Assembler, MemoryOperandSyntax)
+{
+    Program p = assemble(R"(
+        .data 0x1000 99
+        li r1, 0x1000
+        ld r2, [r1 + 0]
+        addi r2, r2, 1
+        st [r1 + 8], r2
+        halt
+    )");
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(100);
+    EXPECT_EQ(sim.state().read(2), 100u);
+    EXPECT_EQ(mem.load(0x1008), 100u);
+}
+
+TEST(Assembler, CallAndReturn)
+{
+    Program p = assemble(R"(
+        li r1, 1
+        call fn
+        addi r1, r1, 100
+        halt
+    fn:
+        addi r1, r1, 10
+        ret
+    )");
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.state().read(1), 111u);
+}
+
+TEST(Assembler, CommentsIgnored)
+{
+    Program p = assemble(R"(
+        ; full line comment
+        li r1, 3   ; trailing comment
+        # hash comment
+        halt
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ImmediateVsRegisterOperand)
+{
+    Program p = assemble(R"(
+        li r1, 6
+        add r2, r1, r1
+        addi r3, r1, 4
+        halt
+    )");
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(100);
+    EXPECT_EQ(sim.state().read(2), 12u);
+    EXPECT_EQ(sim.state().read(3), 10u);
+}
+
+TEST(Assembler, IndirectJump)
+{
+    Program p = assemble(R"(
+        li r1, 0x1010
+        jr r1
+        halt
+        nop
+        li r2, 77
+        halt
+    )");
+    MemoryImage mem(1 << 20);
+    FuncSim sim(p, mem);
+    sim.run(100);
+    EXPECT_EQ(sim.state().read(2), 77u);
+}
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_DEATH(
+        { assemble("frobnicate r1, r2, r3\n"); },
+        "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, UnboundLabel)
+{
+    EXPECT_DEATH({ assemble("jmp nowhere\nhalt\n"); }, "unbound label");
+}
+
+TEST(AssemblerDeath, BadRegister)
+{
+    EXPECT_DEATH({ assemble("li r99, 0\n"); }, "bad register");
+}
+
+} // namespace
+} // namespace dmp::isa

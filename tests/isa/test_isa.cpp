@@ -1,0 +1,143 @@
+/** @file Unit tests for instruction classification and evaluation. */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace dmp::isa
+{
+namespace
+{
+
+Inst
+mk(Opcode op, ArchReg rd = 0, ArchReg rs1 = 0, ArchReg rs2 = 0,
+   std::int64_t imm = 0, Addr target = kNoAddr)
+{
+    return Inst{op, rd, rs1, rs2, imm, target};
+}
+
+TEST(IsaClassify, CondBranches)
+{
+    for (Opcode op : {Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BGE,
+                      Opcode::BLTU, Opcode::BGEU}) {
+        EXPECT_TRUE(isCondBranch(op));
+        EXPECT_TRUE(isControl(op));
+    }
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_FALSE(isCondBranch(Opcode::ADD));
+}
+
+TEST(IsaClassify, ControlKinds)
+{
+    EXPECT_TRUE(isDirectJump(Opcode::JMP));
+    EXPECT_TRUE(isDirectJump(Opcode::CALL));
+    EXPECT_TRUE(isIndirect(Opcode::JR));
+    EXPECT_TRUE(isIndirect(Opcode::RET));
+    EXPECT_TRUE(isCall(Opcode::CALL));
+    EXPECT_TRUE(isReturn(Opcode::RET));
+    EXPECT_FALSE(isControl(Opcode::LD));
+    EXPECT_TRUE(isLoad(Opcode::LD));
+    EXPECT_TRUE(isStore(Opcode::ST));
+}
+
+TEST(IsaClassify, DestWriting)
+{
+    EXPECT_TRUE(writesDest(mk(Opcode::ADD, 5, 1, 2)));
+    EXPECT_FALSE(writesDest(mk(Opcode::ADD, kZeroReg, 1, 2)));
+    EXPECT_FALSE(writesDest(mk(Opcode::ST, 0, 1, 2)));
+    EXPECT_FALSE(writesDest(mk(Opcode::BEQ, 0, 1, 2)));
+    EXPECT_TRUE(writesDest(mk(Opcode::CALL, kLinkReg)));
+    EXPECT_TRUE(writesDest(mk(Opcode::LD, 3, 1)));
+}
+
+TEST(IsaClassify, SourceReading)
+{
+    EXPECT_FALSE(readsSrc1(mk(Opcode::LI, 1)));
+    EXPECT_TRUE(readsSrc1(mk(Opcode::ADDI, 1, 2)));
+    EXPECT_TRUE(readsSrc2(mk(Opcode::ADD, 1, 2, 3)));
+    EXPECT_FALSE(readsSrc2(mk(Opcode::ADDI, 1, 2)));
+    EXPECT_TRUE(readsSrc1(mk(Opcode::RET, 0, kLinkReg)));
+    EXPECT_TRUE(readsSrc2(mk(Opcode::ST, 0, 1, 2)));
+}
+
+TEST(IsaEval, Arithmetic)
+{
+    EXPECT_EQ(evaluate(mk(Opcode::ADD), 0, 3, 4).value, 7u);
+    EXPECT_EQ(evaluate(mk(Opcode::SUB), 0, 3, 4).value, Word(-1));
+    EXPECT_EQ(evaluate(mk(Opcode::MUL), 0, 3, 4).value, 12u);
+    EXPECT_EQ(evaluate(mk(Opcode::DIVQ), 0, 12, 4).value, 3u);
+    EXPECT_EQ(evaluate(mk(Opcode::DIVQ), 0, 12, 0).value, ~0ULL);
+    EXPECT_EQ(evaluate(mk(Opcode::XOR), 0, 0xF0, 0x0F).value, 0xFFu);
+}
+
+TEST(IsaEval, ShiftsAndCompares)
+{
+    EXPECT_EQ(evaluate(mk(Opcode::SHL), 0, 1, 8).value, 256u);
+    EXPECT_EQ(evaluate(mk(Opcode::SHR), 0, 256, 8).value, 1u);
+    // SRA sign-extends.
+    EXPECT_EQ(evaluate(mk(Opcode::SRA), 0, Word(-8), 1).value, Word(-4));
+    // Shift amounts are modulo 64.
+    EXPECT_EQ(evaluate(mk(Opcode::SHL), 0, 1, 64).value, 1u);
+    EXPECT_EQ(evaluate(mk(Opcode::SLT), 0, Word(-1), 1).value, 1u);
+    EXPECT_EQ(evaluate(mk(Opcode::SLTU), 0, Word(-1), 1).value, 0u);
+    EXPECT_EQ(evaluate(mk(Opcode::SEQ), 0, 5, 5).value, 1u);
+}
+
+TEST(IsaEval, Immediates)
+{
+    EXPECT_EQ(evaluate(mk(Opcode::ADDI, 0, 0, 0, -5), 0, 10, 0).value,
+              5u);
+    EXPECT_EQ(evaluate(mk(Opcode::LI, 0, 0, 0, 42), 0, 0, 0).value, 42u);
+    EXPECT_EQ(evaluate(mk(Opcode::SLTI, 0, 0, 0, 7), 0, 3, 0).value, 1u);
+    EXPECT_EQ(evaluate(mk(Opcode::SEQI, 0, 0, 0, 9), 0, 9, 0).value, 1u);
+}
+
+TEST(IsaEval, BranchesAndTargets)
+{
+    Inst beq = mk(Opcode::BEQ, 0, 1, 2, 0, 0x2000);
+    EXPECT_TRUE(evaluate(beq, 0x1000, 7, 7).taken);
+    EXPECT_FALSE(evaluate(beq, 0x1000, 7, 8).taken);
+    EXPECT_EQ(evaluate(beq, 0x1000, 7, 7).target, 0x2000u);
+
+    Inst blt = mk(Opcode::BLT, 0, 1, 2, 0, 0x2000);
+    EXPECT_TRUE(evaluate(blt, 0, Word(-5), 3).taken); // signed compare
+    Inst bltu = mk(Opcode::BLTU, 0, 1, 2, 0, 0x2000);
+    EXPECT_FALSE(evaluate(bltu, 0, Word(-5), 3).taken);
+}
+
+TEST(IsaEval, CallLinkAndIndirect)
+{
+    Inst call = mk(Opcode::CALL, kLinkReg, 0, 0, 0, 0x3000);
+    ExecResult r = evaluate(call, 0x1000, 0, 0);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, 0x3000u);
+    EXPECT_EQ(r.value, 0x1004u); // link = pc + 4
+
+    Inst jr = mk(Opcode::JR, 0, 5);
+    EXPECT_EQ(evaluate(jr, 0, 0xabc0, 0).target, 0xabc0u);
+}
+
+TEST(IsaEval, MemoryEffectiveAddress)
+{
+    Inst ld = mk(Opcode::LD, 1, 2, 0, 16);
+    EXPECT_EQ(evaluate(ld, 0, 0x1000, 0).memAddr, 0x1010u);
+    Inst st = mk(Opcode::ST, 0, 2, 3, 24);
+    ExecResult r = evaluate(st, 0, 0x1000, 99);
+    EXPECT_EQ(r.memAddr, 0x1018u);
+    EXPECT_EQ(r.value, 99u); // store data passthrough
+}
+
+TEST(IsaDisasm, ProducesMnemonics)
+{
+    EXPECT_NE(disassemble(mk(Opcode::ADD, 1, 2, 3), 0x1000)
+                  .find("add"),
+              std::string::npos);
+    EXPECT_NE(disassemble(mk(Opcode::BEQ, 0, 1, 2, 0, 0x2000), 0x1000)
+                  .find("beq"),
+              std::string::npos);
+    for (unsigned op = 0; op < unsigned(Opcode::NUM_OPCODES); ++op)
+        EXPECT_STRNE(opcodeName(Opcode(op)), "???");
+}
+
+} // namespace
+} // namespace dmp::isa

@@ -1,0 +1,158 @@
+/** @file Unit tests for Program and ProgramBuilder. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace dmp::isa
+{
+namespace
+{
+
+TEST(ProgramBuilder, EmitsSequentialAddresses)
+{
+    ProgramBuilder b(0x1000);
+    EXPECT_EQ(b.here(), 0x1000u);
+    Addr a0 = b.li(1, 5);
+    Addr a1 = b.add(2, 1, 1);
+    EXPECT_EQ(a0, 0x1000u);
+    EXPECT_EQ(a1, 0x1004u);
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.fetch(0x1000).op, Opcode::LI);
+    EXPECT_EQ(p.fetch(0x1004).op, Opcode::ADD);
+}
+
+TEST(ProgramBuilder, ForwardLabelFixup)
+{
+    ProgramBuilder b;
+    Label target = b.newLabel();
+    b.beq(1, 2, target); // forward reference
+    b.nop();
+    b.bind(target);
+    Addr t = b.here();
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.fetch(0x1000).target, t);
+}
+
+TEST(ProgramBuilder, BackwardLabelFixup)
+{
+    ProgramBuilder b;
+    Label loop = b.newLabel();
+    b.bind(loop);
+    Addr top = 0x1000;
+    b.addi(1, 1, 1);
+    b.bne(1, 2, loop);
+    Program p = b.build();
+    EXPECT_EQ(p.fetch(0x1004).target, top);
+}
+
+TEST(ProgramBuilder, NamedLabels)
+{
+    ProgramBuilder b;
+    Label l = b.newLabel();
+    b.nop();
+    b.bindNamed("entry2", l);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.labelAddr("entry2"), 0x1004u);
+}
+
+TEST(ProgramBuilder, CallWritesLinkRegister)
+{
+    ProgramBuilder b;
+    Label fn = b.newLabel();
+    b.call(fn);
+    b.bind(fn);
+    b.ret();
+    Program p = b.build();
+    const Inst &call = p.fetch(0x1000);
+    EXPECT_EQ(call.op, Opcode::CALL);
+    EXPECT_EQ(call.rd, kLinkReg);
+    const Inst &ret = p.fetch(0x1004);
+    EXPECT_EQ(ret.rs1, kLinkReg);
+}
+
+TEST(Program, ContainsAndBounds)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.halt();
+    Program p = b.build();
+    EXPECT_TRUE(p.contains(0x1000));
+    EXPECT_TRUE(p.contains(0x1004));
+    EXPECT_FALSE(p.contains(0x1008));
+    EXPECT_FALSE(p.contains(0x0ffc));
+    EXPECT_FALSE(p.contains(0x1002)); // unaligned
+    EXPECT_EQ(p.endAddr(), 0x1008u);
+}
+
+TEST(Program, InitialData)
+{
+    ProgramBuilder b;
+    b.dataWord(0x100000, 42);
+    b.dataWord(0x100008, 43);
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.initialData().size(), 2u);
+    EXPECT_EQ(p.initialData()[0].second, 42u);
+}
+
+TEST(Program, DivergeMarks)
+{
+    ProgramBuilder b;
+    Label t = b.newLabel();
+    Addr branch = b.beq(1, 2, t);
+    b.bind(t);
+    b.halt();
+    Program p = b.build();
+
+    DivergeMark mark;
+    mark.isDiverge = true;
+    mark.cfmPoints.push_back(0x1004);
+    mark.earlyExitThreshold = 32;
+    p.setMark(branch, mark);
+
+    const DivergeMark *m = p.mark(branch);
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->isDiverge);
+    EXPECT_EQ(m->cfmPoints[0], 0x1004u);
+    EXPECT_EQ(m->earlyExitThreshold, 32u);
+    EXPECT_EQ(p.mark(0x1004), nullptr);
+
+    p.clearMarks();
+    EXPECT_EQ(p.mark(branch), nullptr);
+}
+
+TEST(Program, ListingShowsLabelsAndMarks)
+{
+    ProgramBuilder b;
+    Label t = b.newLabel();
+    Addr branch = b.beq(1, 2, t);
+    b.bindNamed("join", t);
+    b.halt();
+    Program p = b.build();
+    DivergeMark mark;
+    mark.isDiverge = true;
+    mark.cfmPoints.push_back(p.labelAddr("join"));
+    p.setMark(branch, mark);
+
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("join:"), std::string::npos);
+    EXPECT_NE(listing.find("diverge"), std::string::npos);
+}
+
+TEST(ProgramDeath, MarkOnNonBranchPanics)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.halt();
+    Program p = b.build();
+    DivergeMark mark;
+    mark.isDiverge = true;
+    EXPECT_DEATH(p.setMark(0x1000, mark), "non-conditional-branch");
+}
+
+} // namespace
+} // namespace dmp::isa

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the compiler/profiling passes: branch profiling, CFM
+ * discovery (including first-reconvergence crediting and the 120-
+ * instruction bound), and the section 3.2 marking heuristics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+#include "workloads/workloads.hh"
+
+namespace dmp::profile
+{
+namespace
+{
+
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+
+constexpr std::size_t kMem = 16 * 1024 * 1024;
+
+/** Loop with one random hammock and one biased branch. */
+Program
+mixedProgram(unsigned iters = 2000, Addr *branch_out = nullptr)
+{
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, std::int64_t(iters));
+    b.li(14, 0x9e37);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 1);
+    Label els = b.newLabel(), join = b.newLabel();
+    Addr branch = b.beq(2, 0, els); // the random hammock
+    if (branch_out)
+        *branch_out = branch;
+    b.addi(5, 5, 3);
+    b.jmp(join);
+    b.bind(els);
+    b.addi(5, 5, 7);
+    b.bind(join);
+    // Biased branch: taken unless (r1 & 255) == 0.
+    b.andi(3, 1, 255);
+    Label skip = b.newLabel();
+    b.bne(3, 0, skip);
+    b.addi(6, 6, 1);
+    b.bind(skip);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(BranchProfiler, CountsExecutionsAndMispredicts)
+{
+    Addr hammock_pc = 0;
+    Program p = mixedProgram(2000, &hammock_pc);
+    BranchProfile bp = profileBranches(p, kMem, 1u << 20);
+    EXPECT_GT(bp.totalInsts, 10000u);
+    EXPECT_GT(bp.totalCondBranches, 5000u);
+    EXPECT_GT(bp.totalMispredicts, 500u);
+
+    const BranchStats &hammock = bp.branches.at(hammock_pc);
+    EXPECT_GT(hammock.execs, 1900u);
+    // ~50% mispredicted.
+    EXPECT_GT(hammock.mispredicts, hammock.execs / 3);
+    EXPECT_FALSE(hammock.isBackward);
+
+    // The loop back-edge is backward and well predicted.
+    bool found_backward = false;
+    for (const auto &[pc, bs] : bp.branches) {
+        if (bs.isBackward) {
+            found_backward = true;
+            EXPECT_LT(bs.mispredicts, bs.execs / 20);
+        }
+    }
+    EXPECT_TRUE(found_backward);
+}
+
+TEST(CfmProfiler, FindsHammockJoin)
+{
+    Addr hammock_pc = 0;
+    Program p = mixedProgram(2000, &hammock_pc);
+    MarkerConfig cfg;
+    auto profiles =
+        profileCfmPoints(p, kMem, 1u << 20, {hammock_pc}, cfg);
+    ASSERT_TRUE(profiles.count(hammock_pc));
+    const CfmProfile &prof = profiles.at(hammock_pc);
+    ASSERT_FALSE(prof.candidates.empty());
+    // Best candidate: the join (the else arm's first instruction is the
+    // branch target; the join follows it).
+    EXPECT_EQ(prof.candidates[0].addr, p.fetch(hammock_pc).target + 4);
+    EXPECT_GT(prof.candidates[0].takenFraction, 0.95);
+    EXPECT_GT(prof.candidates[0].notTakenFraction, 0.95);
+    EXPECT_LT(prof.candidates[0].meanDistance, 10.0);
+}
+
+TEST(CfmProfiler, DistanceBoundExcludesFarMerges)
+{
+    // Arms longer than maxCfmDistance: no CFM may be found.
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 500);
+    b.li(14, 0x77);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 1);
+    Label els = b.newLabel(), join = b.newLabel();
+    Addr branch = b.beq(2, 0, els);
+    for (int i = 0; i < 140; ++i)
+        b.addi(5, 5, 1);
+    b.jmp(join);
+    b.bind(els);
+    for (int i = 0; i < 140; ++i)
+        b.addi(5, 5, 2);
+    b.bind(join);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, loop);
+    b.halt();
+    Program p = b.build();
+
+    MarkerConfig cfg;
+    auto profiles = profileCfmPoints(p, kMem, 1u << 20, {branch}, cfg);
+    EXPECT_EQ(profiles.count(branch), 0u);
+}
+
+TEST(CfmProfiler, FirstReconvergenceCreditingFindsAlternatives)
+{
+    // Two alternative merge points selected by an independent random
+    // bit: both must surface as distinct CFM candidates rather than a
+    // prefix of one merge body.
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 2000);
+    b.li(14, 0xabcd);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 1);
+    b.andi(3, 1, 2);
+    Label arm2 = b.newLabel(), h1 = b.newLabel(), h2 = b.newLabel(),
+          out = b.newLabel();
+    Addr branch = b.beq(2, 0, arm2);
+    b.addi(5, 5, 1);
+    b.beq(3, 0, h2);
+    b.jmp(h1);
+    b.bind(arm2);
+    b.addi(5, 5, 2);
+    b.beq(3, 0, h2);
+    b.jmp(h1);
+    b.bind(h1);
+    Addr h1a = b.addi(6, 6, 1);
+    for (int i = 0; i < 10; ++i)
+        b.addi(7, 7, 1);
+    b.jmp(out);
+    b.bind(h2);
+    Addr h2a = b.addi(6, 6, 2);
+    for (int i = 0; i < 10; ++i)
+        b.addi(7, 7, 2);
+    b.bind(out);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, loop);
+    b.halt();
+    Program p = b.build();
+
+    MarkerConfig cfg;
+    auto profiles = profileCfmPoints(p, kMem, 1u << 20, {branch}, cfg);
+    ASSERT_TRUE(profiles.count(branch));
+    const auto &cands = profiles.at(branch).candidates;
+    ASSERT_GE(cands.size(), 2u);
+    std::vector<Addr> top = {cands[0].addr, cands[1].addr};
+    EXPECT_TRUE((top[0] == h1a && top[1] == h2a) ||
+                (top[0] == h2a && top[1] == h1a));
+}
+
+TEST(Marker, MarksHardHammockAndSkipsBiasedBranch)
+{
+    Addr hammock_pc = 0;
+    Program p = mixedProgram(2000, &hammock_pc);
+    MarkerConfig cfg;
+    cfg.profileInsts = 1u << 20;
+    MarkingReport report = profileAndMark(p, kMem, cfg);
+
+    const isa::DivergeMark *hard = p.mark(hammock_pc);
+    ASSERT_NE(hard, nullptr);
+    EXPECT_TRUE(hard->isDiverge);
+    EXPECT_TRUE(hard->isSimpleHammock); // static CFG shape
+    EXPECT_GT(hard->earlyExitThreshold, 0u);
+
+    // The biased branch must not be a diverge branch (rate floor).
+    for (const auto &[pc, mark] : p.allMarks()) {
+        if (pc == hammock_pc)
+            continue;
+        EXPECT_FALSE(mark.isDiverge)
+            << "unexpected diverge mark at " << std::hex << pc;
+    }
+    EXPECT_GE(report.markedDiverge, 1u);
+    EXPECT_GE(report.markedSimpleHammock, 2u);
+}
+
+TEST(Marker, ClassificationCoversAllMispredicts)
+{
+    Program p = mixedProgram();
+    MarkerConfig cfg;
+    cfg.profileInsts = 1u << 20;
+    MarkingReport r = profileAndMark(p, kMem, cfg);
+    EXPECT_EQ(r.classification.simpleHammockDiverge +
+                  r.classification.complexDiverge +
+                  r.classification.otherComplex,
+              r.profile.totalMispredicts);
+    // The hammock dominates and is a simple hammock.
+    EXPECT_GT(r.classification.simpleHammockDiverge,
+              r.profile.totalMispredicts / 2);
+}
+
+TEST(Marker, LoopBranchesOnlyWithExtension)
+{
+    // Random-trip inner loop: its backward branch is hard to predict.
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 1500);
+    b.li(14, 0x5eed);
+    Label outer = b.newLabel();
+    b.bind(outer);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 3);
+    Label inner = b.newLabel();
+    b.bind(inner);
+    b.addi(5, 5, 1);
+    b.addi(2, 2, -1);
+    Addr back = b.blt(0, 2, inner);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, outer);
+    b.halt();
+    Program p = b.build();
+
+    MarkerConfig off;
+    off.profileInsts = 1u << 20;
+    profileAndMark(p, kMem, off);
+    const isa::DivergeMark *m = p.mark(back);
+    EXPECT_TRUE(m == nullptr || !m->isDiverge);
+
+    MarkerConfig on = off;
+    on.markLoopBranches = true;
+    MarkingReport r = profileAndMark(p, kMem, on);
+    m = p.mark(back);
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->isDiverge);
+    EXPECT_TRUE(m->isLoopBranch);
+    EXPECT_EQ(m->cfmPoints[0], back + 4); // the loop exit
+    EXPECT_GE(r.markedLoop, 1u);
+}
+
+TEST(Marker, PostDominatorFallbackMarksUnprofiledCandidates)
+{
+    // A hard branch whose paths only merge at ~60%/40% frequency below
+    // the 20% threshold cannot happen structurally; instead use a
+    // branch whose merge lies beyond the *dynamic* window on one side
+    // (a long arm) but whose static immediate post-dominator is close
+    // in the address space: profiling finds no CFM, the static
+    // fallback marks the post-dominator.
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 800);
+    b.li(14, 0xfa11b);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 1);
+    Label els = b.newLabel(), join = b.newLabel();
+    Addr branch = b.beq(2, 0, els);
+    for (int i = 0; i < 140; ++i) // beyond the 120-inst dynamic bound
+        b.addi(5, 5, 1);
+    b.jmp(join);
+    b.bind(els);
+    b.addi(5, 5, 2);
+    b.bind(join);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, loop);
+    b.halt();
+    Program p = b.build();
+
+    // Without the fallback: unmarked (no dynamic CFM).
+    MarkerConfig off;
+    off.profileInsts = 200000;
+    profileAndMark(p, kMem, off);
+    const isa::DivergeMark *m = p.mark(branch);
+    EXPECT_TRUE(m == nullptr || !m->isDiverge);
+
+    // With the fallback, the static post-dominator is... also beyond
+    // the static distance bound here (the arm is 140 instructions), so
+    // it must STILL not be marked.
+    MarkerConfig fb = off;
+    fb.usePostDomFallback = true;
+    profileAndMark(p, kMem, fb);
+    m = p.mark(branch);
+    EXPECT_TRUE(m == nullptr || !m->isDiverge);
+
+    // Shrink the arm under the bound and suppress the dynamic CFM pass
+    // by requiring an impossible reconvergence fraction: only the
+    // static fallback can mark it now, at the correct join address.
+    ProgramBuilder b2;
+    b2.li(10, 0);
+    b2.li(11, 800);
+    b2.li(14, 0xfa11b);
+    Label loop2 = b2.newLabel();
+    b2.bind(loop2);
+    b2.muli(14, 14, 6364136223846793005LL);
+    b2.addi(14, 14, 1442695040888963407LL);
+    b2.shri(1, 14, 33);
+    b2.andi(2, 1, 1);
+    Label els2 = b2.newLabel(), join2 = b2.newLabel();
+    Addr branch2 = b2.beq(2, 0, els2);
+    b2.addi(5, 5, 1);
+    b2.addi(6, 6, 1); // two-instruction arm: if-shaped
+    b2.bind(els2);
+    b2.bind(join2);
+    Addr join_addr = b2.xor_(7, 7, 5);
+    b2.addi(10, 10, 1);
+    b2.blt(10, 11, loop2);
+    b2.halt();
+    Program p2 = b2.build();
+
+    MarkerConfig fb2;
+    fb2.profileInsts = 200000;
+    fb2.reconvergeFraction = 1.1; // dynamically unsatisfiable
+    fb2.usePostDomFallback = true;
+    profileAndMark(p2, kMem, fb2);
+    const isa::DivergeMark *m2 = p2.mark(branch2);
+    ASSERT_NE(m2, nullptr);
+    EXPECT_TRUE(m2->isDiverge);
+    ASSERT_FALSE(m2->cfmPoints.empty());
+    EXPECT_EQ(m2->cfmPoints[0], join_addr);
+}
+
+TEST(Marker, TransferMarksCopiesEverything)
+{
+    workloads::WorkloadParams train;
+    train.iterations = 300;
+    Program a = workloads::buildWorkload("vpr", train);
+    MarkerConfig cfg;
+    cfg.profileInsts = 100000;
+    profileAndMark(a, kMem, cfg);
+    ASSERT_FALSE(a.allMarks().empty());
+
+    workloads::WorkloadParams ref;
+    ref.iterations = 300;
+    ref.seed = 0x123;
+    Program b2 = workloads::buildWorkload("vpr", ref);
+    transferMarks(a, b2);
+    EXPECT_EQ(a.allMarks().size(), b2.allMarks().size());
+    for (const auto &[pc, mark] : a.allMarks()) {
+        const isa::DivergeMark *m = b2.mark(pc);
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->isDiverge, mark.isDiverge);
+        EXPECT_EQ(m->cfmPoints, mark.cfmPoints);
+        EXPECT_EQ(m->earlyExitThreshold, mark.earlyExitThreshold);
+    }
+}
+
+TEST(Marker, AllWorkloadsProduceSaneMarkings)
+{
+    for (const auto &info : workloads::workloadList()) {
+        workloads::WorkloadParams wp;
+        wp.iterations = 300;
+        Program p = workloads::buildWorkload(info.name, wp);
+        MarkerConfig cfg;
+        cfg.profileInsts = 120000;
+        MarkingReport r = profileAndMark(p, kMem, cfg);
+        // Every mark must be structurally valid.
+        for (const auto &[pc, mark] : p.allMarks()) {
+            EXPECT_TRUE(isa::isCondBranch(p.fetch(pc).op));
+            if (mark.isDiverge) {
+                ASSERT_FALSE(mark.cfmPoints.empty());
+                for (Addr cfm : mark.cfmPoints) {
+                    EXPECT_TRUE(p.contains(cfm)) << info.name;
+                    EXPECT_NE(cfm, pc);
+                }
+            }
+        }
+        // gcc must be other-complex dominated; parser/vpr diverge-heavy.
+        if (info.name == "gcc") {
+            EXPECT_GT(r.classification.otherComplex,
+                      r.classification.complexDiverge);
+        }
+        if (info.name == "parser" || info.name == "vpr") {
+            EXPECT_GT(r.classification.complexDiverge,
+                      r.classification.otherComplex);
+        }
+        if (info.name == "mcf") {
+            EXPECT_GT(r.classification.simpleHammockDiverge, 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace dmp::profile

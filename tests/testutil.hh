@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef DMP_TESTS_TESTUTIL_HH
+#define DMP_TESTS_TESTUTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/core.hh"
+#include "isa/func_sim.hh"
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+
+namespace dmp::test
+{
+
+/** Run the functional reference to completion (bounded). */
+inline isa::ArchState
+runReference(const isa::Program &prog, isa::MemoryImage &mem,
+             std::uint64_t max_insts = 200'000'000)
+{
+    isa::FuncSim sim(prog, mem);
+    sim.run(max_insts);
+    EXPECT_TRUE(sim.halted()) << "functional reference did not halt";
+    return sim.state();
+}
+
+/**
+ * Run the timing core to completion and assert architectural
+ * equivalence (registers + memory + retired instruction count) against
+ * the functional reference.
+ */
+inline void
+expectCoreMatchesReference(const isa::Program &prog,
+                           const core::CoreParams &params,
+                           const std::string &what,
+                           std::uint64_t max_cycles = 400'000'000)
+{
+    isa::MemoryImage ref_mem(params.memoryBytes);
+    isa::FuncSim ref(prog, ref_mem);
+    ref.run(200'000'000);
+    ASSERT_TRUE(ref.halted()) << what << ": reference did not halt";
+
+    core::Core machine(prog, params);
+    machine.run(~0ULL, max_cycles);
+    ASSERT_TRUE(machine.halted())
+        << what << ": timing core did not halt within " << max_cycles
+        << " cycles (retired " << machine.stats().retiredInsts.value()
+        << "/" << ref.retiredInsts() << ")";
+
+    EXPECT_EQ(machine.stats().retiredInsts.value(), ref.retiredInsts())
+        << what << ": retired instruction count mismatch";
+
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r) {
+        EXPECT_EQ(machine.retiredState().read(ArchReg(r)),
+                  ref.state().read(ArchReg(r)))
+            << what << ": architectural register r" << r << " mismatch";
+    }
+    EXPECT_TRUE(machine.retiredMemory() == ref_mem)
+        << what << ": memory image mismatch";
+    EXPECT_EQ(machine.retiredState().pc, ref.state().pc)
+        << what << ": final PC mismatch";
+
+    EXPECT_TRUE(machine.resourcesQuiescent())
+        << what << ": leaked physical registers / checkpoints / "
+        << "store-buffer entries: " << machine.resourceReport();
+}
+
+/** Canonical parameter sets used across tests. */
+inline core::CoreParams
+baselineParams()
+{
+    core::CoreParams p;
+    return p;
+}
+
+inline core::CoreParams
+dhpParams()
+{
+    core::CoreParams p;
+    p.predication = core::PredicationScope::SimpleHammock;
+    return p;
+}
+
+inline core::CoreParams
+dmpBasicParams()
+{
+    core::CoreParams p;
+    p.predication = core::PredicationScope::Diverge;
+    return p;
+}
+
+inline core::CoreParams
+dmpEnhancedParams()
+{
+    core::CoreParams p;
+    p.predication = core::PredicationScope::Diverge;
+    p.enhMultiCfm = true;
+    p.enhEarlyExit = true;
+    p.enhMultiDiverge = true;
+    return p;
+}
+
+inline core::CoreParams
+dualPathParams()
+{
+    core::CoreParams p;
+    p.mode = core::CoreMode::DualPath;
+    return p;
+}
+
+} // namespace dmp::test
+
+#endif // DMP_TESTS_TESTUTIL_HH
