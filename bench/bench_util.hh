@@ -8,9 +8,17 @@
  * the figure's headline metric as user counters) and then prints the
  * paper-style table to stdout.
  *
+ * The whole (workload x configuration) grid of a binary is pre-submitted
+ * to a shared sim::BatchRunner worker pool when the benchmarks are
+ * registered, so independent simulations run in parallel while the
+ * google-benchmark cases (and the table printers) only await and read
+ * memoized results. Results are bit-identical to a serial run at any
+ * job count.
+ *
  * Environment knobs:
  *   DMP_BENCH_ITERS     workload loop iterations (default 2000)
  *   DMP_BENCH_WORKLOADS comma-separated subset of benchmarks to run
+ *   DMP_BENCH_JOBS      simulation worker threads (default: all cores)
  */
 
 #ifndef DMP_BENCH_BENCH_UTIL_HH
@@ -22,10 +30,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 
 namespace dmp::bench
@@ -69,8 +77,12 @@ benchWorkloads()
 using ConfigFn = std::function<void(core::CoreParams &)>;
 
 /**
- * Memoizing runner: each (workload, config-label) pair simulates once
- * per process, no matter how many benchmark iterations ask for it.
+ * Memoizing runner facade over the shared sim::BatchRunner pool: each
+ * distinct configuration simulates once per process, no matter how many
+ * benchmark iterations (or printer passes) ask for it. Keyed by the
+ * canonical config fingerprint — not by the display label — so two
+ * configurations that differ in *any* knob (marker heuristics,
+ * instruction/cycle budgets, ...) never alias.
  */
 class RunCache
 {
@@ -82,25 +94,38 @@ class RunCache
         return rc;
     }
 
-    const sim::SimResult &
-    get(const std::string &workload, const std::string &label,
-        const ConfigFn &fn)
+    /** The bench-default SimConfig with `fn` applied to the core. */
+    static sim::SimConfig
+    makeConfig(const std::string &workload, const ConfigFn &fn)
     {
-        std::string key = workload + "/" + label;
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second;
         sim::SimConfig cfg;
         cfg.workload = workload;
         cfg.train.iterations = benchIterations();
         cfg.ref.iterations = benchIterations();
         if (fn)
             fn(cfg.core);
-        return cache.emplace(key, sim::runSim(cfg)).first->second;
+        return cfg;
     }
 
+    /** Enqueue without waiting (used to pre-submit the whole grid). */
+    void
+    prefetch(const std::string &workload, const ConfigFn &fn)
+    {
+        pool.submit(makeConfig(workload, fn));
+    }
+
+    /** Blocking fetch; the label is display-only and not part of the key. */
+    const sim::SimResult &
+    get(const std::string &workload, const std::string & /*label*/,
+        const ConfigFn &fn)
+    {
+        return pool.get(makeConfig(workload, fn));
+    }
+
+    sim::BatchRunner &runner() { return pool; }
+
   private:
-    std::map<std::string, sim::SimResult> cache;
+    sim::BatchRunner pool; ///< DMP_BENCH_JOBS workers (default: cores)
 };
 
 /** Canonical configurations used across figures. */
@@ -170,12 +195,18 @@ cfgDualPath(core::CoreParams &c)
 
 /**
  * Register one google-benchmark case per (workload, config) that runs
- * the simulation (memoized) and reports IPC.
+ * the simulation (memoized) and reports IPC. The full grid is
+ * pre-submitted to the worker pool here, so the registered cases — and
+ * any later RunCache::get from the table printers — only await results
+ * that are already being computed in parallel.
  */
 inline void
 registerSimBenchmarks(
     const std::vector<std::pair<std::string, ConfigFn>> &configs)
 {
+    for (const std::string &wl : benchWorkloads())
+        for (const auto &cf : configs)
+            RunCache::instance().prefetch(wl, cf.second);
     for (const std::string &wl : benchWorkloads()) {
         for (const auto &[label, fn] : configs) {
             std::string name = wl + "/" + label;

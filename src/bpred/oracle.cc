@@ -1,5 +1,6 @@
 #include "bpred/oracle.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -10,19 +11,39 @@ namespace dmp::bpred
 
 namespace
 {
+/**
+ * Process-wide debug accounting. Oracles from concurrently running
+ * cores (sim::BatchRunner) all touch these, so every member is atomic;
+ * this is diagnostics-only state and never feeds simulation results.
+ */
 struct OracleDbgCounters
 {
-    unsigned long long freezes = 0;
-    unsigned long long drifts = 0;
-    unsigned long long resyncs = 0;
-    unsigned long long misses = 0;
+    std::atomic<unsigned long long> freezes{0};
+    std::atomic<unsigned long long> drifts{0};
+    std::atomic<unsigned long long> resyncs{0};
+    std::atomic<unsigned long long> misses{0};
+    std::atomic<int> dbgBudget{std::getenv("DMP_ORACLE_DEBUG") ? 40 : 0};
+
+    /** Claim one debug-print slot (caps log spam across all threads). */
+    bool
+    takeDbg()
+    {
+        int v = dbgBudget.load(std::memory_order_relaxed);
+        while (v > 0 &&
+               !dbgBudget.compare_exchange_weak(
+                   v, v - 1, std::memory_order_relaxed))
+            ;
+        return v > 0;
+    }
+
     ~OracleDbgCounters()
     {
         if (std::getenv("DMP_ORACLE_DEBUG")) {
             std::fprintf(stderr,
                          "[oracle-total] freezes=%llu drifts=%llu "
                          "resyncs=%llu redirect-misses=%llu\n",
-                         freezes, drifts, resyncs, misses);
+                         freezes.load(), drifts.load(), resyncs.load(),
+                         misses.load());
         }
     }
 };
@@ -79,7 +100,6 @@ OracleTracker::peek() const
 void
 OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
 {
-    static int dbg = std::getenv("DMP_ORACLE_DEBUG") ? 40 : 0;
     if (!isSynced) {
         // Self-healing after a drift freeze: the refetched correct
         // path walks through the frozen position.
@@ -93,8 +113,7 @@ OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
     }
     if (pc != sim->state().pc || sim->halted()) {
         // The caller drifted without a redirect; freeze defensively.
-        if (dbg > 0) {
-            --dbg;
+        if (g_oracleDbg.takeDbg()) {
             std::fprintf(stderr,
                          "[oracle] drift-freeze pc=0x%llx true=0x%llx\n",
                          (unsigned long long)pc,
@@ -109,8 +128,7 @@ OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
     if (info.halted)
         return; // stay synced at the halt point
     if (chosen_next_pc != info.nextPc) {
-        if (dbg > 0) {
-            --dbg;
+        if (g_oracleDbg.takeDbg()) {
             std::fprintf(
                 stderr,
                 "[oracle] wrongpath-freeze pc=0x%llx chosen=0x%llx "
@@ -119,10 +137,10 @@ OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
                 (unsigned long long)chosen_next_pc,
                 (unsigned long long)info.nextPc);
         }
-        g_oracleDbg.freezes++;
-        if (dbg > 0)
+        unsigned long long nFreeze = ++g_oracleDbg.freezes;
+        if (g_oracleDbg.takeDbg())
             std::fprintf(stderr, "[oracle] freeze#%llu at true-inst %llu pc=0x%llx\n",
-                         g_oracleDbg.freezes,
+                         nFreeze,
                          (unsigned long long)sim->retiredInsts(),
                          (unsigned long long)pc);
         isSynced = false; // front-end went down the wrong path
@@ -133,12 +151,10 @@ OracleTracker::onFetch(Addr pc, Addr chosen_next_pc)
 void
 OracleTracker::onRedirect(Addr pc)
 {
-    static int dbg = std::getenv("DMP_ORACLE_DEBUG") ? 40 : 0;
     if (sim->halted())
         return;
     if (!isSynced) {
-        if (dbg > 0) {
-            --dbg;
+        if (g_oracleDbg.takeDbg()) {
             std::fprintf(stderr,
                          "[oracle] redirect pc=0x%llx frozen=0x%llx %s\n",
                          (unsigned long long)pc,
@@ -147,10 +163,10 @@ OracleTracker::onRedirect(Addr pc)
         }
         if (pc == sim->state().pc) {
             driftFrozen = false;
-            g_oracleDbg.resyncs++;
-            if (dbg > 0)
+            unsigned long long nResync = ++g_oracleDbg.resyncs;
+            if (g_oracleDbg.takeDbg())
                 std::fprintf(stderr, "[oracle] resync#%llu at true-inst %llu\n",
-                             g_oracleDbg.resyncs,
+                             nResync,
                              (unsigned long long)sim->retiredInsts());
             isSynced = true;
         } else {

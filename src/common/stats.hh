@@ -11,8 +11,8 @@
 #define DMP_COMMON_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dmp
@@ -42,7 +42,12 @@ class Counter
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name_) : groupName(std::move(name_)) {}
+    explicit StatGroup(std::string name_) : groupName(std::move(name_))
+    {
+        // A core registers a few dozen counters; avoid rehashing and
+        // keep name->entry lookups O(1) on the per-counter read path.
+        index.reserve(64);
+    }
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
@@ -77,7 +82,7 @@ class StatGroup
 
     std::string groupName;
     std::vector<Entry> entries;
-    std::map<std::string, std::size_t> index;
+    std::unordered_map<std::string, std::size_t> index;
 };
 
 } // namespace dmp

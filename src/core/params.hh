@@ -46,7 +46,12 @@ enum class PredictorKind : std::uint8_t
     Hybrid,
 };
 
-/** All knobs of one core instance. */
+/**
+ * All knobs of one core instance.
+ *
+ * Serialized field-by-field into sim::configFingerprint (sim/batch.cc)
+ * — extend the fingerprint when adding a knob here.
+ */
 struct CoreParams
 {
     // ---- Front end (Table 2) ----

@@ -72,7 +72,12 @@ struct CfmProfile
     std::vector<CfmCandidate> candidates; ///< sorted by score, desc
 };
 
-/** Thresholds of section 3.2 plus implementation knobs. */
+/**
+ * Thresholds of section 3.2 plus implementation knobs.
+ *
+ * Serialized field-by-field into sim::configFingerprint and the batch
+ * profile-cache key (sim/batch.cc) — extend both when adding a knob.
+ */
 struct MarkerConfig
 {
     /** Candidate filter: share of all mispredictions (0.1%). */

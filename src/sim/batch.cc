@@ -1,0 +1,292 @@
+#include "sim/batch.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dmp::sim
+{
+
+namespace
+{
+
+/** Exact serialization of a double (hexfloat: no rounding ambiguity). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << std::hexfloat << v;
+    return os.str();
+}
+
+std::string
+workloadFp(const workloads::WorkloadParams &p)
+{
+    std::ostringstream os;
+    os << "it=" << p.iterations << ",seed=" << p.seed
+       << ",base=" << p.dataBase;
+    return os.str();
+}
+
+std::string
+markerFp(const profile::MarkerConfig &m)
+{
+    std::ostringstream os;
+    os << "ms=" << num(m.mispredShare) << ",mr=" << num(m.minMispredictRate)
+       << ",rf=" << num(m.reconvergeFraction) << ",cd=" << m.maxCfmDistance
+       << ",cp=" << m.maxCfmPoints << ",es=" << num(m.earlyExitScale)
+       << ",el=" << m.earlyExitMin << ",eh=" << m.earlyExitMax
+       << ",sr=" << m.cfmSampleRate << ",lb=" << m.markLoopBranches
+       << ",pd=" << m.usePostDomFallback << ",pi=" << m.profileInsts;
+    return os.str();
+}
+
+std::string
+coreFp(const core::CoreParams &c)
+{
+    std::ostringstream os;
+    os << "fw=" << c.fetchWidth << ",cb=" << c.maxCondBranchesPerFetch
+       << ",fd=" << c.frontendDepth << ",fq=" << c.fetchQueueCapacity
+       << ",rob=" << c.robSize << ",iw=" << c.issueWidth
+       << ",rw=" << c.retireWidth << ",pr=" << c.numPhysRegs
+       << ",sb=" << c.storeBufferSize << ",ck=" << c.maxCheckpoints
+       << ",la=" << c.aluLatency << ",lm=" << c.mulLatency
+       << ",ld=" << c.divLatency << ",lf=" << c.fpLatency
+       << ",lb=" << c.branchLatency << ",lg=" << c.agenLatency
+       << ",lw=" << c.forwardLatency << ",bp=" << unsigned(c.predictor)
+       << ",pc=" << c.perfectCondPredictor << ",pf=" << c.perfectConfidence
+       << ",al=" << c.alwaysLowConfidence << ",btb=" << c.btbEntries
+       << ",ras=" << c.rasEntries << ",itc=" << c.itcEntries
+       << ",md=" << unsigned(c.mode) << ",ps=" << unsigned(c.predication)
+       << ",e1=" << c.enhMultiCfm << ",e2=" << c.enhEarlyExit
+       << ",e3=" << c.enhMultiDiverge << ",x1=" << c.extLoopBranches
+       << ",x2=" << c.extSelectiveUpdate
+       << ",se=" << c.staticEarlyExitThreshold
+       << ",fs=" << c.forceStaticEarlyExit << ",pg=" << c.predRegisters
+       << ",cam=" << c.cfmCamEntries << ",dp=" << c.maxDpredPathInsts
+       << ",cw=" << c.classifyWrongPath << ",mem=" << c.memoryBytes;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+configFingerprint(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    os << "wl:" << cfg.workload << "|train:" << workloadFp(cfg.train)
+       << "|ref:" << workloadFp(cfg.ref) << "|marker:" << markerFp(cfg.marker)
+       << "|core:" << coreFp(cfg.core) << "|mi=" << cfg.maxInsts
+       << "|mc=" << cfg.maxCycles;
+    return os.str();
+}
+
+std::string
+profileFingerprint(const SimConfig &cfg)
+{
+    // The compiler pass sees only the train binary, the marker
+    // heuristics, and the architectural memory size.
+    std::ostringstream os;
+    os << "wl:" << cfg.workload << "|train:" << workloadFp(cfg.train)
+       << "|marker:" << markerFp(cfg.marker)
+       << "|mem=" << cfg.core.memoryBytes;
+    return os.str();
+}
+
+unsigned
+BatchRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("DMP_BENCH_JOBS")) {
+        unsigned long n = std::strtoul(env, nullptr, 0);
+        if (n > 0)
+            return unsigned(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+BatchRunner::BatchRunner(unsigned jobs_)
+{
+    unsigned n = jobs_ ? jobs_ : defaultJobs();
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back(
+            [this](std::stop_token st) { workerLoop(st); });
+}
+
+BatchRunner::~BatchRunner()
+{
+    for (auto &w : workers)
+        w.request_stop();
+    cv.notify_all();
+    // jthread joins on destruction; workers drain the queue first so
+    // every outstanding future is satisfied.
+}
+
+void
+BatchRunner::workerLoop(std::stop_token st)
+{
+    for (;;) {
+        std::unique_ptr<Task> task;
+        {
+            std::unique_lock lk(mtx);
+            if (!cv.wait(lk, st, [this] { return !queue.empty(); }))
+                return; // stop requested, queue drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        try {
+            task->promise.set_value(execute(*task));
+        } catch (...) {
+            task->promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+std::shared_ptr<const BatchRunner::RefEntry>
+BatchRunner::preparedProgram(const SimConfig &cfg)
+{
+    const std::string pkey = profileFingerprint(cfg);
+
+    // Level 1: profile + mark the train binary, once per pkey. The
+    // first requester computes; concurrent requesters for the same key
+    // block on the shared_future instead of re-profiling.
+    std::shared_future<std::shared_ptr<const TrainEntry>> trainFut;
+    std::promise<std::shared_ptr<const TrainEntry>> trainProm;
+    bool ownTrain = false;
+    {
+        std::lock_guard lk(mtx);
+        auto it = trainCache.find(pkey);
+        if (it != trainCache.end()) {
+            nProfileHits.fetch_add(1, std::memory_order_relaxed);
+            trainFut = it->second;
+        } else {
+            ownTrain = true;
+            trainFut = trainProm.get_future().share();
+            trainCache.emplace(pkey, trainFut);
+            nProfileRuns.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (ownTrain) {
+        try {
+            auto e = std::make_shared<TrainEntry>();
+            e->train = workloads::buildWorkload(cfg.workload, cfg.train);
+            e->report = profile::profileAndMark(
+                e->train, cfg.core.memoryBytes, cfg.marker);
+            trainProm.set_value(std::move(e));
+        } catch (...) {
+            trainProm.set_exception(std::current_exception());
+        }
+    }
+    std::shared_ptr<const TrainEntry> train = trainFut.get();
+
+    // Level 2: build the ref binary and transfer the marks, once per
+    // (pkey, ref input). All core configurations of a figure share the
+    // resulting program read-only.
+    const std::string rkey = pkey + "|ref:" + workloadFp(cfg.ref);
+    std::shared_future<std::shared_ptr<const RefEntry>> refFut;
+    std::promise<std::shared_ptr<const RefEntry>> refProm;
+    bool ownRef = false;
+    {
+        std::lock_guard lk(mtx);
+        auto it = refCache.find(rkey);
+        if (it != refCache.end()) {
+            refFut = it->second;
+        } else {
+            ownRef = true;
+            refFut = refProm.get_future().share();
+            refCache.emplace(rkey, refFut);
+            nMarkedBuilds.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (ownRef) {
+        try {
+            auto e = std::make_shared<RefEntry>();
+            e->ref = workloads::buildWorkload(cfg.workload, cfg.ref);
+            profile::transferMarks(train->train, e->ref);
+            e->report = train->report;
+            refProm.set_value(std::move(e));
+        } catch (...) {
+            refProm.set_exception(std::current_exception());
+        }
+    }
+    return refFut.get();
+}
+
+std::shared_ptr<const SimResult>
+BatchRunner::execute(const Task &task)
+{
+    {
+        std::lock_guard lk(mtx);
+        execOrder.push_back(task.key);
+    }
+    nSimRuns.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const RefEntry> prep = preparedProgram(task.cfg);
+    SimResult r = runSimOnProgram(prep->ref, prep->report, task.cfg);
+    return std::make_shared<const SimResult>(std::move(r));
+}
+
+std::shared_future<std::shared_ptr<const SimResult>>
+BatchRunner::submit(const SimConfig &cfg)
+{
+    std::string key = configFingerprint(cfg);
+    std::shared_future<std::shared_ptr<const SimResult>> fut;
+    {
+        std::lock_guard lk(mtx);
+        auto it = memo.find(key);
+        if (it != memo.end()) {
+            nSimHits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+        auto task = std::make_unique<Task>();
+        task->cfg = cfg;
+        task->key = std::move(key);
+        fut = task->promise.get_future().share();
+        memo.emplace(task->key, fut);
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+    return fut;
+}
+
+const SimResult &
+BatchRunner::get(const SimConfig &cfg)
+{
+    return *submit(cfg).get();
+}
+
+std::vector<SimResult>
+BatchRunner::run(const std::vector<SimConfig> &configs)
+{
+    std::vector<std::shared_future<std::shared_ptr<const SimResult>>> futs;
+    futs.reserve(configs.size());
+    for (const SimConfig &cfg : configs)
+        futs.push_back(submit(cfg));
+    std::vector<SimResult> out;
+    out.reserve(configs.size());
+    for (auto &f : futs)
+        out.push_back(*f.get());
+    return out;
+}
+
+BatchStats
+BatchRunner::stats() const
+{
+    BatchStats s;
+    s.profileRuns = nProfileRuns.load(std::memory_order_relaxed);
+    s.profileHits = nProfileHits.load(std::memory_order_relaxed);
+    s.markedProgramBuilds = nMarkedBuilds.load(std::memory_order_relaxed);
+    s.simRuns = nSimRuns.load(std::memory_order_relaxed);
+    s.simHits = nSimHits.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::vector<std::string>
+BatchRunner::executionOrder() const
+{
+    std::lock_guard lk(mtx);
+    return execOrder;
+}
+
+} // namespace dmp::sim

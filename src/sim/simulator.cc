@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace dmp::sim
@@ -19,23 +21,31 @@ prepareMarkedProgram(const SimConfig &cfg)
 }
 
 SimResult
-runSim(const SimConfig &cfg)
+runSimOnProgram(const isa::Program &ref,
+                const profile::MarkingReport &report, const SimConfig &cfg)
 {
-    auto [ref, report] = prepareMarkedProgram(cfg);
-
     core::Core machine(ref, cfg.core);
     machine.run(cfg.maxInsts ? cfg.maxInsts : ~0ULL,
                 cfg.maxCycles ? cfg.maxCycles : ~0ULL);
 
     SimResult r;
-    r.marking = std::move(report);
+    r.marking = report;
     const core::CoreStats &st = machine.stats();
     r.cycles = st.cycles.value();
     r.retiredInsts = st.retiredInsts.value();
     r.ipc = r.cycles ? double(r.retiredInsts) / double(r.cycles) : 0.0;
-    for (const std::string &name : st.group.names())
-        r.counters[name] = st.group.get(name);
+    std::vector<std::string> names = st.group.names();
+    r.counters.reserve(names.size());
+    for (const std::string &name : names)
+        r.counters.emplace(name, st.group.get(name));
     return r;
+}
+
+SimResult
+runSim(const SimConfig &cfg)
+{
+    auto [ref, report] = prepareMarkedProgram(cfg);
+    return runSimOnProgram(ref, report, cfg);
 }
 
 double

@@ -9,9 +9,9 @@
 #define DMP_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "core/core.hh"
 #include "core/params.hh"
@@ -22,7 +22,13 @@
 namespace dmp::sim
 {
 
-/** One experiment's configuration. */
+/**
+ * One experiment's configuration.
+ *
+ * NOTE: every field here (and in the nested param structs) is part of
+ * sim::configFingerprint (batch.hh) — when adding a field, extend the
+ * fingerprint serialization or batch-cache entries may alias.
+ */
 struct SimConfig
 {
     std::string workload = "bzip2";
@@ -48,7 +54,7 @@ struct SimResult
     double ipc = 0;
     std::uint64_t cycles = 0;
     std::uint64_t retiredInsts = 0;
-    std::map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, std::uint64_t> counters;
     profile::MarkingReport marking;
 
     std::uint64_t
@@ -68,6 +74,16 @@ struct SimResult
  * predication is off.
  */
 SimResult runSim(const SimConfig &cfg);
+
+/**
+ * Timing-run only: execute `cfg.core` over an already marked ref
+ * program. `ref` is read-only (shareable across concurrent runs); the
+ * report is copied into the result. runSim(cfg) is exactly
+ * runSimOnProgram(prepareMarkedProgram(cfg)..., cfg).
+ */
+SimResult runSimOnProgram(const isa::Program &ref,
+                          const profile::MarkingReport &report,
+                          const SimConfig &cfg);
 
 /**
  * Profile-and-mark only: returns the marked ref program and the

@@ -8,6 +8,10 @@
  *   dmp-run [options] <workload-name | file.s>
  *
  *   --mode=base|dhp|dmp|dmp-enhanced|dual   machine mode
+ *   --sweep=m1,m2,...    run several machine modes in parallel and
+ *                        print a comparison table ("all" = every mode)
+ *   --jobs=N             worker threads for --sweep (default: all
+ *                        cores, or DMP_BENCH_JOBS)
  *   --iters=N            workload loop iterations (default 2000)
  *   --seed=N             data seed of the measured run
  *   --rob=N              reorder buffer size
@@ -28,9 +32,12 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "core/core.hh"
 #include "isa/assembler.hh"
 #include "profile/profiler.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -43,6 +50,8 @@ struct Options
 {
     std::string target;
     std::string mode = "dmp-enhanced";
+    std::string sweep;
+    unsigned jobs = 0; // 0: BatchRunner default
     std::uint64_t iters = 2000;
     std::uint64_t seed = 0x4ef;
     unsigned rob = 0;
@@ -84,6 +93,13 @@ parse(int argc, char **argv)
         const char *a = argv[i];
         if (flagValue(a, "--mode", v))
             o.mode = v;
+        else if (flagValue(a, "--sweep", v)) {
+            if (v.empty())
+                dmp_fatal("--sweep: no modes given");
+            o.sweep = v;
+        }
+        else if (flagValue(a, "--jobs", v))
+            o.jobs = unsigned(std::strtoul(v.c_str(), nullptr, 0));
         else if (flagValue(a, "--iters", v))
             o.iters = std::strtoull(v.c_str(), nullptr, 0);
         else if (flagValue(a, "--seed", v))
@@ -117,23 +133,23 @@ parse(int argc, char **argv)
 }
 
 core::CoreParams
-machineFor(const Options &o)
+machineFor(const Options &o, const std::string &mode)
 {
     core::CoreParams p;
-    if (o.mode == "base") {
-    } else if (o.mode == "dhp") {
+    if (mode == "base") {
+    } else if (mode == "dhp") {
         p.predication = core::PredicationScope::SimpleHammock;
-    } else if (o.mode == "dmp") {
+    } else if (mode == "dmp") {
         p.predication = core::PredicationScope::Diverge;
-    } else if (o.mode == "dmp-enhanced") {
+    } else if (mode == "dmp-enhanced") {
         p.predication = core::PredicationScope::Diverge;
         p.enhMultiCfm = true;
         p.enhEarlyExit = true;
         p.enhMultiDiverge = true;
-    } else if (o.mode == "dual") {
+    } else if (mode == "dual") {
         p.mode = core::CoreMode::DualPath;
     } else {
-        dmp_fatal("unknown --mode: ", o.mode);
+        dmp_fatal("unknown machine mode: ", mode);
     }
     if (o.rob)
         p.robSize = o.rob;
@@ -171,6 +187,78 @@ isWorkload(const std::string &name)
     return false;
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * --sweep: run the target workload through several machine modes on
+ * the BatchRunner pool and print an IPC comparison. The profiling pass
+ * is shared across all modes via the batch profile cache.
+ */
+int
+runSweep(const Options &o)
+{
+    if (!isWorkload(o.target))
+        dmp_fatal("--sweep needs a workload name, got: ", o.target);
+
+    std::vector<std::string> modes =
+        o.sweep == "all"
+            ? std::vector<std::string>{"base", "dhp", "dmp",
+                                       "dmp-enhanced", "dual"}
+            : splitCommas(o.sweep);
+    if (modes.empty())
+        dmp_fatal("--sweep: no modes given");
+
+    std::vector<sim::SimConfig> grid;
+    grid.reserve(modes.size());
+    for (const std::string &mode : modes) {
+        sim::SimConfig cfg;
+        cfg.workload = o.target;
+        cfg.core = machineFor(o, mode);
+        cfg.marker.markLoopBranches = o.loopExt;
+        cfg.train.iterations = o.iters;
+        cfg.train.seed = 0x7e41a;
+        cfg.ref.iterations = o.iters;
+        cfg.ref.seed = o.seed;
+        grid.push_back(cfg);
+    }
+
+    sim::BatchRunner runner(o.jobs);
+    std::vector<sim::SimResult> results = runner.run(grid);
+
+    std::printf("=== %s: %zu modes on %u worker(s) ===\n",
+                o.target.c_str(), modes.size(), runner.jobs());
+    std::printf("%-14s %8s %12s %12s %10s\n", "mode", "IPC", "cycles",
+                "retired", "flushes");
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+        const sim::SimResult &r = results[i];
+        std::printf("%-14s %8.3f %12llu %12llu %10llu\n",
+                    modes[i].c_str(), r.ipc,
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)r.retiredInsts,
+                    (unsigned long long)r.get("pipeline_flushes"));
+    }
+    sim::BatchStats st = runner.stats();
+    std::printf("profile passes: %llu (hits %llu), sims: %llu\n",
+                (unsigned long long)st.profileRuns,
+                (unsigned long long)st.profileHits,
+                (unsigned long long)st.simRuns);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -187,7 +275,10 @@ main(int argc, char **argv)
     if (o.target.empty())
         usage();
 
-    core::CoreParams params = machineFor(o);
+    if (!o.sweep.empty())
+        return runSweep(o);
+
+    core::CoreParams params = machineFor(o, o.mode);
 
     // Build or load the program.
     isa::Program prog;

@@ -24,7 +24,12 @@
 namespace dmp::workloads
 {
 
-/** Construction parameters shared by every workload. */
+/**
+ * Construction parameters shared by every workload.
+ *
+ * Serialized field-by-field into sim::configFingerprint and the batch
+ * profile-cache key (sim/batch.cc) — extend both when adding a field.
+ */
 struct WorkloadParams
 {
     /** Outer-loop iterations (sized for a few hundred K instructions). */
