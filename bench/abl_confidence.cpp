@@ -65,8 +65,8 @@ main(int argc, char **argv)
         std::printf("%-10s | %+8.1f%% %+8.1f%% %+8.1f%% | %10llu "
                     "%10llu\n",
                     wl.c_str(), dj, da, dp,
-                    (unsigned long long)j.get("dpred_entries"),
-                    (unsigned long long)a.get("dpred_entries"));
+                    (unsigned long long)j.require("dpred_entries"),
+                    (unsigned long long)a.require("dpred_entries"));
         sums[0] += dj;
         sums[1] += da;
         sums[2] += dp;

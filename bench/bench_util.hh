@@ -29,8 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/batch.hh"
@@ -116,16 +119,41 @@ class RunCache
 
     /** Blocking fetch; the label is display-only and not part of the key. */
     const sim::SimResult &
-    get(const std::string &workload, const std::string & /*label*/,
+    get(const std::string &workload, const std::string &label,
         const ConfigFn &fn)
     {
-        return pool.get(makeConfig(workload, fn));
+        sim::SimConfig cfg = makeConfig(workload, fn);
+        const sim::SimResult &r = pool.get(cfg);
+        maybeExport(cfg, r, workload, label);
+        return r;
     }
 
     sim::BatchRunner &runner() { return pool; }
 
   private:
+    /**
+     * DMP_STATS_JSON=PATH appends one JSONL record per distinct
+     * configuration the figure actually read (deduplicated by config
+     * fingerprint, so repeated printer passes export each run once).
+     */
+    void
+    maybeExport(const sim::SimConfig &cfg, const sim::SimResult &r,
+                const std::string &workload, const std::string &label)
+    {
+        const char *path = std::getenv("DMP_STATS_JSON");
+        if (!path)
+            return;
+        std::lock_guard lk(exportMtx);
+        if (!exported.insert(sim::configFingerprint(cfg)).second)
+            return;
+        std::ofstream out(path, std::ios::app);
+        if (out)
+            out << sim::simResultJson(r, label, workload) << "\n";
+    }
+
     sim::BatchRunner pool; ///< DMP_BENCH_JOBS workers (default: cores)
+    std::mutex exportMtx;
+    std::unordered_set<std::string> exported;
 };
 
 /** Canonical configurations used across figures. */
@@ -221,7 +249,7 @@ registerSimBenchmarks(
                         state.counters["cycles"] =
                             double(r.cycles);
                         state.counters["flushes"] = double(
-                            r.get("pipeline_flushes"));
+                            r.require("pipeline_flushes"));
                     }
                 })
                 ->Iterations(1)

@@ -40,9 +40,9 @@ main(int argc, char **argv)
     for (const std::string &wl : benchWorkloads()) {
         const sim::SimResult &r =
             RunCache::instance().get(wl, "base_classified", cfgClassify);
-        double fetched = double(r.get("fetched_insts"));
-        double dep = double(r.get("wp_control_dependent"));
-        double indep = double(r.get("wp_control_independent"));
+        double fetched = double(r.require("fetched_insts"));
+        double dep = double(r.require("wp_control_dependent"));
+        double indep = double(r.require("wp_control_independent"));
         std::printf("%-10s %10.0f %10.0f %10.0f | %7.1f%% %7.1f%%\n",
                     wl.c_str(), fetched, dep, indep, 100 * dep / fetched,
                     100 * indep / fetched);

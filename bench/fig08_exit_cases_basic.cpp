@@ -28,20 +28,20 @@ printExitTable(const char *title, const char *label, ConfigFn fn)
         double total = 0;
         for (int i = 0; i < 6; ++i) {
             cases[i] = double(
-                r.get("exit_case" + std::to_string(i + 1)));
+                r.require("exit_case" + std::to_string(i + 1)));
             total += cases[i];
         }
         std::printf("%-10s %8llu |", wl.c_str(),
-                    (unsigned long long)r.get("dpred_entries"));
+                    (unsigned long long)r.require("dpred_entries"));
         for (int i = 0; i < 6; ++i)
             std::printf(" %5.1f%%",
                         total ? 100.0 * cases[i] / total : 0.0);
-        std::uint64_t conv = r.get("early_exits") +
-                             r.get("mdb_conversions") +
-                             r.get("overflow_conversions");
+        std::uint64_t conv = r.require("early_exits") +
+                             r.require("mdb_conversions") +
+                             r.require("overflow_conversions");
         std::printf("   (conversions %llu, squashed %llu)\n",
                     (unsigned long long)conv,
-                    (unsigned long long)r.get("squashed_episodes"));
+                    (unsigned long long)r.require("squashed_episodes"));
     }
 }
 

@@ -35,23 +35,23 @@ main(int argc, char **argv)
         double total = 0;
         for (int i = 0; i < 6; ++i) {
             cases[i] =
-                double(r.get("exit_case" + std::to_string(i + 1)));
+                double(r.require("exit_case" + std::to_string(i + 1)));
             total += cases[i];
         }
         std::printf("%-10s %8llu |", wl.c_str(),
-                    (unsigned long long)r.get("dpred_entries"));
+                    (unsigned long long)r.require("dpred_entries"));
         for (int i = 0; i < 6; ++i)
             std::printf(" %5.1f%%",
                         total ? 100.0 * cases[i] / total : 0.0);
         std::printf(" | %6llu %6llu\n",
-                    (unsigned long long)r.get("early_exits"),
-                    (unsigned long long)r.get("mdb_conversions"));
+                    (unsigned long long)r.require("early_exits"),
+                    (unsigned long long)r.require("mdb_conversions"));
         double tb = 0;
         for (int i = 0; i < 6; ++i)
-            tb += double(rb.get("exit_case" + std::to_string(i + 1)));
+            tb += double(rb.require("exit_case" + std::to_string(i + 1)));
         if (total > 0 && tb > 0) {
             c3_enh_sum += 100.0 * cases[2] / total;
-            c3_basic_sum += 100.0 * double(rb.get("exit_case3")) / tb;
+            c3_basic_sum += 100.0 * double(rb.require("exit_case3")) / tb;
             ++n;
         }
     }

@@ -29,10 +29,10 @@ main(int argc, char **argv)
     for (const std::string &wl : benchWorkloads()) {
         std::uint64_t base = RunCache::instance()
                                  .get(wl, "base", cfgBaseline)
-                                 .get("pipeline_flushes");
+                                 .require("pipeline_flushes");
         std::uint64_t enh = RunCache::instance()
                                 .get(wl, "enhanced", cfgDmpEnhanced)
-                                .get("pipeline_flushes");
+                                .require("pipeline_flushes");
         double red =
             base ? 100.0 * (double(base) - double(enh)) / double(base)
                  : 0.0;

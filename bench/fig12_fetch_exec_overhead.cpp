@@ -33,19 +33,19 @@ main(int argc, char **argv)
             RunCache::instance().get(wl, "base", cfgBaseline);
         const sim::SimResult &e =
             RunCache::instance().get(wl, "enhanced", cfgDmpEnhanced);
-        double fb = double(b.get("fetched_insts"));
-        double fe = double(e.get("fetched_insts"));
-        double xb = double(b.get("executed_insts"));
-        double xe = double(e.get("executed_insts")) +
-                    double(e.get("executed_extra_uops")) +
-                    double(e.get("executed_select_uops"));
+        double fb = double(b.require("fetched_insts"));
+        double fe = double(e.require("fetched_insts"));
+        double xb = double(b.require("executed_insts"));
+        double xe = double(e.require("executed_insts")) +
+                    double(e.require("executed_extra_uops")) +
+                    double(e.require("executed_select_uops"));
         double fd = 100.0 * (fe - fb) / fb;
         double xd = 100.0 * (xe - xb) / xb;
         std::printf("%-10s | %10.0f %10.0f %+6.1f%% | %10.0f %10.0f "
                     "%+6.1f%% %8llu %8llu\n",
                     wl.c_str(), fb, fe, fd, xb, xe, xd,
-                    (unsigned long long)e.get("executed_extra_uops"),
-                    (unsigned long long)e.get("executed_select_uops"));
+                    (unsigned long long)e.require("executed_extra_uops"),
+                    (unsigned long long)e.require("executed_select_uops"));
         fetch_delta_sum += fd;
         exec_delta_sum += xd;
         ++n;

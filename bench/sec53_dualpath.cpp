@@ -46,7 +46,7 @@ main(int argc, char **argv)
         double de = sim::pctDelta(e.ipc, b.ipc);
         std::printf("%-10s %8.2f | %+8.1f%% %+8.1f%% %+8.1f%% | %8llu\n",
                     wl.c_str(), b.ipc, dd, dh, de,
-                    (unsigned long long)d.get("dual_forks"));
+                    (unsigned long long)d.require("dual_forks"));
         sums[0] += dd;
         sums[1] += dh;
         sums[2] += de;

@@ -27,14 +27,14 @@ main(int argc, char **argv)
     for (const std::string &wl : benchWorkloads()) {
         const sim::SimResult &r =
             RunCache::instance().get(wl, "base", cfgBaseline);
-        double mpki = 1000.0 * double(r.get("retired_mispred_cond_branches")) /
+        double mpki = 1000.0 * double(r.require("retired_mispred_cond_branches")) /
                       double(r.retiredInsts);
         std::printf("%-10s %8.2f %10llu %10llu %10llu %9.2f\n",
                     wl.c_str(), r.ipc,
                     (unsigned long long)r.retiredInsts,
-                    (unsigned long long)r.get("retired_cond_branches"),
+                    (unsigned long long)r.require("retired_cond_branches"),
                     (unsigned long long)
-                        r.get("retired_mispred_cond_branches"),
+                        r.require("retired_mispred_cond_branches"),
                     mpki);
     }
     benchmark::Shutdown();

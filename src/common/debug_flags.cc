@@ -1,0 +1,103 @@
+#include "common/debug_flags.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dmp::trace
+{
+
+namespace detail
+{
+std::atomic<std::uint64_t> gFlagMask{0};
+} // namespace detail
+
+const std::vector<FlagInfo> &
+flagTable()
+{
+    // Order must match enum Flag.
+    static const std::vector<FlagInfo> table = {
+        {"Fetch", "front-end fetch, prediction, redirects"},
+        {"Rename", "rename/dispatch, select-uop insertion"},
+        {"Issue", "scheduler issue and load replay"},
+        {"Complete", "writeback / completion events"},
+        {"Commit", "in-order retirement, mispredict training"},
+        {"Flush", "pipeline flushes and squashes"},
+        {"Dpred", "dynamic-predication episode lifecycle"},
+        {"Dual", "dual-path fork/collapse"},
+        {"Cache", "cache hierarchy misses"},
+        {"Bpred", "predictor structures (BTB/RAS/ITC)"},
+        {"Batch", "batch-runner task scheduling / caching"},
+    };
+    return table;
+}
+
+std::uint64_t
+mask()
+{
+    return detail::gFlagMask.load(std::memory_order_relaxed);
+}
+
+void
+setMask(std::uint64_t m)
+{
+    detail::gFlagMask.store(m, std::memory_order_relaxed);
+}
+
+std::uint64_t
+parseFlags(const std::string &csv)
+{
+    const std::vector<FlagInfo> &table = flagTable();
+    std::uint64_t m = 0;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "All" || name == "all") {
+            m |= (std::uint64_t(1) << table.size()) - 1;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            if (name == table[i].name) {
+                m |= std::uint64_t(1) << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            dmp_fatal("unknown debug flag: ", name,
+                      " (see --list-debug-flags)");
+    }
+    return m;
+}
+
+void
+enableFlags(const std::string &csv)
+{
+    detail::gFlagMask.fetch_or(parseFlags(csv),
+                               std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Apply DMP_DEBUG at load time so tests/benches get env flags too. */
+const bool envInit = [] {
+    if (const char *env = std::getenv("DMP_DEBUG"))
+        enableFlags(env);
+    // Backward compatibility: the pre-subsystem DMP_TRACE=1 episode
+    // tracing maps onto the flags it used to cover.
+    if (std::getenv("DMP_TRACE"))
+        enableFlags("Dpred,Flush,Commit,Rename");
+    return true;
+}();
+
+} // namespace
+
+} // namespace dmp::trace

@@ -1,6 +1,9 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <mutex>
+#include <set>
+#include <utility>
 
 namespace dmp
 {
@@ -31,6 +34,33 @@ void
 informImpl(const std::string &msg)
 {
     std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+namespace
+{
+std::mutex gWarnOnceMutex;
+std::set<std::pair<const char *, int>> gWarnedSites;
+} // namespace
+
+bool
+warnOnceImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard lk(gWarnOnceMutex);
+        if (!gWarnedSites.emplace(file, line).second)
+            return false;
+    }
+    std::fprintf(stderr, "warn: %s (%s:%d) [further warnings from this "
+                         "site suppressed]\n",
+                 msg.c_str(), file, line);
+    return true;
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard lk(gWarnOnceMutex);
+    gWarnedSites.clear();
 }
 
 } // namespace detail

@@ -29,6 +29,16 @@ namespace detail
 void warnImpl(const char *file, int line, const std::string &msg);
 void informImpl(const std::string &msg);
 
+/**
+ * warn() that fires only the first time its (file, line) site is hit —
+ * per-cycle warnings route through this so traces are not drowned.
+ * @return true when the warning was actually emitted.
+ */
+bool warnOnceImpl(const char *file, int line, const std::string &msg);
+
+/** Forget every warn-once site (tests only). */
+void resetWarnOnce();
+
 /** Stream-concatenates all arguments into one string. */
 template <typename... Args>
 std::string
@@ -52,6 +62,12 @@ concat(Args &&...args)
 #define dmp_warn(...) \
     ::dmp::detail::warnImpl(__FILE__, __LINE__, \
                             ::dmp::detail::concat(__VA_ARGS__))
+
+/** warn() deduplicated by call site: later hits of the same file:line
+ *  are silent. Message arguments are still evaluated (cheap sites only). */
+#define dmp_warn_once(...) \
+    ::dmp::detail::warnOnceImpl(__FILE__, __LINE__, \
+                                ::dmp::detail::concat(__VA_ARGS__))
 
 #define dmp_inform(...) \
     ::dmp::detail::informImpl(::dmp::detail::concat(__VA_ARGS__))

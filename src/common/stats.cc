@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -7,14 +9,79 @@
 namespace dmp
 {
 
+// ---------------------------------------------------------------------
+// Distribution
+// ---------------------------------------------------------------------
+
+void
+Distribution::init(std::uint64_t min_v, std::uint64_t max_v,
+                   std::uint64_t bucket_size)
+{
+    dmp_assert(bucket_size > 0, "distribution bucket size must be > 0");
+    dmp_assert(max_v >= min_v, "distribution range inverted");
+    dmp_assert(snap.samples == 0, "distribution re-initialized after use");
+    snap.min = min_v;
+    snap.max = max_v;
+    snap.bucketSize = bucket_size;
+    bucketShift = std::has_single_bit(bucket_size)
+        ? std::countr_zero(bucket_size) : -1;
+    snap.buckets.assign(
+        std::size_t((max_v - min_v) / bucket_size + 1), 0);
+}
+
+void
+Distribution::reset()
+{
+    std::uint64_t mn = snap.min, mx = snap.max, bs = snap.bucketSize;
+    std::size_t n = snap.buckets.size();
+    snap = DistSnapshot{};
+    snap.min = mn;
+    snap.max = mx;
+    snap.bucketSize = bs;
+    snap.buckets.assign(n, 0);
+}
+
+// ---------------------------------------------------------------------
+// StatGroup
+// ---------------------------------------------------------------------
+
+void
+StatGroup::claimName(const std::string &name)
+{
+    dmp_assert(index.find(name) == index.end() &&
+                   distIndex.find(name) == distIndex.end() &&
+                   formulaIndex.find(name) == formulaIndex.end(),
+               "duplicate stat name: ", groupName, ".", name);
+}
+
 void
 StatGroup::addStat(const std::string &name, Counter *c, std::string desc)
 {
     dmp_assert(c != nullptr, "null counter registered: ", name);
-    dmp_assert(index.find(name) == index.end(),
-               "duplicate stat name: ", groupName, ".", name);
+    claimName(name);
     index[name] = entries.size();
     entries.push_back(Entry{name, c, std::move(desc)});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d,
+                           std::string desc)
+{
+    dmp_assert(d != nullptr, "null distribution registered: ", name);
+    claimName(name);
+    distIndex[name] = distEntries.size();
+    distEntries.push_back(DistEntry{name, d, std::move(desc)});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn,
+                      std::string desc)
+{
+    dmp_assert(bool(fn), "null formula registered: ", name);
+    claimName(name);
+    formulaIndex[name] = formulaEntries.size();
+    formulaEntries.push_back(
+        FormulaEntry{name, Formula(std::move(fn)), std::move(desc)});
 }
 
 std::uint64_t
@@ -24,6 +91,24 @@ StatGroup::get(const std::string &name) const
     if (it == index.end())
         dmp_fatal("unknown stat: ", groupName, ".", name);
     return entries[it->second].counter->value();
+}
+
+const Distribution &
+StatGroup::distribution(const std::string &name) const
+{
+    auto it = distIndex.find(name);
+    if (it == distIndex.end())
+        dmp_fatal("unknown distribution: ", groupName, ".", name);
+    return *distEntries[it->second].dist;
+}
+
+double
+StatGroup::formula(const std::string &name) const
+{
+    auto it = formulaIndex.find(name);
+    if (it == formulaIndex.end())
+        dmp_fatal("unknown formula: ", groupName, ".", name);
+    return formulaEntries[it->second].formula.value();
 }
 
 bool
@@ -42,6 +127,26 @@ StatGroup::names() const
     return out;
 }
 
+std::vector<std::string>
+StatGroup::distributionNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(distEntries.size());
+    for (const auto &e : distEntries)
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string>
+StatGroup::formulaNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(formulaEntries.size());
+    for (const auto &e : formulaEntries)
+        out.push_back(e.name);
+    return out;
+}
+
 std::string
 StatGroup::dump() const
 {
@@ -52,6 +157,81 @@ StatGroup::dump() const
             os << "  # " << e.desc;
         os << '\n';
     }
+    for (const auto &e : distEntries) {
+        const DistSnapshot &s = e.dist->snapshot();
+        os << groupName << '.' << e.name << " samples=" << s.samples
+           << " mean=" << s.mean() << " min=" << s.minVal
+           << " max=" << s.maxVal << " underflow=" << s.underflow
+           << " overflow=" << s.overflow;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+            if (s.buckets[i] == 0)
+                continue; // sparse histograms stay readable
+            std::uint64_t lo = s.min + i * s.bucketSize;
+            os << groupName << '.' << e.name << "::" << lo << '-'
+               << (lo + s.bucketSize - 1) << ' ' << s.buckets[i] << '\n';
+        }
+    }
+    for (const auto &e : formulaEntries) {
+        os << groupName << '.' << e.name << ' ' << e.formula.value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+distSnapshotJson(const DistSnapshot &s)
+{
+    std::ostringstream os;
+    os << "{\"min\":" << s.min << ",\"max\":" << s.max
+       << ",\"bucket_size\":" << s.bucketSize
+       << ",\"samples\":" << s.samples << ",\"sum\":" << s.sum
+       << ",\"mean\":" << s.mean() << ",\"min_val\":" << s.minVal
+       << ",\"max_val\":" << s.maxVal << ",\"underflow\":" << s.underflow
+       << ",\"overflow\":" << s.overflow << ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+        if (i)
+            os << ',';
+        os << s.buckets[i];
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+StatGroup::json() const
+{
+    std::ostringstream os;
+    os << "{\"name\":\"" << groupName << "\",\"counters\":{";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << entries[i].name
+           << "\":" << entries[i].counter->value();
+    }
+    os << "},\"distributions\":{";
+    for (std::size_t i = 0; i < distEntries.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << distEntries[i].name
+           << "\":" << distSnapshotJson(distEntries[i].dist->snapshot());
+    }
+    os << "},\"formulas\":{";
+    for (std::size_t i = 0; i < formulaEntries.size(); ++i) {
+        if (i)
+            os << ',';
+        double v = formulaEntries[i].formula.value();
+        os << '"' << formulaEntries[i].name << "\":";
+        if (std::isfinite(v))
+            os << v;
+        else
+            os << "null"; // JSON has no NaN/Inf
+    }
+    os << "}}";
     return os.str();
 }
 
@@ -60,6 +240,8 @@ StatGroup::resetAll()
 {
     for (auto &e : entries)
         e.counter->reset();
+    for (auto &e : distEntries)
+        e.dist->reset();
 }
 
 } // namespace dmp

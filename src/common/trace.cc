@@ -1,0 +1,100 @@
+#include "common/trace.hh"
+
+#include <mutex>
+
+namespace dmp::trace
+{
+
+namespace
+{
+
+std::mutex gOutMutex;
+std::FILE *gTraceFile = nullptr; ///< nullptr == stderr
+
+std::FILE *
+out()
+{
+    return gTraceFile ? gTraceFile : stderr;
+}
+
+} // namespace
+
+void
+emitRecord(Flag f, Cycle cycle, std::uint64_t seq, const char *component,
+           const std::string &msg)
+{
+    const char *flag_name = flagTable()[unsigned(f)].name;
+    std::lock_guard lk(gOutMutex);
+    std::fprintf(out(), "%10llu: %s: %s: sq=%llu: %s\n",
+                 (unsigned long long)cycle, component, flag_name,
+                 (unsigned long long)seq, msg.c_str());
+}
+
+void
+setOutputFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        dmp_fatal("cannot open trace file: ", path);
+    std::lock_guard lk(gOutMutex);
+    if (gTraceFile)
+        std::fclose(gTraceFile);
+    gTraceFile = f;
+}
+
+void
+setOutputStderr()
+{
+    std::lock_guard lk(gOutMutex);
+    if (gTraceFile) {
+        std::fclose(gTraceFile);
+        gTraceFile = nullptr;
+    }
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)v);
+    return buf;
+}
+
+PipeView::PipeView(const std::string &path)
+{
+    f = std::fopen(path.c_str(), "w");
+    if (!f)
+        dmp_fatal("cannot open pipeview file: ", path);
+}
+
+PipeView::~PipeView()
+{
+    if (f)
+        std::fclose(f);
+}
+
+void
+PipeView::emit(const Record &r)
+{
+    // gem5 O3PipeView block; Konata infers the tick period (1 cycle).
+    // A squashed instruction reports retire tick 0, which Konata
+    // renders as a flush.
+    std::fprintf(f, "O3PipeView:fetch:%llu:0x%016llx:0:%llu:%s\n",
+                 (unsigned long long)r.fetch, (unsigned long long)r.pc,
+                 (unsigned long long)r.seq, r.disasm.c_str());
+    std::fprintf(f, "O3PipeView:decode:%llu\n",
+                 (unsigned long long)r.rename);
+    std::fprintf(f, "O3PipeView:rename:%llu\n",
+                 (unsigned long long)r.rename);
+    std::fprintf(f, "O3PipeView:dispatch:%llu\n",
+                 (unsigned long long)r.rename);
+    std::fprintf(f, "O3PipeView:issue:%llu\n",
+                 (unsigned long long)r.issue);
+    std::fprintf(f, "O3PipeView:complete:%llu\n",
+                 (unsigned long long)r.complete);
+    std::fprintf(f, "O3PipeView:retire:%llu:store:0\n",
+                 (unsigned long long)(r.squashed ? 0 : r.retire));
+    ++nRecords;
+}
+
+} // namespace dmp::trace

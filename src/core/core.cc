@@ -61,6 +61,57 @@ CoreStats::CoreStats()
                   "flushed insts after reconvergence");
     group.addStat("btb_misses", &btbMisses, "");
     group.addStat("low_conf_diverge_fetches", &lowConfDivergeFetches, "");
+
+    episodeLength.init(0, 255, 8);
+    flushDepth.init(0, 255, 8);
+    fetchToRetire.init(0, 511, 16);
+    group.addDistribution("episode_length", &episodeLength,
+                          "program insts fetched per dpred episode");
+    group.addDistribution("flush_depth", &flushDepth,
+                          "program insts squashed per pipeline flush");
+    group.addDistribution("fetch_to_retire", &fetchToRetire,
+                          "fetch-to-retire latency of retired insts");
+
+    // Derived stats, evaluated at dump/export time. `this` is stable:
+    // CoreStats is neither copyable nor movable (it owns a StatGroup).
+    auto ratio = [](std::uint64_t a, std::uint64_t b) {
+        return b ? double(a) / double(b) : 0.0;
+    };
+    group.addFormula(
+        "ipc",
+        [this, ratio] {
+            return ratio(retiredInsts.value(), cycles.value());
+        },
+        "retired program instructions per cycle");
+    group.addFormula(
+        "flushes_per_kilo_insts",
+        [this, ratio] {
+            return 1000.0 *
+                   ratio(pipelineFlushes.value(), retiredInsts.value());
+        },
+        "pipeline flushes per 1000 retired instructions");
+    group.addFormula(
+        "mispred_per_kilo_insts",
+        [this, ratio] {
+            return 1000.0 * ratio(retiredMispredCondBranches.value(),
+                                  retiredInsts.value());
+        },
+        "retired cond-branch mispredictions per 1000 insts (MPKI)");
+    group.addFormula(
+        "fetch_overhead",
+        [this, ratio] {
+            return ratio(fetchedInsts.value(), retiredInsts.value());
+        },
+        "fetched / retired program instructions (Fig. 12)");
+    group.addFormula(
+        "exec_overhead",
+        [this, ratio] {
+            return ratio(executedInsts.value() +
+                             executedExtraUops.value() +
+                             executedSelectUops.value(),
+                         retiredInsts.value());
+        },
+        "executed (incl. uops) / retired program instructions (Fig. 12)");
 }
 
 void
@@ -108,7 +159,6 @@ Core::Core(const isa::Program &program, const CoreParams &params)
 {
     dmp_assert((p.memoryBytes & (p.memoryBytes - 1)) == 0,
                "memoryBytes must be a power of two");
-    traceEnabled = std::getenv("DMP_TRACE") != nullptr;
     if (p.perfectCondPredictor || p.perfectConfidence ||
         p.classifyWrongPath) {
         oracle = std::make_unique<bpred::OracleTracker>(prog,
@@ -354,6 +404,9 @@ Core::killEpisode(Episode &ep)
         return;
     ep.dead = true;
     ++st.squashedEpisodes;
+    DMP_TRACE(Dpred, now, 0, "core.dpred", "EP", ep.id,
+              " killed by older misprediction (diverge=",
+              trace::hex(ep.divergePc), ")");
     // Release the predicate namespace: no tagged instruction survives a
     // kill (they are all younger than the diverge branch).
     if (ep.p1 != kNoPred && !preds.get(ep.p1).resolved)
@@ -372,6 +425,52 @@ Core::classifyExit(Episode &ep, ExitCase c)
     dmp_assert(ep.exitCase == ExitCase::None, "episode classified twice");
     ep.exitCase = c;
     ++st.exitCase[unsigned(c) - 1];
+    st.episodeLength.sample(ep.fetchedInsts);
+    DMP_TRACE(Dpred, now, 0, "core.dpred", "EP", ep.id, " exit case ",
+              unsigned(c), " after ", ep.fetchedInsts, " insts");
+}
+
+void
+Core::pipeViewEmit(const DynInst &di, bool squashed)
+{
+    trace::PipeView::Record r;
+    r.seq = di.seq;
+    r.pc = di.pc;
+    switch (di.kind) {
+      case UopKind::Normal:
+        r.disasm = isa::opcodeName(di.si.op);
+        break;
+      case UopKind::EnterPred:
+        r.disasm = "enter.pred";
+        break;
+      case UopKind::EnterAlt:
+        r.disasm = "enter.alt";
+        break;
+      case UopKind::ExitPred:
+        r.disasm = "exit.pred";
+        break;
+      case UopKind::Select:
+        r.disasm = "select";
+        break;
+      default:
+        r.disasm = "uop";
+        break;
+    }
+    // Stamps are stored as truncated 32-bit cycles; recover absolute
+    // ticks by measuring the (small) distance back from `now` in
+    // mod-2^32 arithmetic.
+    auto widen = [&](std::uint32_t stamp) -> Cycle {
+        if (stamp == 0)
+            return 0;
+        return now - Cycle(std::uint32_t(now) - stamp);
+    };
+    r.fetch = widen(di.fetchedAt);
+    r.rename = widen(di.renamedAt);
+    r.issue = widen(di.issuedAt);
+    r.complete = widen(di.completedAt);
+    r.retire = now;
+    r.squashed = squashed;
+    pipeView->emit(r);
 }
 
 // ---------------------------------------------------------------------

@@ -37,6 +37,7 @@
 #include "bpred/predictor.hh"
 #include "bpred/target_predictors.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
 #include "core/episode.hh"
@@ -85,6 +86,11 @@ struct CoreStats
 
     Counter btbMisses;
     Counter lowConfDivergeFetches;
+
+    // Histograms (Figures 8/10/11 diagnostics).
+    Distribution episodeLength;  ///< program insts fetched per episode
+    Distribution flushDepth;     ///< program insts squashed per flush
+    Distribution fetchToRetire;  ///< fetch-to-retire latency (retired)
 
     StatGroup group{"core"};
 
@@ -138,6 +144,12 @@ class Core
     /** Human-readable pool occupancy (for leak-test diagnostics). */
     std::string resourceReport() const;
 
+    /**
+     * Attach a pipeline-trace writer (non-owning; may be null). Every
+     * renamed instruction emits one lifecycle record at retire/squash.
+     */
+    void setPipeView(trace::PipeView *pv) { pipeView = pv; }
+
   private:
     // ---- Pipeline stages (called oldest-stage-first each cycle) ----
     void retireStage();
@@ -186,13 +198,17 @@ class Core
     void broadcastPredicate(PredId pred, bool value, bool assumed);
     void wakeSelectUop(DynInst &di);
     void flushAfter(InstRef branch_ref, Addr redirect_pc);
-    void squashYoungerThan(std::uint64_t survive_seq);
+    /** @return program instructions squashed (flush-depth histogram). */
+    std::uint64_t squashYoungerThan(std::uint64_t survive_seq);
     void clearFetchQueue();
     void redirectFetch(Addr pc);
 
     // ---- Retire helpers ----
     void commitInst(DynInst &di);
     void trainPredictors(DynInst &di);
+
+    /** Emit one pipeview lifecycle record (pipeView must be non-null). */
+    void pipeViewEmit(const DynInst &di, bool squashed);
 
     // ---- ROB plumbing ----
     DynInst *lookup(InstRef ref);
@@ -321,8 +337,9 @@ class Core
     // Run state.
     Cycle now = 0;
     bool isHalted = false;
-    /** Event tracing enabled via DMP_TRACE=1 (debug builds of runs). */
-    bool traceEnabled = false;
+
+    /** Optional Konata/O3-pipeview writer (non-owning). */
+    trace::PipeView *pipeView = nullptr;
 
     // Figure 1 classifier.
     std::vector<WrongPathRecord> wpRecords;

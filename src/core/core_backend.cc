@@ -6,9 +6,8 @@
  * and misprediction recovery.
  */
 
-#include <cstdio>
-
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/core.hh"
 
 namespace dmp::core
@@ -90,7 +89,11 @@ Core::tryIssueLoad(InstRef ref)
         return false;
 
     di.issued = true;
+    di.issuedAt = std::uint32_t(now);
     ++st.executedInsts;
+    DMP_TRACE(Issue, now, di.seq, "core.issue", trace::hex(di.pc),
+              " load addr=", trace::hex(addr),
+              fr == ForwardResult::Forward ? " (forwarded)" : "");
     if (fr == ForwardResult::Forward) {
         di.result = forwarded;
         scheduleCompletion(ref, now + p.agenLatency + p.forwardLatency);
@@ -107,6 +110,9 @@ Core::executeReady(InstRef ref)
 {
     DynInst &di = *lookup(ref);
     di.issued = true;
+    di.issuedAt = std::uint32_t(now);
+    DMP_TRACE(Issue, now, di.seq, "core.issue", trace::hex(di.pc), " ",
+              isa::opcodeName(di.si.op));
 
     Cycle latency = p.aluLatency;
     switch (di.kind) {
@@ -199,6 +205,9 @@ Core::writeback(InstRef ref)
 {
     DynInst &di = *lookup(ref);
     di.executed = true;
+    di.completedAt = std::uint32_t(now);
+    DMP_TRACE(Complete, now, di.seq, "core.complete", trace::hex(di.pc),
+              " ", isa::opcodeName(di.si.op));
 
     if (di.hasDest) {
         prf.setReady(di.dest, di.result);
@@ -319,13 +328,9 @@ void
 Core::resolveDivergeBranch(DynInst &di, Episode &ep)
 {
     bool correct = !di.mispredicted;
-    if (traceEnabled)
-        std::fprintf(stderr,
-                     "T%llu EP%llu resolve seq=%llu correct=%d fdpEp=%llu "
-                     "fdpPath=%d\n",
-                     (unsigned long long)now, (unsigned long long)ep.id,
-                     (unsigned long long)di.seq, int(correct),
-                     (unsigned long long)fdp.episodeId, int(fdp.path));
+    DMP_TRACE(Dpred, now, di.seq, "core.backend", "EP", ep.id,
+              " resolve correct=", int(correct),
+              " fdpEp=", fdp.episodeId, " fdpPath=", int(fdp.path));
     ep.resolved = true;
     ep.resolvedCorrect = correct;
 
@@ -448,20 +453,14 @@ Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
 {
     DynInst &b = *lookup(branch_ref);
     dmp_assert(b.checkpointId >= 0, "flush without a checkpoint");
-    if (traceEnabled) {
-        Checkpoint &tcp = cpPool.get(b.checkpointId);
-        std::fprintf(stderr,
-                     "T%llu FLUSH seq=%llu pc=0x%llx path=%d pred=%u "
-                     "cpEp=%llu cpPath=%d redirect=0x%llx\n",
-                     (unsigned long long)now, (unsigned long long)b.seq,
-                     (unsigned long long)b.pc, int(b.path),
-                     unsigned(b.pred), (unsigned long long)tcp.episode,
-                     int(tcp.dpredPath), (unsigned long long)redirect_pc);
-    }
+    DMP_TRACE(Flush, now, b.seq, "core.backend", "pc=", trace::hex(b.pc),
+              " path=", int(b.path), " pred=", unsigned(b.pred),
+              " cpEp=", cpPool.get(b.checkpointId).episode,
+              " redirect=", trace::hex(redirect_pc));
 
     ++st.pipelineFlushes;
     noteFlushForClassifier(b.seq);
-    squashYoungerThan(b.seq);
+    st.flushDepth.sample(squashYoungerThan(b.seq));
     sb.squashYoungerThan(b.seq);
     clearFetchQueue();
 
@@ -493,16 +492,21 @@ Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
     redirectFetch(redirect_pc);
 }
 
-void
+std::uint64_t
 Core::squashYoungerThan(std::uint64_t survive_seq)
 {
+    std::uint64_t squashed = 0;
     while (robCount > 0) {
         std::uint32_t slot = robTailSlot();
         DynInst &di = rob[slot];
         if (di.seq <= survive_seq)
             break;
-        if (di.kind == UopKind::Normal)
+        if (di.kind == UopKind::Normal) {
             ++st.flushedInsts;
+            ++squashed;
+        }
+        if (pipeView)
+            pipeViewEmit(di, true);
         if (di.hasDest)
             prf.free(di.dest, 1, di.seq); // squash
         if (di.checkpointId >= 0)
@@ -526,6 +530,7 @@ Core::squashYoungerThan(std::uint64_t survive_seq)
         di.valid = false;
         --robCount;
     }
+    return squashed;
 }
 
 void

@@ -8,9 +8,8 @@
 
 #include <algorithm>
 
-#include <cstdio>
-
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/core.hh"
 
 namespace dmp::core
@@ -157,6 +156,7 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
     fi.pc = pc;
     fi.si = inst;
     fi.renameReadyAt = now + p.frontendDepth;
+    fi.fetchedAt = now;
 
     // Snapshot of fetch state before this instruction's own effects
     // (consumed by the rename-time checkpoint).
@@ -207,13 +207,10 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
             bool can_enter = !fdp.active();
             if (fdp.active() && fdp.path == PathId::Predicted &&
                 p.enhMultiDiverge) {
-                if (traceEnabled)
-                    std::fprintf(stderr,
-                                 "MDB old=0x%llx new=0x%llx cnt=%u\n",
-                                 (unsigned long long)
-                                     episode(fdp.episodeId).divergePc,
-                                 (unsigned long long)fi.pc,
-                                 fdp.pathInstCount);
+                DMP_TRACE(Dpred, now, 0, "core.fetch", "MDB old=",
+                          trace::hex(episode(fdp.episodeId).divergePc),
+                          " new=", trace::hex(fi.pc),
+                          " cnt=", fdp.pathInstCount);
                 // Section 2.7.3: the old episode reverts to normal
                 // branch prediction; the new diverge branch takes over.
                 convertEpisode(episode(fdp.episodeId),
@@ -234,11 +231,13 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         Episode &ep = episode(fdp.episodeId);
         fi.pred = fdp.path == PathId::Predicted ? ep.p1 : ep.p2;
         ++fdp.pathInstCount;
+        ++ep.fetchedInsts;
     } else if (dual_path != PathId::None) {
         Episode &ep = episode(fdual.episodeId);
         fi.episode = fdual.episodeId;
         fi.path = dual_path;
         fi.pred = dual_path == PathId::Predicted ? ep.p1 : ep.p2;
+        ++ep.fetchedInsts;
     }
 
     pushFetched(fi);
@@ -352,10 +351,9 @@ Core::tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark)
     fdp.path = PathId::Predicted;
     fdp.pathInstCount = 0;
 
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu enter pc=0x%llx predTaken=%d\n",
-                     (unsigned long long)now, (unsigned long long)ep.id,
-                     (unsigned long long)ep.divergePc, int(ep.predTaken));
+    DMP_TRACE(Dpred, now, 0, "core.fetch", "EP", ep.id, " enter pc=",
+              trace::hex(ep.divergePc), " predTaken=", int(ep.predTaken),
+              " cfms=", ep.cfms.size());
     episodes.emplace(ep.id, std::move(ep));
     ++st.dpredEntries;
     return true;
@@ -397,6 +395,9 @@ Core::tryStartDualEpisode(FetchedInst &fi)
     fdual.ghr[1] = (fi.ghrAtFetch << 1) | (fi.predTaken ? 0 : 1);
     fdual.toggle = 0;
 
+    DMP_TRACE(Dual, now, 0, "core.fetch", "EP", fi.episode,
+              " fork pc=", trace::hex(fi.pc), " pred=",
+              trace::hex(fdual.pc[0]), " alt=", trace::hex(fdual.pc[1]));
     episodes.emplace(ep.id, std::move(ep));
     ++st.dualForks;
     return true;
@@ -421,10 +422,9 @@ Core::switchToAlternatePath()
     ghr = (ep.savedGhr << 1) | (ep.predTaken ? 0 : 1);
     ras.restore(ep.savedRas);
 
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu switch cfm=0x%llx\n",
-                     (unsigned long long)now, (unsigned long long)ep.id,
-                     (unsigned long long)ep.chosenCfm);
+    DMP_TRACE(Dpred, now, 0, "core.fetch", "EP", ep.id, " switch cfm=",
+              trace::hex(ep.chosenCfm), " alt=",
+              trace::hex(ep.altStartPc));
     enqueueMarker(UopKind::EnterAlt, ep.id);
     fdp.path = PathId::Alternate;
     fdp.pathInstCount = 0;
@@ -437,9 +437,8 @@ void
 Core::normalDpredExit()
 {
     Episode &ep = episode(fdp.episodeId);
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu normal-exit\n",
-                     (unsigned long long)now, (unsigned long long)ep.id);
+    DMP_TRACE(Dpred, now, 0, "core.fetch", "EP", ep.id,
+              " normal-exit at cfm=", trace::hex(ep.chosenCfm));
     enqueueMarker(UopKind::ExitPred, ep.id);
     ep.fetchDone = true;
     fdp.clear();
@@ -452,10 +451,9 @@ Core::convertEpisode(Episode &ep, ConversionReason reason,
                      bool redirect_to_cfm)
 {
     dmp_assert(!ep.isConverted(), "episode converted twice");
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu convert reason=%d redirect=%d\n",
-                     (unsigned long long)now, (unsigned long long)ep.id,
-                     int(reason), int(redirect_to_cfm));
+    DMP_TRACE(Dpred, now, 0, "core.fetch", "EP", ep.id,
+              " convert reason=", unsigned(reason),
+              " redirect=", int(redirect_to_cfm));
     ep.converted = reason;
     switch (reason) {
       case ConversionReason::EarlyExit:
@@ -496,6 +494,7 @@ Core::enqueueMarker(UopKind kind, EpisodeId id)
     FetchedInst m;
     m.kind = kind;
     m.renameReadyAt = now + p.frontendDepth;
+    m.fetchedAt = now;
     m.episode = id;
     episode(id).pendingMarkers++;
     fetchQueue.push_back(m);
@@ -509,6 +508,9 @@ Core::pushFetched(FetchedInst fi)
         if (fi.oracleWrongPath)
             ++st.wrongPathFetched;
         noteFetchForClassifier(fi.pc);
+        DMP_TRACE(Fetch, now, 0, "core.fetch", trace::hex(fi.pc), " ",
+                  isa::opcodeName(fi.si.op),
+                  fi.oracleWrongPath ? " wrong-path" : "");
     }
     fetchQueue.push_back(std::move(fi));
 }
@@ -516,6 +518,8 @@ Core::pushFetched(FetchedInst fi)
 void
 Core::redirectFetch(Addr pc)
 {
+    DMP_TRACE(Fetch, now, 0, "core.fetch", "redirect to ",
+              trace::hex(pc));
     fetchPc = pc;
     fetchStallUntil = now + 1;
     if (oracle)

@@ -6,9 +6,8 @@
  * M bits of the two register alias tables.
  */
 
-#include <cstdio>
-
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/core.hh"
 
 namespace dmp::core
@@ -128,6 +127,8 @@ Core::renameProgramInst(FetchedInst &fi)
     di.pc = fi.pc;
     di.si = fi.si;
     di.kind = UopKind::Normal;
+    di.fetchedAt = std::uint32_t(fi.fetchedAt);
+    di.renamedAt = std::uint32_t(now);
     di.isCondBranch = fi.isCondBranch;
     di.isControl = fi.isControl;
     di.predTaken = fi.predTaken;
@@ -195,6 +196,9 @@ Core::renameProgramInst(FetchedInst &fi)
         }
     }
 
+    DMP_TRACE(Rename, now, di.seq, "core.rename", trace::hex(di.pc), " ",
+              isa::opcodeName(di.si.op),
+              di.pred != kNoPred ? " predicated" : "");
     setupDependencies(ref);
 }
 
@@ -216,6 +220,8 @@ Core::renameEnterPred(const FetchedInst &fi)
     DynInst &di = rob[ref.slot];
     di.kind = UopKind::EnterPred;
     di.episode = fi.episode;
+    di.fetchedAt = std::uint32_t(fi.fetchedAt);
+    di.renamedAt = std::uint32_t(now);
     setupDependencies(ref); // no sources: immediately ready
 }
 
@@ -236,14 +242,14 @@ Core::renameEnterAlt(const FetchedInst &fi)
         activeMap.clearMBits();
     }
 
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu rename-EnterAlt alive=%d\n",
-                     (unsigned long long)now,
-                     (unsigned long long)fi.episode, int(ep != nullptr));
+    DMP_TRACE(Rename, now, 0, "core.rename", "EP", fi.episode,
+              " EnterAlt alive=", int(ep != nullptr));
     InstRef ref = allocRob();
     DynInst &di = rob[ref.slot];
     di.kind = UopKind::EnterAlt;
     di.episode = fi.episode;
+    di.fetchedAt = std::uint32_t(fi.fetchedAt);
+    di.renamedAt = std::uint32_t(now);
     setupDependencies(ref);
 }
 
@@ -282,6 +288,8 @@ Core::renameExitPred(const FetchedInst &fi)
     DynInst &exit_uop = rob[exit_ref.slot];
     exit_uop.kind = UopKind::ExitPred;
     exit_uop.episode = fi.episode;
+    exit_uop.fetchedAt = std::uint32_t(fi.fetchedAt);
+    exit_uop.renamedAt = std::uint32_t(now);
     setupDependencies(exit_ref);
 
     for (unsigned r = 0; r < isa::kNumArchRegs; ++r) {
@@ -295,6 +303,8 @@ Core::renameExitPred(const FetchedInst &fi)
         DynInst &sel = rob[ref.slot];
         sel.kind = UopKind::Select;
         sel.episode = ep->id;
+        sel.fetchedAt = std::uint32_t(fi.fetchedAt);
+        sel.renamedAt = std::uint32_t(now);
         sel.archDest = ArchReg(r);
         sel.hasDest = true;
         sel.selTrue = ep->endPredMap.map[r];
@@ -319,11 +329,8 @@ Core::renameRestoreMap(const FetchedInst &fi)
 {
     Episode *ep = episodeIfAlive(fi.episode);
     episode(fi.episode).pendingMarkers--;
-    if (traceEnabled)
-        std::fprintf(stderr, "T%llu EP%llu rename-RestoreMap valid=%d\n",
-                     (unsigned long long)now,
-                     (unsigned long long)fi.episode,
-                     int(ep && ep->endPredMapValid));
+    DMP_TRACE(Rename, now, 0, "core.rename", "EP", fi.episode,
+              " RestoreMap valid=", int(ep && ep->endPredMapValid));
     if (ep && ep->endPredMapValid) {
         // Case 3 / early exit: continue from the end-of-predicted-path
         // register state (section 2.6).

@@ -7,9 +7,8 @@
  * predicated-FALSE branches).
  */
 
-#include <cstdio>
-
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/core.hh"
 
 namespace dmp::core
@@ -29,6 +28,10 @@ Core::retireStage()
                    "unresolved predicate at retirement");
 
         commitInst(di);
+        if (di.kind == UopKind::Normal)
+            st.fetchToRetire.sample(std::uint32_t(now) - di.fetchedAt);
+        if (pipeView)
+            pipeViewEmit(di, false);
 
         bool halt = di.kind == UopKind::Normal &&
                     di.si.op == Opcode::HALT &&
@@ -98,20 +101,18 @@ Core::commitInst(DynInst &di)
             }
         }
         ++st.retiredInsts;
+        DMP_TRACE(Commit, now, di.seq, "core.retire", trace::hex(di.pc),
+                  " ", isa::opcodeName(di.si.op));
 
         if (di.isCondBranch) {
             ++st.retiredCondBranches;
             if (di.actualNextPc != di.predNextPc) {
                 ++st.retiredMispredCondBranches;
-                if (traceEnabled) {
-                    std::fprintf(stderr,
-                                 "RETMISP pc=0x%llx starter=%d mark=%d "
-                                 "lowconf=%d\n",
-                                 (unsigned long long)di.pc,
-                                 int(di.isDivergeStarter),
-                                 int(prog.mark(di.pc) != nullptr),
-                                 int(di.lowConfidence));
-                }
+                DMP_TRACE(Commit, now, di.seq, "core.retire",
+                          "mispredict pc=", trace::hex(di.pc),
+                          " starter=", int(di.isDivergeStarter),
+                          " mark=", int(prog.mark(di.pc) != nullptr),
+                          " lowconf=", int(di.lowConfidence));
             }
             trainPredictors(di);
         } else if (di.isControl) {

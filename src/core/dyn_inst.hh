@@ -64,6 +64,8 @@ struct FetchedInst
     isa::Inst si;
     /** Cycle this entry reaches the rename stage. */
     Cycle renameReadyAt = 0;
+    /** Cycle this entry was fetched (trace/pipeview lifecycle). */
+    Cycle fetchedAt = 0;
 
     // Branch prediction context (conditional + indirect control).
     bool isCondBranch = false;
@@ -120,6 +122,8 @@ struct DynInst
 
     // Predication.
     PredId pred = kNoPred;
+    /** Lifecycle stamp (see note above struct end): fetch cycle. */
+    std::uint32_t fetchedAt = 0;
     EpisodeId episode = kNoEpisode;
     PathId path = PathId::None;
     bool predResolved = false;
@@ -141,10 +145,16 @@ struct DynInst
     bool isCondBranch = false;
     bool isControl = false;
     bool predTaken = false;
+    /** Lifecycle stamp: rename cycle. */
+    std::uint32_t renamedAt = 0;
     Addr predNextPc = 0;
     bool actualTaken = false;
+    /** Lifecycle stamp: issue cycle. */
+    std::uint32_t issuedAt = 0;
     Addr actualNextPc = 0;
     bool mispredicted = false;
+    /** Lifecycle stamp: writeback cycle. */
+    std::uint32_t completedAt = 0;
     bpred::PredictionInfo predInfo;
     std::uint32_t confIndex = 0;
     bool lowConfidence = false;
@@ -157,6 +167,14 @@ struct DynInst
 
     // Measurement.
     bool oracleWrongPath = false;
+
+    // Note on the fetchedAt/renamedAt/issuedAt/completedAt lifecycle
+    // stamps interleaved above: they are truncated to 32 bits and
+    // placed into alignment padding holes so the ROB entry stays the
+    // same size it was before tracing existed (cache footprint of ROB
+    // walks is hot). 0 == stage not reached. Deltas against the
+    // current cycle are exact in mod-2^32 arithmetic because an
+    // instruction's in-flight lifetime is far below 2^32 cycles.
 
     bool isLoad() const { return isa::isLoad(si.op); }
     bool isStore() const { return isa::isStore(si.op); }

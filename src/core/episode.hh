@@ -89,6 +89,9 @@ struct Episode
     std::int32_t pendingMarkers = 0;
     /** Fetch finished with this episode. */
     bool fetchDone = false;
+    /** Program instructions fetched under this episode (both paths);
+     *  feeds the episode_length distribution at exit classification. */
+    std::uint32_t fetchedInsts = 0;
 
     bool
     isConverted() const

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace dmp::mem
 {
@@ -74,6 +75,8 @@ Cache::access(Addr addr, Cycle now, Cycle &ready_out, Cycle &avail_out)
 
     // Miss: allocate the LRU way; the caller announces the fill time.
     ++missCount;
+    DMP_TRACE(Cache, now, 0, p.name.c_str(), "miss addr=",
+              trace::hex(addr), " set=", setIndex(addr));
     Line *victim = &set[0];
     for (std::uint32_t w = 1; w < p.assoc; ++w) {
         if (!set[w].valid) {

@@ -79,6 +79,9 @@ struct BatchStats
     std::uint64_t simRuns = 0;
     /** Result-memo hits (identical SimConfig submitted again). */
     std::uint64_t simHits = 0;
+    /** Summed host wall-clock of the executed timing runs (seconds).
+     *  With a worker pool this exceeds elapsed real time. */
+    double simSeconds = 0;
 };
 
 /**
@@ -174,6 +177,7 @@ class BatchRunner
     std::atomic<std::uint64_t> nMarkedBuilds{0};
     std::atomic<std::uint64_t> nSimRuns{0};
     std::atomic<std::uint64_t> nSimHits{0};
+    std::atomic<std::uint64_t> nSimNanos{0}; ///< summed run wall-clock
 };
 
 } // namespace dmp::sim

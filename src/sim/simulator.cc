@@ -1,11 +1,133 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
 
 namespace dmp::sim
 {
+
+std::uint64_t
+SimResult::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it == counters.end()) {
+        dmp_warn_once("SimResult::get: unknown counter \"", name,
+                      "\" (returning 0; use require() to make this fatal)");
+        return 0;
+    }
+    return it->second;
+}
+
+std::uint64_t
+SimResult::require(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        dmp_fatal("SimResult::require: unknown counter \"", name, "\"");
+    return it->second;
+}
+
+const DistSnapshot *
+SimResult::dist(const std::string &name) const
+{
+    auto it = distributions.find(name);
+    return it == distributions.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+void
+appendNumber(std::ostringstream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+std::string
+simResultJson(const SimResult &r, const std::string &label,
+              const std::string &workload)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"label\":\"" << jsonEscape(label) << "\"";
+    os << ",\"workload\":\"" << jsonEscape(workload) << "\"";
+    os << ",\"ipc\":";
+    appendNumber(os, r.ipc);
+    os << ",\"cycles\":" << r.cycles;
+    os << ",\"retired_insts\":" << r.retiredInsts;
+    os << ",\"host_seconds\":";
+    appendNumber(os, r.hostSeconds);
+    os << ",\"host_inst_rate\":";
+    appendNumber(os, r.hostInstRate);
+
+    // Sort names so records diff cleanly across runs.
+    auto sortedKeys = [](const auto &m) {
+        std::vector<std::string> keys;
+        keys.reserve(m.size());
+        for (const auto &kv : m)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    };
+
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const std::string &k : sortedKeys(r.counters)) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(k)
+           << "\":" << r.counters.at(k);
+        first = false;
+    }
+    os << "},\"distributions\":{";
+    first = true;
+    for (const std::string &k : sortedKeys(r.distributions)) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(k)
+           << "\":" << distSnapshotJson(r.distributions.at(k));
+        first = false;
+    }
+    os << "},\"formulas\":{";
+    first = true;
+    for (const std::string &k : sortedKeys(r.formulas)) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(k) << "\":";
+        appendNumber(os, r.formulas.at(k));
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
 
 std::pair<isa::Program, profile::MarkingReport>
 prepareMarkedProgram(const SimConfig &cfg)
@@ -25,8 +147,10 @@ runSimOnProgram(const isa::Program &ref,
                 const profile::MarkingReport &report, const SimConfig &cfg)
 {
     core::Core machine(ref, cfg.core);
+    auto host_start = std::chrono::steady_clock::now();
     machine.run(cfg.maxInsts ? cfg.maxInsts : ~0ULL,
                 cfg.maxCycles ? cfg.maxCycles : ~0ULL);
+    auto host_end = std::chrono::steady_clock::now();
 
     SimResult r;
     r.marking = report;
@@ -34,10 +158,19 @@ runSimOnProgram(const isa::Program &ref,
     r.cycles = st.cycles.value();
     r.retiredInsts = st.retiredInsts.value();
     r.ipc = r.cycles ? double(r.retiredInsts) / double(r.cycles) : 0.0;
+    r.hostSeconds =
+        std::chrono::duration<double>(host_end - host_start).count();
+    r.hostInstRate =
+        r.hostSeconds > 0 ? double(r.retiredInsts) / r.hostSeconds : 0.0;
     std::vector<std::string> names = st.group.names();
     r.counters.reserve(names.size());
     for (const std::string &name : names)
         r.counters.emplace(name, st.group.get(name));
+    for (const std::string &name : st.group.distributionNames())
+        r.distributions.emplace(name,
+                                st.group.distribution(name).snapshot());
+    for (const std::string &name : st.group.formulaNames())
+        r.formulas.emplace(name, st.group.formula(name));
     return r;
 }
 

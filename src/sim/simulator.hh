@@ -55,15 +55,35 @@ struct SimResult
     std::uint64_t cycles = 0;
     std::uint64_t retiredInsts = 0;
     std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, DistSnapshot> distributions;
+    std::unordered_map<std::string, double> formulas;
     profile::MarkingReport marking;
 
-    std::uint64_t
-    get(const std::string &name) const
-    {
-        auto it = counters.find(name);
-        return it == counters.end() ? 0 : it->second;
-    }
+    // Host-side telemetry (sim speed, not simulated performance).
+    double hostSeconds = 0;  ///< wall-clock of the timing run
+    double hostInstRate = 0; ///< retired program insts per host second
+
+    /**
+     * Counter lookup tolerating unknown names (returns 0, with a
+     * one-shot dmp_warn so typos do not silently zero a figure).
+     */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Counter lookup that is fatal on an unknown name. */
+    std::uint64_t require(const std::string &name) const;
+
+    /** Distribution snapshot, or nullptr when the name is unknown. */
+    const DistSnapshot *dist(const std::string &name) const;
 };
+
+/**
+ * Render one run as a single-line JSON object (a JSONL record):
+ * {"label":..., "workload":..., "ipc":..., "cycles":...,
+ *  "retired_insts":..., "host_seconds":..., "host_inst_rate":...,
+ *  "counters":{...}, "distributions":{...}, "formulas":{...}}.
+ */
+std::string simResultJson(const SimResult &r, const std::string &label,
+                          const std::string &workload);
 
 /**
  * Build + profile + mark + run one configuration.

@@ -23,8 +23,17 @@
  *   --loop-ext           diverge loop branches (section 2.7.4)
  *   --list               list workloads and exit
  *   --marks              print the marked-program listing and exit
+ *
+ * Observability:
+ *   --debug-flags=F1,F2  enable named trace flags (also: DMP_DEBUG env;
+ *                        "all" enables everything)
+ *   --list-debug-flags   print the flag table and exit
+ *   --trace-file=PATH    write trace records to PATH instead of stderr
+ *   --pipeview=PATH      write a Konata/O3PipeView pipeline trace
+ *   --stats-json=PATH    append one JSONL stats record per run to PATH
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +43,9 @@
 
 #include <vector>
 
+#include <memory>
+
+#include "common/trace.hh"
 #include "core/core.hh"
 #include "isa/assembler.hh"
 #include "profile/profiler.hh"
@@ -63,6 +75,11 @@ struct Options
     bool loopExt = false;
     bool list = false;
     bool marks = false;
+    std::string debugFlags;
+    std::string traceFile;
+    std::string pipeview;
+    std::string statsJson;
+    bool listDebugFlags = false;
 };
 
 [[noreturn]] void
@@ -122,6 +139,16 @@ parse(int argc, char **argv)
             o.list = true;
         else if (std::strcmp(a, "--marks") == 0)
             o.marks = true;
+        else if (flagValue(a, "--debug-flags", v))
+            o.debugFlags = v;
+        else if (flagValue(a, "--trace-file", v))
+            o.traceFile = v;
+        else if (flagValue(a, "--pipeview", v))
+            o.pipeview = v;
+        else if (flagValue(a, "--stats-json", v))
+            o.statsJson = v;
+        else if (std::strcmp(a, "--list-debug-flags") == 0)
+            o.listDebugFlags = true;
         else if (a[0] == '-')
             usage();
         else if (o.target.empty())
@@ -203,6 +230,16 @@ splitCommas(const std::string &s)
     return out;
 }
 
+/** Append one JSONL record to `path` (fatal if it cannot be opened). */
+void
+appendStatsJson(const std::string &path, const std::string &line)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        dmp_fatal("--stats-json: cannot open ", path);
+    out << line << "\n";
+}
+
 /**
  * --sweep: run the target workload through several machine modes on
  * the BatchRunner pool and print an IPC comparison. The profiling pass
@@ -249,13 +286,17 @@ runSweep(const Options &o)
                     modes[i].c_str(), r.ipc,
                     (unsigned long long)r.cycles,
                     (unsigned long long)r.retiredInsts,
-                    (unsigned long long)r.get("pipeline_flushes"));
+                    (unsigned long long)r.require("pipeline_flushes"));
+        if (!o.statsJson.empty())
+            appendStatsJson(o.statsJson,
+                            sim::simResultJson(r, modes[i], o.target));
     }
     sim::BatchStats st = runner.stats();
-    std::printf("profile passes: %llu (hits %llu), sims: %llu\n",
+    std::printf("profile passes: %llu (hits %llu), sims: %llu "
+                "(%.2fs sim wall-clock)\n",
                 (unsigned long long)st.profileRuns,
                 (unsigned long long)st.profileHits,
-                (unsigned long long)st.simRuns);
+                (unsigned long long)st.simRuns, st.simSeconds);
     return 0;
 }
 
@@ -265,6 +306,16 @@ int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+
+    if (o.listDebugFlags) {
+        for (const trace::FlagInfo &fi : trace::flagTable())
+            std::printf("%-10s %s\n", fi.name, fi.desc);
+        return 0;
+    }
+    if (!o.debugFlags.empty())
+        trace::enableFlags(o.debugFlags);
+    if (!o.traceFile.empty())
+        trace::setOutputFile(o.traceFile);
 
     if (o.list) {
         for (const auto &info : workloads::workloadList())
@@ -320,7 +371,16 @@ main(int argc, char **argv)
                 (unsigned long long)report.markedSimpleHammock);
 
     core::Core machine(prog, params);
+    std::unique_ptr<trace::PipeView> pv;
+    if (!o.pipeview.empty()) {
+        pv = std::make_unique<trace::PipeView>(o.pipeview);
+        machine.setPipeView(pv.get());
+    }
+    auto host_start = std::chrono::steady_clock::now();
     machine.run();
+    double host_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - host_start)
+                              .count();
 
     const core::CoreStats &st = machine.stats();
     double ipc = st.cycles.value()
@@ -330,5 +390,28 @@ main(int argc, char **argv)
     std::printf("IPC %.3f over %llu cycles\n\n", ipc,
                 (unsigned long long)st.cycles.value());
     std::fputs(st.group.dump().c_str(), stdout);
+    if (pv)
+        std::printf("pipeview: %llu records -> %s\n",
+                    (unsigned long long)pv->count(), o.pipeview.c_str());
+
+    if (!o.statsJson.empty()) {
+        sim::SimResult r;
+        r.cycles = st.cycles.value();
+        r.retiredInsts = st.retiredInsts.value();
+        r.ipc = ipc;
+        r.hostSeconds = host_seconds;
+        r.hostInstRate = host_seconds > 0
+                             ? double(r.retiredInsts) / host_seconds
+                             : 0.0;
+        for (const std::string &name : st.group.names())
+            r.counters.emplace(name, st.group.get(name));
+        for (const std::string &name : st.group.distributionNames())
+            r.distributions.emplace(
+                name, st.group.distribution(name).snapshot());
+        for (const std::string &name : st.group.formulaNames())
+            r.formulas.emplace(name, st.group.formula(name));
+        appendStatsJson(o.statsJson,
+                        sim::simResultJson(r, o.mode, o.target));
+    }
     return machine.halted() ? 0 : 1;
 }

@@ -81,5 +81,148 @@ TEST(StatsDeath, DuplicateNamePanics)
     EXPECT_DEATH(g.addStat("a", &b), "duplicate stat name");
 }
 
+TEST(StatsDeath, DuplicateNameAcrossKindsPanics)
+{
+    StatGroup g("g");
+    Counter a;
+    Distribution d;
+    d.init(0, 10, 1);
+    g.addStat("x", &a);
+    EXPECT_DEATH(g.addDistribution("x", &d), "duplicate stat name");
+    EXPECT_DEATH(g.addFormula("x", [] { return 0.0; }),
+                 "duplicate stat name");
+}
+
+TEST(Distribution, BucketsAndRange)
+{
+    Distribution d;
+    d.init(0, 15, 4); // buckets [0-3] [4-7] [8-11] [12-15]
+    d.sample(0);
+    d.sample(3);
+    d.sample(4);
+    d.sample(12, 2);
+    const DistSnapshot &s = d.snapshot();
+    ASSERT_EQ(s.buckets.size(), 4u);
+    EXPECT_EQ(s.buckets[0], 2u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[2], 0u);
+    EXPECT_EQ(s.buckets[3], 2u);
+    EXPECT_EQ(s.samples, 5u);
+    EXPECT_EQ(s.sum, 0u + 3 + 4 + 12 + 12);
+    EXPECT_EQ(s.minVal, 0u);
+    EXPECT_EQ(s.maxVal, 12u);
+    EXPECT_DOUBLE_EQ(s.mean(), 31.0 / 5.0);
+}
+
+TEST(Distribution, UnderflowAndOverflow)
+{
+    Distribution d;
+    d.init(10, 19, 5);
+    d.sample(5);   // under
+    d.sample(10);  // in range
+    d.sample(25);  // over
+    d.sample(100); // over
+    const DistSnapshot &s = d.snapshot();
+    EXPECT_EQ(s.underflow, 1u);
+    EXPECT_EQ(s.overflow, 2u);
+    EXPECT_EQ(s.samples, 4u);
+    EXPECT_EQ(s.sum, 5u + 10 + 25 + 100);
+    EXPECT_EQ(s.minVal, 5u);
+    EXPECT_EQ(s.maxVal, 100u);
+}
+
+TEST(Distribution, ResetKeepsGeometry)
+{
+    Distribution d;
+    d.init(0, 7, 2);
+    d.sample(6, 3);
+    d.reset();
+    const DistSnapshot &s = d.snapshot();
+    EXPECT_EQ(s.samples, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    ASSERT_EQ(s.buckets.size(), 4u);
+    EXPECT_EQ(s.buckets[3], 0u);
+    d.sample(6);
+    EXPECT_EQ(d.snapshot().buckets[3], 1u);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    StatGroup g("g");
+    Counter num, den;
+    g.addStat("num", &num);
+    g.addStat("den", &den);
+    g.addFormula("ratio", [&] {
+        return den.value() ? double(num.value()) / double(den.value())
+                           : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(g.formula("ratio"), 0.0);
+    num += 6;
+    den += 4;
+    // No re-registration needed: the formula reads current counters.
+    EXPECT_DOUBLE_EQ(g.formula("ratio"), 1.5);
+}
+
+TEST(Stats, GroupRegistersAllThreeKinds)
+{
+    StatGroup g("g");
+    Counter c;
+    Distribution d;
+    d.init(0, 10, 1);
+    g.addStat("c", &c);
+    g.addDistribution("d", &d);
+    g.addFormula("f", [] { return 2.5; });
+    EXPECT_TRUE(g.has("c"));
+    ASSERT_EQ(g.distributionNames().size(), 1u);
+    EXPECT_EQ(g.distributionNames()[0], "d");
+    ASSERT_EQ(g.formulaNames().size(), 1u);
+    EXPECT_EQ(g.formulaNames()[0], "f");
+    EXPECT_EQ(&g.distribution("d"), &d);
+}
+
+TEST(Stats, DumpIncludesDistributionsAndFormulas)
+{
+    StatGroup g("core");
+    Distribution d;
+    d.init(0, 15, 4);
+    d.sample(5, 2);
+    g.addDistribution("lat", &d, "latency");
+    g.addFormula("pi", [] { return 3.25; }, "circle constant");
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("core.lat"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("core.pi 3.25"), std::string::npos) << dump;
+}
+
+TEST(Stats, JsonRoundTripsEveryKind)
+{
+    StatGroup g("core");
+    Counter c;
+    c += 7;
+    Distribution d;
+    d.init(0, 3, 2);
+    d.sample(1);
+    d.sample(9); // overflow
+    g.addStat("cycles", &c);
+    g.addDistribution("lat", &d);
+    g.addFormula("ipc", [] { return 0.5; });
+    std::string j = g.json();
+    EXPECT_NE(j.find("\"name\":\"core\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"cycles\":7"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"lat\":"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"overflow\":1"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"ipc\":0.5"), std::string::npos) << j;
+}
+
+TEST(Stats, ResetAllClearsDistributions)
+{
+    StatGroup g("g");
+    Distribution d;
+    d.init(0, 10, 1);
+    d.sample(4, 5);
+    g.addDistribution("d", &d);
+    g.resetAll();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
 } // namespace
 } // namespace dmp

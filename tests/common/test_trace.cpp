@@ -1,0 +1,195 @@
+/** @file Unit tests for debug flags and the trace/pipeview sinks. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/trace.hh"
+
+namespace dmp::trace
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Saves and restores the global flag mask + trace output around a test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved = mask(); }
+    void
+    TearDown() override
+    {
+        setMask(saved);
+        setOutputStderr();
+        std::remove(tracePath().c_str());
+    }
+    std::string
+    tracePath() const
+    {
+        return testing::TempDir() + "dmp_trace_test.log";
+    }
+    std::uint64_t saved = 0;
+};
+
+TEST_F(TraceTest, FlagTableMatchesEnum)
+{
+    const auto &table = flagTable();
+    ASSERT_EQ(table.size(), std::size_t(Flag::NumFlags));
+    EXPECT_STREQ(table[unsigned(Flag::Fetch)].name, "Fetch");
+    EXPECT_STREQ(table[unsigned(Flag::Dpred)].name, "Dpred");
+    EXPECT_STREQ(table[unsigned(Flag::Batch)].name, "Batch");
+}
+
+TEST_F(TraceTest, ParseFlagsSingleAndList)
+{
+    EXPECT_EQ(parseFlags("Fetch"), std::uint64_t(1) << unsigned(Flag::Fetch));
+    std::uint64_t m = parseFlags("Dpred,Commit");
+    EXPECT_TRUE(m & (std::uint64_t(1) << unsigned(Flag::Dpred)));
+    EXPECT_TRUE(m & (std::uint64_t(1) << unsigned(Flag::Commit)));
+    EXPECT_FALSE(m & (std::uint64_t(1) << unsigned(Flag::Fetch)));
+}
+
+TEST_F(TraceTest, ParseFlagsAll)
+{
+    std::uint64_t m = parseFlags("all");
+    for (unsigned i = 0; i < unsigned(Flag::NumFlags); ++i)
+        EXPECT_TRUE(m & (std::uint64_t(1) << i)) << flagTable()[i].name;
+    EXPECT_EQ(parseFlags("All"), m);
+}
+
+TEST_F(TraceTest, ParseFlagsUnknownIsFatal)
+{
+    EXPECT_EXIT(parseFlags("NoSuchFlag"),
+                ::testing::ExitedWithCode(EXIT_FAILURE), "NoSuchFlag");
+}
+
+TEST_F(TraceTest, EnabledFollowsMask)
+{
+    if (!DMP_TRACING_ON)
+        GTEST_SKIP() << "enabled() is constant-false with DMP_TRACING=OFF";
+    setMask(0);
+    EXPECT_FALSE(enabled(Flag::Dpred));
+    enableFlags("Dpred");
+    EXPECT_TRUE(enabled(Flag::Dpred));
+    EXPECT_FALSE(enabled(Flag::Fetch));
+    enableFlags("Fetch"); // additive
+    EXPECT_TRUE(enabled(Flag::Dpred));
+    EXPECT_TRUE(enabled(Flag::Fetch));
+}
+
+TEST_F(TraceTest, RecordFormat)
+{
+    if (!DMP_TRACING_ON)
+        GTEST_SKIP() << "tracing compiled out (DMP_TRACING=OFF)";
+    setMask(0);
+    enableFlags("Dpred");
+    setOutputFile(tracePath());
+    DMP_TRACE(Dpred, 1234, 42, "core.dpred", "EP", 7, " enter pc=",
+              hex(0x10d8));
+    setOutputStderr(); // flush + close
+    std::string out = slurp(tracePath());
+    EXPECT_NE(out.find("1234: core.dpred: Dpred: sq=42: "
+                       "EP7 enter pc=0x10d8"),
+              std::string::npos)
+        << out;
+}
+
+TEST_F(TraceTest, DisabledFlagEmitsNothing)
+{
+    setMask(0);
+    enableFlags("Commit"); // anything but Dpred
+    setOutputFile(tracePath());
+    DMP_TRACE(Dpred, 1, 1, "core.dpred", "must not appear");
+    setOutputStderr();
+    EXPECT_EQ(slurp(tracePath()), "");
+}
+
+TEST_F(TraceTest, DisabledFlagSkipsArgumentEvaluation)
+{
+    setMask(0);
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return 1;
+    };
+    DMP_TRACE(Dpred, 1, 1, "test", expensive());
+    EXPECT_EQ(evaluations, 0);
+    enableFlags("Dpred");
+    setOutputFile(tracePath());
+    DMP_TRACE(Dpred, 1, 1, "test", expensive());
+    // With tracing compiled out, arguments are never evaluated at all.
+    EXPECT_EQ(evaluations, DMP_TRACING_ON ? 1 : 0);
+}
+
+TEST_F(TraceTest, HexFormatting)
+{
+    EXPECT_EQ(hex(0x0), "0x0");
+    EXPECT_EQ(hex(0x10d8), "0x10d8");
+    EXPECT_EQ(hex(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST_F(TraceTest, PipeViewEmitsO3Format)
+{
+    std::string path = testing::TempDir() + "dmp_pipeview_test.trace";
+    {
+        PipeView pv(path);
+        PipeView::Record r;
+        r.seq = 3;
+        r.pc = 0x1000;
+        r.disasm = "addi";
+        r.fetch = 10;
+        r.rename = 12;
+        r.issue = 14;
+        r.complete = 15;
+        r.retire = 18;
+        pv.emit(r);
+        EXPECT_EQ(pv.count(), 1u);
+    }
+    std::string out = slurp(path);
+    EXPECT_NE(out.find("O3PipeView:fetch:10:0x0000000000001000:0:3:addi"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("O3PipeView:decode:12"), std::string::npos);
+    EXPECT_NE(out.find("O3PipeView:rename:12"), std::string::npos);
+    EXPECT_NE(out.find("O3PipeView:dispatch:12"), std::string::npos);
+    EXPECT_NE(out.find("O3PipeView:issue:14"), std::string::npos);
+    EXPECT_NE(out.find("O3PipeView:complete:15"), std::string::npos);
+    EXPECT_NE(out.find("O3PipeView:retire:18:store:0"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, PipeViewSquashedRetiresAtTickZero)
+{
+    std::string path = testing::TempDir() + "dmp_pipeview_squash.trace";
+    {
+        PipeView pv(path);
+        PipeView::Record r;
+        r.seq = 9;
+        r.pc = 0x2000;
+        r.disasm = "beq";
+        r.fetch = 5;
+        r.rename = 7;
+        r.retire = 11; // ignored: squashed wins
+        r.squashed = true;
+        pv.emit(r);
+    }
+    std::string out = slurp(path);
+    EXPECT_NE(out.find("O3PipeView:retire:0:store:0"), std::string::npos)
+        << out;
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dmp::trace

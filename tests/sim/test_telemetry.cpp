@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for SimResult telemetry: checked counter lookup (require vs.
+ * warn-once get), distribution/formula export from the core StatGroup,
+ * host-side wall-clock counters, and the JSONL record format consumed
+ * by the figure pipeline (dmp-run --stats-json / DMP_STATS_JSON).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/batch.hh"
+#include "sim/simulator.hh"
+
+namespace dmp
+{
+namespace
+{
+
+sim::SimConfig
+smallConfig()
+{
+    sim::SimConfig cfg;
+    cfg.workload = "bzip2";
+    cfg.train.iterations = 200;
+    cfg.ref.iterations = 200;
+    cfg.marker.profileInsts = 80000;
+    cfg.core.predication = core::PredicationScope::Diverge;
+    cfg.core.enhMultiCfm = true;
+    cfg.core.enhEarlyExit = true;
+    cfg.core.enhMultiDiverge = true;
+    return cfg;
+}
+
+const sim::SimResult &
+sharedResult()
+{
+    static sim::SimResult r = sim::runSim(smallConfig());
+    return r;
+}
+
+TEST(Telemetry, RequireReturnsKnownCounters)
+{
+    const sim::SimResult &r = sharedResult();
+    EXPECT_EQ(r.require("cycles"), r.cycles);
+    EXPECT_EQ(r.require("retired_insts"), r.retiredInsts);
+    EXPECT_GT(r.require("pipeline_flushes"), 0u);
+}
+
+TEST(TelemetryDeathTest, RequireUnknownCounterIsFatal)
+{
+    const sim::SimResult &r = sharedResult();
+    EXPECT_EXIT(r.require("no_such_counter"),
+                ::testing::ExitedWithCode(1), "no_such_counter");
+}
+
+TEST(Telemetry, GetUnknownCounterWarnsAndReturnsZero)
+{
+    const sim::SimResult &r = sharedResult();
+    EXPECT_EQ(r.get("no_such_counter"), 0u);
+    EXPECT_EQ(r.get("cycles"), r.cycles);
+}
+
+TEST(Telemetry, DistributionsExported)
+{
+    const sim::SimResult &r = sharedResult();
+    const DistSnapshot *ep = r.dist("episode_length");
+    ASSERT_NE(ep, nullptr);
+    EXPECT_GT(ep->samples, 0u); // dmp-enhanced enters episodes
+    const DistSnapshot *f2r = r.dist("fetch_to_retire");
+    ASSERT_NE(f2r, nullptr);
+    // Every committed program instruction is sampled, including the
+    // predicated-FALSE ones that retire without architectural effect.
+    EXPECT_EQ(f2r->samples,
+              r.retiredInsts + r.require("retired_false_insts"));
+    EXPECT_GT(f2r->mean(), 0.0);
+    EXPECT_EQ(r.dist("no_such_distribution"), nullptr);
+}
+
+TEST(Telemetry, FormulasExported)
+{
+    const sim::SimResult &r = sharedResult();
+    auto it = r.formulas.find("ipc");
+    ASSERT_NE(it, r.formulas.end());
+    EXPECT_NEAR(it->second, r.ipc, 1e-9);
+    EXPECT_TRUE(r.formulas.count("flushes_per_kilo_insts"));
+    EXPECT_TRUE(r.formulas.count("fetch_overhead"));
+}
+
+TEST(Telemetry, HostTelemetryPopulated)
+{
+    const sim::SimResult &r = sharedResult();
+    EXPECT_GT(r.hostSeconds, 0.0);
+    EXPECT_GT(r.hostInstRate, 0.0);
+    EXPECT_NEAR(r.hostInstRate, double(r.retiredInsts) / r.hostSeconds,
+                1.0);
+}
+
+TEST(Telemetry, JsonRecordRoundTrips)
+{
+    const sim::SimResult &r = sharedResult();
+    std::string j = sim::simResultJson(r, "dmp-enhanced", "bzip2");
+    // One line, no embedded newlines (JSONL requirement).
+    EXPECT_EQ(j.find('\n'), std::string::npos);
+    EXPECT_NE(j.find("\"label\":\"dmp-enhanced\""), std::string::npos);
+    EXPECT_NE(j.find("\"workload\":\"bzip2\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\":" + std::to_string(r.cycles)),
+              std::string::npos);
+    // Every counter, distribution, and formula appears by name.
+    for (const auto &kv : r.counters)
+        EXPECT_NE(j.find("\"" + kv.first + "\":"), std::string::npos)
+            << kv.first;
+    for (const auto &kv : r.distributions)
+        EXPECT_NE(j.find("\"" + kv.first + "\":{"), std::string::npos)
+            << kv.first;
+    for (const auto &kv : r.formulas)
+        EXPECT_NE(j.find("\"" + kv.first + "\":"), std::string::npos)
+            << kv.first;
+}
+
+TEST(Telemetry, BatchAccruesSimWallClock)
+{
+    sim::BatchRunner runner(1);
+    runner.get(smallConfig());
+    sim::BatchStats st = runner.stats();
+    EXPECT_EQ(st.simRuns, 1u);
+    EXPECT_GT(st.simSeconds, 0.0);
+    // A memo hit re-runs nothing and accrues no wall-clock.
+    runner.get(smallConfig());
+    sim::BatchStats st2 = runner.stats();
+    EXPECT_EQ(st2.simRuns, 1u);
+    EXPECT_EQ(st2.simSeconds, st.simSeconds);
+}
+
+} // namespace
+} // namespace dmp
