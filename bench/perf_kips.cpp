@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Host-performance harness: simulated kilo-instructions per host second.
+ *
+ * Unlike the figure benchmarks, this binary measures the *simulator*,
+ * not the simulated machine. It runs the (workload x config) grid twice:
+ *
+ *   1. single-job: plain serial sim::runSim() calls. Per-run KIPS comes
+ *      from SimResult::hostSeconds (wall-clock of the timing run only,
+ *      excluding profiling/marking), aggregated per workload class
+ *      (int / fp) and in total. This is the number the CI perf-smoke
+ *      job regresses on.
+ *   2. batched: the same grid through a sim::BatchRunner at the default
+ *      job count, timed end-to-end, to track the parallel engine.
+ *
+ * The machine-readable result is written to BENCH_core.json (override
+ * with DMP_BENCH_OUT). The usual knobs apply: DMP_BENCH_ITERS,
+ * DMP_BENCH_WORKLOADS, DMP_BENCH_JOBS (batched phase only).
+ *
+ * KIPS is host-dependent: only compare files produced on the same
+ * machine and build preset (see EXPERIMENTS.md).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace dmp;
+
+struct RunRecord
+{
+    std::string workload;
+    std::string wlClass; ///< "int" or "fp"
+    std::string config;
+    std::uint64_t retired = 0;
+    double hostSeconds = 0; ///< timing-run wall-clock (sim-reported)
+    double kips = 0;
+};
+
+/** Aggregate KIPS over a subset of runs: sum(insts) / sum(seconds). */
+double
+aggregateKips(const std::vector<RunRecord> &runs, const std::string &cls)
+{
+    std::uint64_t insts = 0;
+    double secs = 0;
+    for (const auto &r : runs) {
+        if (!cls.empty() && r.wlClass != cls)
+            continue;
+        insts += r.retired;
+        secs += r.hostSeconds;
+    }
+    return secs > 0 ? double(insts) / secs / 1000.0 : 0;
+}
+
+std::string
+workloadClass(const std::string &name)
+{
+    for (const auto &info : workloads::workloadList())
+        if (info.name == name)
+            return info.floatingPoint ? "fp" : "int";
+    return "int";
+}
+
+double
+nowSeconds()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+void
+writeJson(const std::string &path, const std::vector<RunRecord> &runs,
+          double singleWall, double batchedWall, unsigned batchedJobs,
+          std::uint64_t totalInsts)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "perf_kips: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"perf_kips\",\n";
+    out << "  \"iterations\": " << bench::benchIterations() << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"single_job\": {\n";
+    out << "    \"wall_seconds\": " << singleWall << ",\n";
+    out << "    \"kips_total\": " << aggregateKips(runs, "") << ",\n";
+    out << "    \"kips_int\": " << aggregateKips(runs, "int") << ",\n";
+    out << "    \"kips_fp\": " << aggregateKips(runs, "fp") << ",\n";
+    out << "    \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        out << "      {\"workload\": \"" << r.workload
+            << "\", \"class\": \"" << r.wlClass << "\", \"config\": \""
+            << r.config << "\", \"retired_insts\": " << r.retired
+            << ", \"host_seconds\": " << r.hostSeconds
+            << ", \"kips\": " << r.kips << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n";
+    out << "  },\n";
+    out << "  \"batched\": {\n";
+    out << "    \"jobs\": " << batchedJobs << ",\n";
+    out << "    \"wall_seconds\": " << batchedWall << ",\n";
+    out << "    \"kips\": "
+        << (batchedWall > 0
+                ? double(totalInsts) / batchedWall / 1000.0
+                : 0)
+        << "\n";
+    out << "  }\n";
+    out << "}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::pair<std::string, bench::ConfigFn>> configs = {
+        {"base", bench::cfgBaseline},
+        {"dmp_enhanced", bench::cfgDmpEnhanced},
+    };
+    const std::vector<std::string> wls = bench::benchWorkloads();
+
+    // Phase 1: strictly serial, no worker pool — the single-job number.
+    std::vector<RunRecord> runs;
+    double t0 = nowSeconds();
+    for (const std::string &wl : wls) {
+        for (const auto &[label, fn] : configs) {
+            sim::SimConfig cfg = bench::RunCache::makeConfig(wl, fn);
+            sim::SimResult r = sim::runSim(cfg);
+            RunRecord rec;
+            rec.workload = wl;
+            rec.wlClass = workloadClass(wl);
+            rec.config = label;
+            rec.retired = r.retiredInsts;
+            rec.hostSeconds = r.hostSeconds;
+            rec.kips = r.hostSeconds > 0
+                           ? double(r.retiredInsts) / r.hostSeconds
+                                 / 1000.0
+                           : 0;
+            runs.push_back(rec);
+            std::printf("%-12s %-14s %9llu insts  %7.3fs  %8.1f KIPS\n",
+                        wl.c_str(), label.c_str(),
+                        (unsigned long long)rec.retired,
+                        rec.hostSeconds, rec.kips);
+        }
+    }
+    double singleWall = nowSeconds() - t0;
+
+    // Phase 2: the same grid through the parallel engine, end to end.
+    std::uint64_t totalInsts = 0;
+    std::vector<sim::SimConfig> grid;
+    for (const std::string &wl : wls)
+        for (const auto &[label, fn] : configs)
+            grid.push_back(bench::RunCache::makeConfig(wl, fn));
+    sim::BatchRunner pool; // DMP_BENCH_JOBS or all cores
+    double t1 = nowSeconds();
+    for (const sim::SimResult &r : pool.run(grid))
+        totalInsts += r.retiredInsts;
+    double batchedWall = nowSeconds() - t1;
+
+    std::printf("\nsingle-job: total %.1f KIPS (int %.1f, fp %.1f), "
+                "wall %.2fs\n",
+                aggregateKips(runs, ""), aggregateKips(runs, "int"),
+                aggregateKips(runs, "fp"), singleWall);
+    std::printf("batched (%u jobs): %.1f KIPS, wall %.2fs\n",
+                pool.jobs(),
+                batchedWall > 0
+                    ? double(totalInsts) / batchedWall / 1000.0
+                    : 0,
+                batchedWall);
+
+    const char *outPath = std::getenv("DMP_BENCH_OUT");
+    std::string path = outPath ? outPath : "BENCH_core.json";
+    writeJson(path, runs, singleWall, batchedWall, pool.jobs(),
+              totalInsts);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare two perf_kips BENCH_core.json files and fail on regression.
+
+Usage: check_kips.py BASELINE.json CURRENT.json [--threshold 0.85]
+
+The gate is the single-job total KIPS (sum of retired instructions over
+sum of per-run timing seconds): CURRENT must reach at least
+``threshold * BASELINE``. KIPS is host- and build-dependent, so only
+compare files produced on the same machine with the same CMake preset
+and the same DMP_BENCH_ITERS / DMP_BENCH_WORKLOADS — in CI both files
+are generated on the same runner (HEAD vs. the baseline commit).
+
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def total_kips(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return float(doc["single_job"]["kips_total"])
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_kips: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.85,
+                    help="minimum current/baseline ratio (default 0.85)")
+    args = ap.parse_args()
+
+    base = total_kips(args.baseline)
+    cur = total_kips(args.current)
+    if base <= 0:
+        print("check_kips: baseline KIPS is zero; nothing to compare",
+              file=sys.stderr)
+        sys.exit(2)
+    ratio = cur / base
+    print(f"baseline {base:.1f} KIPS, current {cur:.1f} KIPS, "
+          f"ratio {ratio:.3f} (threshold {args.threshold})")
+    if ratio < args.threshold:
+        print(f"check_kips: REGRESSION: single-job KIPS dropped by "
+              f"{(1 - ratio) * 100:.1f}% (> "
+              f"{(1 - args.threshold) * 100:.0f}% allowed)",
+              file=sys.stderr)
+        sys.exit(1)
+    print("check_kips: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,7 +46,7 @@ class ConfidenceEstimator
  * correct predictions increment, mispredictions reset to zero; a
  * prediction is high-confidence when the counter is above a threshold.
  */
-class JrsConfidenceEstimator : public ConfidenceEstimator
+class JrsConfidenceEstimator final : public ConfidenceEstimator
 {
   public:
     struct Params
@@ -96,7 +96,7 @@ class JrsConfidenceEstimator : public ConfidenceEstimator
  * wrong. The truth bit comes from the oracle tracker via the core; this
  * class just adapts it to the estimator interface.
  */
-class PerfectConfidenceEstimator : public ConfidenceEstimator
+class PerfectConfidenceEstimator final : public ConfidenceEstimator
 {
   public:
     /**

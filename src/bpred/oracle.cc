@@ -78,20 +78,24 @@ OracleTracker::peek() const
 {
     dmp_assert(isSynced, "OracleTracker::peek while desynced");
     // Step a copy: FuncSim is cheap to copy via its state, but it holds
-    // references; instead, evaluate without side effects.
-    const isa::Inst &inst = prog.fetch(sim->state().pc);
+    // references; instead, evaluate without side effects. Shares the
+    // program's pre-decode cache with the timing front-end.
+    const Addr pc = sim->state().pc;
+    if (!prog.contains(pc)) [[unlikely]]
+        (void)prog.fetch(pc); // fatal with the standard message
+    const std::size_t idx = prog.indexOf(pc);
+    const isa::Inst &inst = prog.instAt(idx);
+    const isa::PreDecode &dec = prog.preDecodedAt(idx);
     isa::StepInfo info;
-    info.pc = sim->state().pc;
+    info.pc = pc;
     info.inst = inst;
-    info.isCondBranch = isa::isCondBranch(inst.op);
+    info.isCondBranch = dec.condBranch();
 
     Word s1 = sim->state().read(inst.rs1);
     Word s2 = sim->state().read(inst.rs2);
     isa::ExecResult r = isa::evaluate(inst, info.pc, s1, s2);
     info.taken = r.taken;
-    info.memAddr =
-        (isa::isLoad(inst.op) || isa::isStore(inst.op)) ? r.memAddr
-                                                        : kNoAddr;
+    info.memAddr = (dec.load() || dec.store()) ? r.memAddr : kNoAddr;
     info.nextPc = r.taken ? r.target : info.pc + isa::kInstBytes;
     info.halted = inst.op == isa::Opcode::HALT;
     return info;

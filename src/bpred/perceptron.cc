@@ -1,8 +1,5 @@
 #include "bpred/perceptron.hh"
 
-#include <cmath>
-#include <cstdlib>
-
 #include "common/logging.hh"
 
 namespace dmp::bpred
@@ -21,64 +18,6 @@ PerceptronPredictor::PerceptronPredictor(const Params &params)
     dmp_assert(p.history >= 1 && p.history <= 64,
                "perceptron history out of range");
     dmp_assert(p.numEntries >= 1, "perceptron needs entries");
-}
-
-std::uint32_t
-PerceptronPredictor::indexFor(Addr pc) const
-{
-    return std::uint32_t((pc >> 2) % p.numEntries);
-}
-
-std::int32_t
-PerceptronPredictor::dotProduct(std::uint32_t index,
-                                std::uint64_t ghr) const
-{
-    const std::int16_t *w = &weights[std::size_t(index) * (p.history + 1)];
-    std::int32_t y = w[0]; // bias
-    for (unsigned i = 0; i < p.history; ++i) {
-        bool h = (ghr >> i) & 1;
-        y += h ? w[i + 1] : -w[i + 1];
-    }
-    return y;
-}
-
-bool
-PerceptronPredictor::predict(Addr pc, std::uint64_t ghr,
-                             PredictionInfo &info)
-{
-    std::uint32_t index = indexFor(pc);
-    std::int32_t y = dotProduct(index, ghr);
-    info.ghr = ghr;
-    info.index = index;
-    info.aux = y;
-    info.predTaken = y >= 0;
-    return info.predTaken;
-}
-
-void
-PerceptronPredictor::train(Addr pc, bool taken,
-                           const PredictionInfo &info)
-{
-    (void)pc;
-    bool mispredicted = info.predTaken != taken;
-    if (!mispredicted && std::abs(info.aux) > trainTheta)
-        return;
-
-    std::int16_t *w = &weights[std::size_t(info.index) * (p.history + 1)];
-    auto bump = [&](std::int16_t &weight, bool agree) {
-        int v = weight + (agree ? 1 : -1);
-        if (v > p.weightMax)
-            v = p.weightMax;
-        if (v < p.weightMin)
-            v = p.weightMin;
-        weight = std::int16_t(v);
-    };
-
-    bump(w[0], taken);
-    for (unsigned i = 0; i < p.history; ++i) {
-        bool h = (info.ghr >> i) & 1;
-        bump(w[i + 1], h == taken);
-    }
 }
 
 } // namespace dmp::bpred

@@ -18,7 +18,7 @@ namespace dmp::bpred
 {
 
 /** PC-indexed 2-bit counter table. */
-class BimodalPredictor : public DirectionPredictor
+class BimodalPredictor final : public DirectionPredictor
 {
   public:
     explicit BimodalPredictor(unsigned log2_entries = 14);
@@ -34,7 +34,7 @@ class BimodalPredictor : public DirectionPredictor
 };
 
 /** Global-history XOR PC indexed 2-bit counter table. */
-class GsharePredictor : public DirectionPredictor
+class GsharePredictor final : public DirectionPredictor
 {
   public:
     explicit GsharePredictor(unsigned log2_entries = 16,
@@ -55,7 +55,7 @@ class GsharePredictor : public DirectionPredictor
  * Tournament predictor: a chooser table of 2-bit counters selects between
  * a bimodal and a gshare component per branch (McFarling-style).
  */
-class HybridPredictor : public DirectionPredictor
+class HybridPredictor final : public DirectionPredictor
 {
   public:
     HybridPredictor(unsigned log2_chooser = 14,

@@ -3,6 +3,11 @@
  * Target predictors of the front-end: branch target buffer, return
  * address stack, and indirect target cache (Table 2: 4K-entry BTB,
  * 64-entry RAS, 64K-entry indirect target cache).
+ *
+ * All three are header-inline and `final`: they are touched for every
+ * fetched control instruction (the RAS is checkpointed for every
+ * fetched instruction), so their accessors must inline into the fetch
+ * loop rather than cost a cross-TU call each.
  */
 
 #ifndef DMP_BPRED_TARGET_PREDICTORS_HH
@@ -11,26 +16,51 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace dmp::bpred
 {
+
+namespace detail
+{
+constexpr bool
+isPowerOfTwo(unsigned v) noexcept
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+} // namespace detail
 
 /**
  * Direct-mapped, tagged branch target buffer. A conditional branch that
  * misses in the BTB is treated as not-taken by the front-end (its taken
  * target is not available at fetch time).
  */
-class Btb
+class Btb final
 {
   public:
-    explicit Btb(unsigned entries = 4096);
+    explicit Btb(unsigned entries = 4096) : mask(entries - 1), table(entries)
+    {
+        dmp_assert(detail::isPowerOfTwo(entries),
+                   "BTB entries must be a power of two");
+    }
 
     /** Predicted target of the branch at pc, or kNoAddr on miss. */
-    Addr lookup(Addr pc) const;
+    Addr
+    lookup(Addr pc) const noexcept
+    {
+        const Entry &e = table[std::uint32_t(pc >> 2) & mask];
+        return e.tag == pc ? e.target : kNoAddr;
+    }
 
     /** Install/refresh the target for pc (on branch execute/retire). */
-    void update(Addr pc, Addr target);
+    void
+    update(Addr pc, Addr target) noexcept
+    {
+        Entry &e = table[std::uint32_t(pc >> 2) & mask];
+        e.tag = pc;
+        e.target = target;
+    }
 
   private:
     struct Entry
@@ -47,14 +77,34 @@ class Btb
  * stack wraps (oldest entries are overwritten); recovery snapshots the
  * top pointer per-branch like real hardware does.
  */
-class ReturnAddressStack
+class ReturnAddressStack final
 {
   public:
-    explicit ReturnAddressStack(unsigned entries = 64);
+    explicit ReturnAddressStack(unsigned entries = 64)
+        : stack(entries, kNoAddr)
+    {
+        dmp_assert(entries >= 1, "RAS needs entries");
+    }
 
-    void push(Addr return_addr);
+    void
+    push(Addr return_addr) noexcept
+    {
+        stack[top] = return_addr;
+        top = (top + 1) % stack.size();
+        if (used < stack.size())
+            ++used;
+    }
+
     /** Pop the predicted return target (kNoAddr when empty). */
-    Addr pop();
+    Addr
+    pop() noexcept
+    {
+        if (used == 0)
+            return kNoAddr;
+        top = (top + std::uint32_t(stack.size()) - 1) % stack.size();
+        --used;
+        return stack[top];
+    }
 
     /** Snapshot of the speculative state for checkpointing. */
     struct Checkpoint
@@ -63,10 +113,31 @@ class ReturnAddressStack
         std::uint32_t depth = 0;
         Addr topValue = kNoAddr;
     };
-    Checkpoint checkpoint() const;
-    void restore(const Checkpoint &cp);
 
-    std::uint32_t depth() const { return used; }
+    Checkpoint
+    checkpoint() const noexcept
+    {
+        Checkpoint cp;
+        cp.top = top;
+        cp.depth = used;
+        cp.topValue = used
+            ? stack[(top + stack.size() - 1) % stack.size()]
+            : kNoAddr;
+        return cp;
+    }
+
+    void
+    restore(const Checkpoint &cp) noexcept
+    {
+        top = cp.top;
+        used = cp.depth;
+        // Repair the top entry, which a wrong-path push may have
+        // clobbered.
+        if (used)
+            stack[(top + stack.size() - 1) % stack.size()] = cp.topValue;
+    }
+
+    std::uint32_t depth() const noexcept { return used; }
 
   private:
     std::vector<Addr> stack;
@@ -75,16 +146,35 @@ class ReturnAddressStack
 };
 
 /** Global-history-hashed indirect target cache (tagless). */
-class IndirectTargetCache
+class IndirectTargetCache final
 {
   public:
-    explicit IndirectTargetCache(unsigned entries = 65536);
+    explicit IndirectTargetCache(unsigned entries = 65536)
+        : mask(entries - 1), table(entries, kNoAddr)
+    {
+        dmp_assert(detail::isPowerOfTwo(entries),
+                   "ITC entries must be a power of two");
+    }
 
-    Addr lookup(Addr pc, std::uint64_t ghr) const;
-    void update(Addr pc, std::uint64_t ghr, Addr target);
+    Addr
+    lookup(Addr pc, std::uint64_t ghr) const noexcept
+    {
+        return table[indexFor(pc, ghr)];
+    }
+
+    void
+    update(Addr pc, std::uint64_t ghr, Addr target) noexcept
+    {
+        table[indexFor(pc, ghr)] = target;
+    }
 
   private:
-    std::uint32_t indexFor(Addr pc, std::uint64_t ghr) const;
+    std::uint32_t
+    indexFor(Addr pc, std::uint64_t ghr) const noexcept
+    {
+        return (std::uint32_t(pc >> 2) ^ std::uint32_t(ghr)) & mask;
+    }
+
     std::uint32_t mask;
     std::vector<Addr> table;
 };

@@ -139,6 +139,26 @@ makePredictor(const CoreParams &p)
     dmp_panic("unknown predictor kind");
 }
 
+/**
+ * Episode-ring capacity: a power of two comfortably above the number of
+ * episode ids in-flight state can reference at once. Every live
+ * reference is pinned by a bounded structure — a ROB entry, a fetch
+ * queue entry, a checkpoint, or the fdp/fdual fetch state — so sizing
+ * past their sum (with generous slack for retired-but-referenced
+ * stragglers) keeps every referenced slot resident.
+ */
+std::size_t
+episodeWindow(const CoreParams &p)
+{
+    std::size_t refs = std::size_t(p.robSize) +
+                       p.effectiveFetchQueueCapacity() +
+                       p.maxCheckpoints + 64;
+    std::size_t cap = 1;
+    while (cap < refs * 2)
+        cap <<= 1;
+    return cap;
+}
+
 } // namespace
 
 Core::Core(const isa::Program &program, const CoreParams &params)
@@ -154,11 +174,18 @@ Core::Core(const isa::Program &program, const CoreParams &params)
       prf(p.effectivePhysRegs()),
       cpPool(p.maxCheckpoints),
       sb(p.storeBufferSize),
-      preds(p.predRegisters),
+      preds(p.predRegisters, episodeWindow(p) * 2),
       rob(p.robSize)
 {
     dmp_assert((p.memoryBytes & (p.memoryBytes - 1)) == 0,
                "memoryBytes must be a power of two");
+    dmp_assert(p.cfmCamEntries <= kMaxCfmCamEntries,
+               "cfmCamEntries exceeds the inline CFM CAM bound");
+    episodeTable.resize(episodeWindow(p));
+    episodeMask = episodeTable.size() - 1;
+    perceptron = p.predictor == PredictorKind::Perceptron
+        ? static_cast<bpred::PerceptronPredictor *>(predictor.get())
+        : nullptr;
     if (p.perfectCondPredictor || p.perfectConfidence ||
         p.classifyWrongPath) {
         oracle = std::make_unique<bpred::OracleTracker>(prog,
@@ -204,7 +231,8 @@ Core::reset()
     fdp.clear();
     fdual.clear();
 
-    episodes.clear();
+    for (Episode &ep : episodeTable)
+        ep = Episode{};
     nextEpisodeId = 1;
 
     readyQueue = {};
@@ -217,6 +245,9 @@ Core::reset()
     // Recreate the prediction structures so reset() reproduces a fresh
     // machine bit-for-bit.
     predictor = makePredictor(p);
+    perceptron = p.predictor == PredictorKind::Perceptron
+        ? static_cast<bpred::PerceptronPredictor *>(predictor.get())
+        : nullptr;
     jrs = std::make_unique<bpred::JrsConfidenceEstimator>();
     btb = bpred::Btb(p.btbEntries);
     ras = bpred::ReturnAddressStack(p.rasEntries);
@@ -336,65 +367,25 @@ Core::dumpDeadlockState()
 }
 
 // ---------------------------------------------------------------------
-// ROB plumbing
-// ---------------------------------------------------------------------
-
-DynInst *
-Core::lookup(InstRef ref)
-{
-    DynInst &di = rob[ref.slot];
-    if (!di.valid || di.seq != ref.seq)
-        return nullptr;
-    return &di;
-}
-
-DynInst &
-Core::robAt(std::uint32_t idx)
-{
-    dmp_assert(idx < robCount, "robAt out of range");
-    return rob[(robHead + idx) % p.robSize];
-}
-
-std::uint32_t
-Core::robTailSlot() const
-{
-    dmp_assert(robCount > 0, "robTailSlot on empty ROB");
-    return (robHead + robCount - 1) % p.robSize;
-}
-
-InstRef
-Core::allocRob()
-{
-    dmp_assert(!robFull(), "allocRob on full ROB");
-    std::uint32_t slot = (robHead + robCount) % p.robSize;
-    ++robCount;
-    rob[slot] = DynInst{};
-    rob[slot].valid = true;
-    rob[slot].seq = nextSeq++;
-    return InstRef{slot, rob[slot].seq};
-}
-
-// ---------------------------------------------------------------------
 // Episodes
 // ---------------------------------------------------------------------
 
 Episode &
-Core::episode(EpisodeId id)
+Core::newEpisode()
 {
-    auto it = episodes.find(id);
-    dmp_assert(it != episodes.end(), "unknown episode ", id);
-    return it->second;
-}
-
-Episode *
-Core::episodeIfAlive(EpisodeId id)
-{
-    if (id == kNoEpisode)
-        return nullptr;
-    auto it = episodes.find(id);
-    if (it == episodes.end() || it->second.dead)
-        return nullptr;
-    return &it->second;
+    EpisodeId id = nextEpisodeId++;
+    Episode &ep = episodeTable[id & episodeMask];
+    // A recycled slot must have fully drained: anything an in-flight
+    // object could still look up (an unresolved, unconverted episode or
+    // one with queued front-end markers) must never be overwritten.
+    dmp_assert(ep.id == kNoEpisode || ep.dead || ep.resolved ||
+                   ep.isConverted(),
+               "episode ring overwrote live episode ", ep.id);
+    dmp_assert(ep.pendingMarkers == 0,
+               "episode ring overwrote episode with queued markers");
+    ep = Episode{};
+    ep.id = id;
+    return ep;
 }
 
 void
@@ -497,10 +488,8 @@ Core::noteFlushForClassifier(std::uint64_t survive_seq)
 }
 
 void
-Core::noteFetchForClassifier(Addr pc)
+Core::noteFetchForClassifierSlow(Addr pc)
 {
-    if (!p.classifyWrongPath || wpRecords.empty())
-        return;
     // The reconvergence search window matches the compiler's CFM
     // distance bound: beyond ~120 instructions the correct path wraps
     // into later loop iterations and every address would "reconverge".

@@ -26,16 +26,16 @@
 #define DMP_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "bpred/confidence.hh"
 #include "bpred/oracle.hh"
+#include "bpred/perceptron.hh"
 #include "bpred/predictor.hh"
 #include "bpred/target_predictors.hh"
+#include "common/ring_queue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -173,7 +173,7 @@ class Core
     void convertEpisode(Episode &ep, ConversionReason reason,
                         bool redirect_to_cfm);
     void enqueueMarker(UopKind kind, EpisodeId episode);
-    void pushFetched(FetchedInst fi);
+    void pushFetched(FetchedInst &&fi);
     unsigned effectiveEarlyExitThreshold(const Episode &ep) const;
 
     // ---- Rename helpers ----
@@ -184,13 +184,31 @@ class Core
     bool renameExitPred(const FetchedInst &fi);
     void renameRestoreMap(const FetchedInst &fi);
     void setupDependencies(InstRef ref);
-    InstRef allocRob();
+    InstRef
+    allocRob()
+    {
+        dmp_assert(!robFull(), "allocRob on full ROB");
+        std::uint32_t slot = robHead + robCount;
+        if (slot >= p.robSize)
+            slot -= p.robSize;
+        ++robCount;
+        rob[slot] = DynInst{};
+        rob[slot].valid = true;
+        rob[slot].seq = nextSeq++;
+        return InstRef{slot, rob[slot].seq};
+    }
     RenameMap &renameMapFor(PathId path, EpisodeId episode);
 
     // ---- Backend helpers ----
     void executeReady(InstRef ref);
     bool tryIssueLoad(InstRef ref);
-    void scheduleCompletion(InstRef ref, Cycle when);
+    void
+    scheduleCompletion(InstRef ref, Cycle when)
+    {
+        DynInst &di = *lookup(ref);
+        di.completeAt = when;
+        events.push(Event{when, ref});
+    }
     void writeback(InstRef ref);
     void resolveControl(InstRef ref);
     void resolveDivergeBranch(DynInst &di, Episode &ep);
@@ -211,15 +229,62 @@ class Core
     void pipeViewEmit(const DynInst &di, bool squashed);
 
     // ---- ROB plumbing ----
-    DynInst *lookup(InstRef ref);
-    DynInst &robAt(std::uint32_t idx); ///< idx-th oldest (0 == head)
-    std::uint32_t robTailSlot() const;
-    bool robFull() const { return robCount == p.robSize; }
-    bool robEmpty() const { return robCount == 0; }
+    // Defined in-class: these run several times per simulated cycle
+    // from every stage TU and must inline across them (the stage files
+    // are separate TUs, so out-of-line definitions would be opaque
+    // calls on the hottest paths of the simulator).
+    DynInst *
+    lookup(InstRef ref) noexcept
+    {
+        DynInst &di = rob[ref.slot];
+        if (!di.valid || di.seq != ref.seq)
+            return nullptr;
+        return &di;
+    }
+    /** idx-th oldest (0 == head). */
+    DynInst &
+    robAt(std::uint32_t idx) noexcept
+    {
+        dmp_assert(idx < robCount, "robAt out of range");
+        // robHead + idx < 2 * robSize: one conditional subtract wraps
+        // the ring without an integer divide.
+        std::uint32_t slot = robHead + idx;
+        if (slot >= p.robSize)
+            slot -= p.robSize;
+        return rob[slot];
+    }
+    std::uint32_t
+    robTailSlot() const noexcept
+    {
+        dmp_assert(robCount > 0, "robTailSlot on empty ROB");
+        std::uint32_t slot = robHead + robCount - 1;
+        if (slot >= p.robSize)
+            slot -= p.robSize;
+        return slot;
+    }
+    bool robFull() const noexcept { return robCount == p.robSize; }
+    bool robEmpty() const noexcept { return robCount == 0; }
 
     // ---- Episodes ----
-    Episode &episode(EpisodeId id);
-    Episode *episodeIfAlive(EpisodeId id);
+    /** Allocate the next episode id and its (recycled) table slot. */
+    Episode &newEpisode();
+    Episode &
+    episode(EpisodeId id) noexcept
+    {
+        Episode &ep = episodeTable[id & episodeMask];
+        dmp_assert(ep.id == id, "unknown episode ", id);
+        return ep;
+    }
+    Episode *
+    episodeIfAlive(EpisodeId id) noexcept
+    {
+        if (id == kNoEpisode)
+            return nullptr;
+        Episode &ep = episodeTable[id & episodeMask];
+        if (ep.id != id || ep.dead)
+            return nullptr;
+        return &ep;
+    }
     void killEpisode(Episode &ep);
     void classifyExit(Episode &ep, ExitCase c);
 
@@ -231,7 +296,15 @@ class Core
         bool sawRedirect = false;
     };
     void noteFlushForClassifier(std::uint64_t survive_seq);
-    void noteFetchForClassifier(Addr pc);
+    /** Per-fetch hook; only the cheap not-classifying test is inline. */
+    void
+    noteFetchForClassifier(Addr pc)
+    {
+        if (!p.classifyWrongPath || wpRecords.empty())
+            return;
+        noteFetchForClassifierSlow(pc);
+    }
+    void noteFetchForClassifierSlow(Addr pc);
     void finalizeClassifier(WrongPathRecord &rec);
     void finalizeAllClassifiers();
 
@@ -249,6 +322,14 @@ class Core
 
     // Prediction.
     std::unique_ptr<bpred::DirectionPredictor> predictor;
+    /**
+     * Concrete fast-path alias of `predictor` when it is the default
+     * perceptron; PerceptronPredictor is `final` with inline
+     * predict/train, so calls through this pointer devirtualize and
+     * inline. Null for the ablation predictors (gshare/bimodal/hybrid),
+     * which fall back to virtual dispatch.
+     */
+    bpred::PerceptronPredictor *perceptron = nullptr;
     std::unique_ptr<bpred::JrsConfidenceEstimator> jrs;
     bpred::Btb btb;
     bpred::ReturnAddressStack ras;
@@ -273,8 +354,10 @@ class Core
     std::uint32_t robCount = 0;
     std::uint64_t nextSeq = 1;
 
-    // Front end.
-    std::deque<FetchedInst> fetchQueue;
+    // Front end. Sized for the default fetch-queue capacity; grows
+    // (rarely — marker uops can briefly exceed the nominal bound) by
+    // doubling instead of std::deque's per-block allocation.
+    RingQueue<FetchedInst> fetchQueue{256};
     Addr fetchPc = kNoAddr;
     Cycle fetchStallUntil = 0;
     std::uint64_t ghr = 0;
@@ -301,8 +384,14 @@ class Core
         void clear() { *this = FetchDual{}; }
     } fdual;
 
-    // Episodes.
-    std::unordered_map<EpisodeId, Episode> episodes;
+    // Episodes: a power-of-two ring of id-validated slots indexed by
+    // `id & episodeMask` — lookup is index arithmetic, not hashing.
+    // Slots recycle; the window is sized (in the constructor) so every
+    // episode an in-flight object can still reference — ROB and fetch
+    // queue entries, checkpoints, fdp/fdual — stays resident, and
+    // newEpisode() asserts a recycled slot has fully drained.
+    std::vector<Episode> episodeTable;
+    EpisodeId episodeMask = 0;
     EpisodeId nextEpisodeId = 1;
 
     // Scheduler.

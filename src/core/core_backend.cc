@@ -175,14 +175,6 @@ Core::executeReady(InstRef ref)
     scheduleCompletion(ref, now + latency);
 }
 
-void
-Core::scheduleCompletion(InstRef ref, Cycle when)
-{
-    DynInst &di = *lookup(ref);
-    di.completeAt = when;
-    events.push(Event{when, ref});
-}
-
 // ---------------------------------------------------------------------
 // Completion / writeback / resolution
 // ---------------------------------------------------------------------
@@ -211,7 +203,8 @@ Core::writeback(InstRef ref)
 
     if (di.hasDest) {
         prf.setReady(di.dest, di.result);
-        for (InstRef w : prf.takeWaiters(di.dest)) {
+        std::vector<InstRef> &ws = prf.waitersOf(di.dest);
+        for (InstRef w : ws) {
             DynInst *c = lookup(w);
             if (!c || !c->dispatched || c->issued)
                 continue;
@@ -219,6 +212,7 @@ Core::writeback(InstRef ref)
             if (--c->depsOutstanding == 0 && !c->awaitingPredicate)
                 readyQueue.push(w);
         }
+        ws.clear();
     }
 
     if (di.kind == UopKind::Normal && di.isControl)

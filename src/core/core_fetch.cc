@@ -48,12 +48,12 @@ Core::fetchNormalCycle()
         return;
     }
 
-    const Addr line = fetchPc / caches.l1i().params().lineBytes;
+    const Addr line = caches.l1i().lineOf(fetchPc);
     unsigned branches = 0;
     for (unsigned n = 0; n < p.fetchWidth; ++n) {
         if (fetchPc == kNoAddr)
             break;
-        if (fetchPc / caches.l1i().params().lineBytes != line)
+        if (caches.l1i().lineOf(fetchPc) != line)
             break;
         if (!fetchOne(fetchPc, ghr, PathId::None, branches))
             break;
@@ -78,7 +78,7 @@ Core::fetchDualCycle()
         return;
     }
 
-    const Addr line = fdual.pc[s] / caches.l1i().params().lineBytes;
+    const Addr line = caches.l1i().lineOf(fdual.pc[s]);
     unsigned branches = 0;
     PathId path = s == 0 ? PathId::Predicted : PathId::Alternate;
     for (unsigned n = 0; n < p.fetchWidth; ++n) {
@@ -87,7 +87,7 @@ Core::fetchDualCycle()
                    // guard against future policy changes
         if (fdual.pc[s] == kNoAddr)
             break;
-        if (fdual.pc[s] / caches.l1i().params().lineBytes != line)
+        if (caches.l1i().lineOf(fdual.pc[s]) != line)
             break;
         if (!fetchOne(fdual.pc[s], fdual.ghr[s], path, branches))
             break;
@@ -110,8 +110,7 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
     if (fdp.active() && dual_path == PathId::None) {
         Episode &ep = episode(fdp.episodeId);
         if (fdp.path == PathId::Predicted) {
-            if (std::find(ep.cfms.begin(), ep.cfms.end(), pc) !=
-                ep.cfms.end()) {
+            if (ep.cfmMatches(pc)) {
                 fdp.chosenCfm = pc;
                 switchToAlternatePath();
                 return false; // redirect ends the fetch cycle
@@ -199,7 +198,7 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         if (p.mode == CoreMode::DualPath && fi.lowConfidence &&
             fi.predNextPc != kNoAddr) {
             if (tryStartDualEpisode(fi)) {
-                pushFetched(fi);
+                pushFetched(std::move(fi));
                 return false; // streams start next cycle
             }
         } else if (mark_ok && fi.lowConfidence && preds.canAllocate()) {
@@ -240,7 +239,7 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         ++ep.fetchedInsts;
     }
 
-    pushFetched(fi);
+    pushFetched(std::move(fi));
     if (started_episode)
         enqueueMarker(UopKind::EnterPred, fdp.episodeId);
 
@@ -269,7 +268,9 @@ Core::predictControl(FetchedInst &fi, Addr &next, std::uint64_t &ghr_ref,
     if (isa::isCondBranch(inst.op)) {
         fi.isCondBranch = true;
 
-        bool predicted = predictor->predict(fi.pc, ghr_ref, fi.predInfo);
+        bool predicted = perceptron
+            ? perceptron->predict(fi.pc, ghr_ref, fi.predInfo)
+            : predictor->predict(fi.pc, ghr_ref, fi.predInfo);
         if (p.perfectCondPredictor && oracle && oracle->synced()) {
             predicted = oracle->peek().taken;
             fi.predInfo.predTaken = predicted;
@@ -320,8 +321,7 @@ Core::tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark)
     if (mark.cfmPoints.empty())
         return false;
 
-    Episode ep;
-    ep.id = nextEpisodeId++;
+    Episode &ep = newEpisode();
     ep.divergePc = fi.pc;
     ep.predTaken = fi.predTaken;
     ep.predStartPc = fi.predNextPc;
@@ -331,12 +331,12 @@ Core::tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark)
 
     if (p.enhMultiCfm) {
         for (Addr cfm : mark.cfmPoints) {
-            if (ep.cfms.size() >= p.cfmCamEntries)
+            if (ep.cfmCount >= p.cfmCamEntries)
                 break;
-            ep.cfms.push_back(cfm);
+            ep.addCfm(cfm);
         }
     } else {
-        ep.cfms.push_back(mark.cfmPoints.front());
+        ep.addCfm(mark.cfmPoints.front());
     }
 
     ep.p1 = preds.allocate();
@@ -353,8 +353,7 @@ Core::tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark)
 
     DMP_TRACE(Dpred, now, 0, "core.fetch", "EP", ep.id, " enter pc=",
               trace::hex(ep.divergePc), " predTaken=", int(ep.predTaken),
-              " cfms=", ep.cfms.size());
-    episodes.emplace(ep.id, std::move(ep));
+              " cfms=", ep.cfmCount);
     ++st.dpredEntries;
     return true;
 }
@@ -371,8 +370,7 @@ Core::tryStartDualEpisode(FetchedInst &fi)
         return false;
     }
 
-    Episode ep;
-    ep.id = nextEpisodeId++;
+    Episode &ep = newEpisode();
     ep.isDualPath = true;
     ep.divergePc = fi.pc;
     ep.predTaken = fi.predTaken;
@@ -398,7 +396,6 @@ Core::tryStartDualEpisode(FetchedInst &fi)
     DMP_TRACE(Dual, now, 0, "core.fetch", "EP", fi.episode,
               " fork pc=", trace::hex(fi.pc), " pred=",
               trace::hex(fdual.pc[0]), " alt=", trace::hex(fdual.pc[1]));
-    episodes.emplace(ep.id, std::move(ep));
     ++st.dualForks;
     return true;
 }
@@ -501,7 +498,7 @@ Core::enqueueMarker(UopKind kind, EpisodeId id)
 }
 
 void
-Core::pushFetched(FetchedInst fi)
+Core::pushFetched(FetchedInst &&fi)
 {
     if (fi.kind == UopKind::Normal) {
         ++st.fetchedInsts;

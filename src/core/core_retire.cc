@@ -140,8 +140,12 @@ Core::trainPredictors(DynInst &di)
     // diverge branches from direction-predictor training.
     bool was_dpred_starter =
         di.isDivergeStarter && di.episode != kNoEpisode;
-    if (!(p.extSelectiveUpdate && was_dpred_starter))
-        predictor->train(di.pc, di.actualTaken, di.predInfo);
+    if (!(p.extSelectiveUpdate && was_dpred_starter)) {
+        if (perceptron)
+            perceptron->train(di.pc, di.actualTaken, di.predInfo);
+        else
+            predictor->train(di.pc, di.actualTaken, di.predInfo);
+    }
 
     if (!p.perfectConfidence)
         jrs->update(di.confIndex, di.actualNextPc != di.predNextPc);

@@ -11,8 +11,8 @@
 #ifndef DMP_CORE_EPISODE_HH
 #define DMP_CORE_EPISODE_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "bpred/target_predictors.hh"
@@ -23,6 +23,13 @@
 
 namespace dmp::core
 {
+
+/**
+ * Hardware bound on the per-episode CFM CAM. CoreParams::cfmCamEntries
+ * (the modeled capacity) must not exceed it; keeping the storage inline
+ * in Episode avoids a heap allocation per episode.
+ */
+constexpr unsigned kMaxCfmCamEntries = 16;
 
 /** Table 1 exit-case classification (0 == not yet classified). */
 enum class ExitCase : std::uint8_t
@@ -58,10 +65,29 @@ struct Episode
     Addr altStartPc = kNoAddr;  ///< first alternate-path address
     std::uint64_t divergeSeq = ~0ULL; ///< set when the branch renames
 
-    // CFM CAM contents (basic machine: one entry).
-    std::vector<Addr> cfms;
+    // CFM CAM contents (basic machine: one entry). Fixed-capacity
+    // inline storage: episode creation is a hot-path event and must not
+    // allocate.
+    std::array<Addr, kMaxCfmCamEntries> cfms{};
+    std::uint32_t cfmCount = 0;
     Addr chosenCfm = kNoAddr;
     std::uint32_t earlyExitThreshold = 0;
+
+    void
+    addCfm(Addr cfm) noexcept
+    {
+        cfms[cfmCount++] = cfm;
+    }
+
+    /** True when pc is one of this episode's CFM points. */
+    bool
+    cfmMatches(Addr pc) const noexcept
+    {
+        for (std::uint32_t i = 0; i < cfmCount; ++i)
+            if (cfms[i] == pc)
+                return true;
+        return false;
+    }
 
     // Predicates: p1 covers the predicted path, p2 the alternate path.
     PredId p1 = kNoPred;
@@ -113,21 +139,55 @@ struct PredState
 /**
  * Predicate register file. Ids grow monotonically; the hardware
  * namespace limit is modeled as a cap on unresolved ids in flight.
+ *
+ * Storage is a power-of-two ring of id-validated slots: every lookup is
+ * one mask + compare instead of a hash probe. The ring must be sized so
+ * that any id still referenced by in-flight state (ROB entries, store
+ * buffer, live episodes) is within `window` allocations of the newest
+ * id; the core sizes it from its episode window, and get()/resolve()
+ * assert the slot still holds the requested id on every access.
  */
 class PredicateFile
 {
   public:
-    explicit PredicateFile(unsigned hw_limit) : limit(hw_limit) {}
+    /**
+     * @param hw_limit cap on unresolved predicates in flight
+     * @param window ring capacity (rounded up to a power of two); must
+     *        exceed the number of predicate ids in-flight state can
+     *        reference at once
+     */
+    explicit PredicateFile(unsigned hw_limit, std::size_t window = 4096)
+        : limit(hw_limit)
+    {
+        std::size_t cap = 1;
+        while (cap < window || cap < 2 * std::size_t(hw_limit))
+            cap <<= 1;
+        mask = cap - 1;
+        slots.resize(cap);
+    }
 
     /** True when a new (unresolved) predicate can be allocated. */
-    bool canAllocate() const { return unresolved < limit; }
+    bool canAllocate() const noexcept { return unresolved < limit; }
 
     PredId
     allocate()
     {
         dmp_assert(canAllocate(), "predicate namespace exhausted");
         PredId id = nextId++;
-        states.emplace(id, PredState{});
+        Slot &s = slots[id & mask];
+        // An unresolved slot this old can only be an orphan: an episode
+        // that resumed after a flush re-ran its path switch and
+        // overwrote its p2 with a fresh allocation, leaving the first
+        // p2 unresolvable (its EnterAlt marker was dropped with the
+        // fetch queue). Such ids are referenced by nothing, so reusing
+        // the slot is safe. Deliberately do NOT decrement `unresolved`
+        // for it: the orphan keeps the in-flight count elevated, and
+        // that (observable through canAllocate) matches the behavior of
+        // the unbounded map this ring replaced. get()/resolve() still
+        // id-check every access, so overwriting a *referenced* id
+        // remains a loud failure.
+        s.id = id;
+        s.state = PredState{};
         ++unresolved;
         return id;
     }
@@ -135,40 +195,53 @@ class PredicateFile
     const PredState &
     get(PredId id) const
     {
-        auto it = states.find(id);
-        dmp_assert(it != states.end(), "unknown predicate id ", id);
-        return it->second;
+        const Slot &s = slots[id & mask];
+        dmp_assert(s.id == id, "unknown predicate id ", id);
+        return s.state;
     }
 
-    bool known(PredId id) const { return states.count(id) != 0; }
+    /** True when id was allocated and is still within the ring window. */
+    bool
+    known(PredId id) const noexcept
+    {
+        return id != kNoPred && slots[id & mask].id == id;
+    }
 
     /** Resolve (or re-resolve an assumed value with the real one). */
     void
     resolve(PredId id, bool value, bool assumed)
     {
-        auto it = states.find(id);
-        dmp_assert(it != states.end(), "resolving unknown predicate ", id);
-        if (!it->second.resolved) {
+        Slot &s = slots[id & mask];
+        dmp_assert(s.id == id, "resolving unknown predicate ", id);
+        if (!s.state.resolved) {
             --unresolved;
         }
-        it->second.resolved = true;
-        it->second.value = value;
-        it->second.assumed = assumed;
+        s.state.resolved = true;
+        s.state.value = value;
+        s.state.assumed = assumed;
     }
 
     void
     reset()
     {
-        states.clear();
+        for (Slot &s : slots)
+            s = Slot{};
         unresolved = 0;
         nextId = 0;
     }
 
   private:
+    struct Slot
+    {
+        PredId id = kNoPred;
+        PredState state;
+    };
+
     unsigned limit;
     unsigned unresolved = 0;
     PredId nextId = 0;
-    std::unordered_map<PredId, PredState> states;
+    std::size_t mask = 0;
+    std::vector<Slot> slots;
 };
 
 } // namespace dmp::core

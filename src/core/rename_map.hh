@@ -131,6 +131,18 @@ class PhysRegFile
         return std::exchange(waiters[p], {});
     }
 
+    /**
+     * Waiter list of p for in-place draining: the writeback stage
+     * iterates and then clear()s it, which keeps the vector's capacity
+     * (takeWaiters resets it to zero, so every later addWaiter
+     * reallocates — measurably hot at one writeback per instruction).
+     * Callers must not addWaiter(p) while iterating.
+     */
+    std::vector<InstRef> &waitersOf(PhysReg p) noexcept
+    {
+        return waiters[p];
+    }
+
     /** Debug: physical registers holding a waiter for `ref`. */
     std::vector<PhysReg>
     regsWaitedOnBy(InstRef ref) const

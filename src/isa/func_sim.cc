@@ -32,10 +32,14 @@ FuncSim::step()
         return info;
     }
 
-    const Inst &inst = prog.fetch(arch.pc);
+    if (!prog.contains(arch.pc)) [[unlikely]]
+        (void)prog.fetch(arch.pc); // fatal with the standard message
+    const std::size_t idx = prog.indexOf(arch.pc);
+    const Inst &inst = prog.instAt(idx);
+    const PreDecode &dec = prog.preDecodedAt(idx);
     info.pc = arch.pc;
     info.inst = inst;
-    info.isCondBranch = isCondBranch(inst.op);
+    info.isCondBranch = dec.condBranch();
 
     Word s1 = arch.read(inst.rs1);
     Word s2 = arch.read(inst.rs2);
@@ -58,7 +62,7 @@ FuncSim::step()
       default:
         if (r.taken)
             next_pc = r.target;
-        if (writesDest(inst))
+        if (dec.flags & kDecWritesDest)
             arch.write(inst.rd, r.value);
         break;
     }

@@ -7,170 +7,6 @@
 namespace dmp::isa
 {
 
-bool
-isCondBranch(Opcode op)
-{
-    switch (op) {
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BLTU:
-      case Opcode::BGEU:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isControl(Opcode op)
-{
-    switch (op) {
-      case Opcode::JMP:
-      case Opcode::JR:
-      case Opcode::CALL:
-      case Opcode::RET:
-        return true;
-      default:
-        return isCondBranch(op);
-    }
-}
-
-bool
-isDirectJump(Opcode op)
-{
-    return op == Opcode::JMP || op == Opcode::CALL;
-}
-
-bool
-isIndirect(Opcode op)
-{
-    return op == Opcode::JR || op == Opcode::RET;
-}
-
-bool
-isCall(Opcode op)
-{
-    return op == Opcode::CALL;
-}
-
-bool
-isReturn(Opcode op)
-{
-    return op == Opcode::RET;
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::LD;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::ST;
-}
-
-bool
-writesDest(const Inst &inst)
-{
-    switch (inst.op) {
-      case Opcode::NOP:
-      case Opcode::HALT:
-      case Opcode::ST:
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BLTU:
-      case Opcode::BGEU:
-      case Opcode::JMP:
-      case Opcode::JR:
-      case Opcode::RET:
-        return false;
-      case Opcode::CALL:
-        return true; // link register
-      default:
-        return inst.rd != kZeroReg;
-    }
-}
-
-bool
-readsSrc1(const Inst &inst)
-{
-    switch (inst.op) {
-      case Opcode::NOP:
-      case Opcode::HALT:
-      case Opcode::LI:
-      case Opcode::JMP:
-      case Opcode::CALL:
-        return false;
-      case Opcode::RET:
-        return true; // implicitly reads the link register
-      default:
-        return true;
-    }
-}
-
-bool
-readsSrc2(const Inst &inst)
-{
-    switch (inst.op) {
-      case Opcode::ADD:
-      case Opcode::SUB:
-      case Opcode::MUL:
-      case Opcode::DIVQ:
-      case Opcode::AND:
-      case Opcode::OR:
-      case Opcode::XOR:
-      case Opcode::SHL:
-      case Opcode::SHR:
-      case Opcode::SRA:
-      case Opcode::SLT:
-      case Opcode::SLTU:
-      case Opcode::SEQ:
-      case Opcode::FADD:
-      case Opcode::FMUL:
-      case Opcode::FDIV:
-      case Opcode::ST:
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BLTU:
-      case Opcode::BGEU:
-        return true;
-      default:
-        return false;
-    }
-}
-
-ExecClass
-execClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::NOP:
-      case Opcode::HALT:
-        return ExecClass::NONE;
-      case Opcode::MUL:
-      case Opcode::MULI:
-        return ExecClass::MUL;
-      case Opcode::DIVQ:
-        return ExecClass::DIV;
-      case Opcode::FADD:
-      case Opcode::FMUL:
-      case Opcode::FDIV:
-        return ExecClass::FP;
-      case Opcode::LD:
-      case Opcode::ST:
-        return ExecClass::MEM;
-      default:
-        return isControl(op) ? ExecClass::BRANCH : ExecClass::ALU;
-    }
-}
-
 const char *
 opcodeName(Opcode op)
 {
@@ -270,110 +106,6 @@ disassemble(const Inst &inst, Addr pc)
         break;
     }
     return os.str();
-}
-
-ExecResult
-evaluate(const Inst &inst, Addr pc, Word s1, Word s2)
-{
-    ExecResult r;
-    switch (inst.op) {
-      case Opcode::NOP:
-      case Opcode::HALT:
-        break;
-
-      case Opcode::ADD: r.value = s1 + s2; break;
-      case Opcode::SUB: r.value = s1 - s2; break;
-      case Opcode::MUL: r.value = s1 * s2; break;
-      case Opcode::DIVQ: r.value = s2 ? s1 / s2 : ~0ULL; break;
-      case Opcode::AND: r.value = s1 & s2; break;
-      case Opcode::OR: r.value = s1 | s2; break;
-      case Opcode::XOR: r.value = s1 ^ s2; break;
-      case Opcode::SHL: r.value = s1 << (s2 & 63); break;
-      case Opcode::SHR: r.value = s1 >> (s2 & 63); break;
-      case Opcode::SRA:
-        r.value = static_cast<Word>(static_cast<SWord>(s1) >> (s2 & 63));
-        break;
-      case Opcode::SLT:
-        r.value = static_cast<SWord>(s1) < static_cast<SWord>(s2);
-        break;
-      case Opcode::SLTU: r.value = s1 < s2; break;
-      case Opcode::SEQ: r.value = s1 == s2; break;
-
-      case Opcode::ADDI: r.value = s1 + static_cast<Word>(inst.imm); break;
-      case Opcode::MULI: r.value = s1 * static_cast<Word>(inst.imm); break;
-      case Opcode::ANDI: r.value = s1 & static_cast<Word>(inst.imm); break;
-      case Opcode::ORI: r.value = s1 | static_cast<Word>(inst.imm); break;
-      case Opcode::XORI: r.value = s1 ^ static_cast<Word>(inst.imm); break;
-      case Opcode::SHLI: r.value = s1 << (inst.imm & 63); break;
-      case Opcode::SHRI: r.value = s1 >> (inst.imm & 63); break;
-      case Opcode::SLTI:
-        r.value = static_cast<SWord>(s1) < inst.imm;
-        break;
-      case Opcode::SEQI:
-        r.value = s1 == static_cast<Word>(inst.imm);
-        break;
-      case Opcode::LI: r.value = static_cast<Word>(inst.imm); break;
-
-      // FP-latency-class arithmetic: integer semantics, FP timing.
-      case Opcode::FADD: r.value = s1 + s2; break;
-      case Opcode::FMUL: r.value = s1 * s2; break;
-      case Opcode::FDIV: r.value = s2 ? s1 / s2 : ~0ULL; break;
-
-      case Opcode::LD:
-        r.memAddr = s1 + static_cast<Word>(inst.imm);
-        break;
-      case Opcode::ST:
-        r.memAddr = s1 + static_cast<Word>(inst.imm);
-        r.value = s2;
-        break;
-
-      case Opcode::BEQ:
-        r.taken = s1 == s2;
-        r.target = inst.target;
-        break;
-      case Opcode::BNE:
-        r.taken = s1 != s2;
-        r.target = inst.target;
-        break;
-      case Opcode::BLT:
-        r.taken = static_cast<SWord>(s1) < static_cast<SWord>(s2);
-        r.target = inst.target;
-        break;
-      case Opcode::BGE:
-        r.taken = static_cast<SWord>(s1) >= static_cast<SWord>(s2);
-        r.target = inst.target;
-        break;
-      case Opcode::BLTU:
-        r.taken = s1 < s2;
-        r.target = inst.target;
-        break;
-      case Opcode::BGEU:
-        r.taken = s1 >= s2;
-        r.target = inst.target;
-        break;
-
-      case Opcode::JMP:
-        r.taken = true;
-        r.target = inst.target;
-        break;
-      case Opcode::JR:
-        r.taken = true;
-        r.target = s1;
-        break;
-      case Opcode::CALL:
-        r.taken = true;
-        r.target = inst.target;
-        r.value = pc + kInstBytes; // link value
-        break;
-      case Opcode::RET:
-        r.taken = true;
-        r.target = s1; // rs1 is the link register
-        break;
-
-      default:
-        dmp_panic("evaluate: bad opcode ", int(inst.op));
-    }
-    return r;
 }
 
 } // namespace dmp::isa

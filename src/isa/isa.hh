@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace dmp::isa
@@ -102,32 +103,218 @@ struct Inst
     Addr target = kNoAddr;
 };
 
-/** True for the six conditional-branch opcodes. */
-bool isCondBranch(Opcode op);
+// The per-instruction classification helpers below run tens of millions
+// of times per simulated second (fetch, rename, issue, functional
+// re-execution). They are defined inline so every translation unit can
+// fold them down to a couple of compare instructions; the opcode enum is
+// laid out so each class is one contiguous range.
 
-/** True for any instruction that can redirect the PC. */
-bool isControl(Opcode op);
+/** True for the six conditional-branch opcodes. */
+constexpr bool
+isCondBranch(Opcode op) noexcept
+{
+    return op >= Opcode::BEQ && op <= Opcode::BGEU;
+}
 
 /** True for direct unconditional transfers (JMP/CALL). */
-bool isDirectJump(Opcode op);
+constexpr bool
+isDirectJump(Opcode op) noexcept
+{
+    return op == Opcode::JMP || op == Opcode::CALL;
+}
 
 /** True for indirect transfers (JR/RET). */
-bool isIndirect(Opcode op);
+constexpr bool
+isIndirect(Opcode op) noexcept
+{
+    return op == Opcode::JR || op == Opcode::RET;
+}
 
-bool isCall(Opcode op);
-bool isReturn(Opcode op);
-bool isLoad(Opcode op);
-bool isStore(Opcode op);
+/** True for any instruction that can redirect the PC. */
+constexpr bool
+isControl(Opcode op) noexcept
+{
+    return op >= Opcode::BEQ && op <= Opcode::RET;
+}
+
+constexpr bool
+isCall(Opcode op) noexcept
+{
+    return op == Opcode::CALL;
+}
+
+constexpr bool
+isReturn(Opcode op) noexcept
+{
+    return op == Opcode::RET;
+}
+
+constexpr bool
+isLoad(Opcode op) noexcept
+{
+    return op == Opcode::LD;
+}
+
+constexpr bool
+isStore(Opcode op) noexcept
+{
+    return op == Opcode::ST;
+}
 
 /** True when the instruction architecturally writes rd. */
-bool writesDest(const Inst &inst);
+constexpr bool
+writesDest(const Inst &inst) noexcept
+{
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::ST:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+      case Opcode::JMP:
+      case Opcode::JR:
+      case Opcode::RET:
+        return false;
+      case Opcode::CALL:
+        return true; // link register
+      default:
+        return inst.rd != kZeroReg;
+    }
+}
 
 /** True when rs1 (resp. rs2) is an architectural source. */
-bool readsSrc1(const Inst &inst);
-bool readsSrc2(const Inst &inst);
+constexpr bool
+readsSrc1(const Inst &inst) noexcept
+{
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::LI:
+      case Opcode::JMP:
+      case Opcode::CALL:
+        return false;
+      case Opcode::RET:
+        return true; // implicitly reads the link register
+      default:
+        return true;
+    }
+}
+
+constexpr bool
+readsSrc2(const Inst &inst) noexcept
+{
+    switch (inst.op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::DIVQ:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::SRA:
+      case Opcode::SLT:
+      case Opcode::SLTU:
+      case Opcode::SEQ:
+      case Opcode::FADD:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::ST:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** The latency class the core schedules this opcode on. */
-ExecClass execClass(Opcode op);
+constexpr ExecClass
+execClass(Opcode op) noexcept
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return ExecClass::NONE;
+      case Opcode::MUL:
+      case Opcode::MULI:
+        return ExecClass::MUL;
+      case Opcode::DIVQ:
+        return ExecClass::DIV;
+      case Opcode::FADD:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+        return ExecClass::FP;
+      case Opcode::LD:
+      case Opcode::ST:
+        return ExecClass::MEM;
+      default:
+        return isControl(op) ? ExecClass::BRANCH : ExecClass::ALU;
+    }
+}
+
+/** @name Pre-decoded instruction flags
+ *  One bit per classification the pipeline asks about every cycle. A
+ *  PreDecode record is computed once per static instruction when a
+ *  Program is linked; fetch, rename, and the functional simulators read
+ *  the cached bits instead of re-running the opcode switches.
+ */
+/// @{
+constexpr std::uint16_t kDecCondBranch = 1u << 0;
+constexpr std::uint16_t kDecControl = 1u << 1;
+constexpr std::uint16_t kDecDirectJump = 1u << 2;
+constexpr std::uint16_t kDecIndirect = 1u << 3;
+constexpr std::uint16_t kDecCall = 1u << 4;
+constexpr std::uint16_t kDecReturn = 1u << 5;
+constexpr std::uint16_t kDecLoad = 1u << 6;
+constexpr std::uint16_t kDecStore = 1u << 7;
+constexpr std::uint16_t kDecWritesDest = 1u << 8;
+constexpr std::uint16_t kDecReadsSrc1 = 1u << 9;
+constexpr std::uint16_t kDecReadsSrc2 = 1u << 10;
+/// @}
+
+/** Cached per-static-instruction decode work (flags + latency class). */
+struct PreDecode
+{
+    std::uint16_t flags = 0;
+    ExecClass cls = ExecClass::NONE;
+
+    constexpr bool condBranch() const noexcept
+    { return flags & kDecCondBranch; }
+    constexpr bool control() const noexcept { return flags & kDecControl; }
+    constexpr bool load() const noexcept { return flags & kDecLoad; }
+    constexpr bool store() const noexcept { return flags & kDecStore; }
+};
+
+/** Decode one instruction into its cached classification record. */
+constexpr PreDecode
+preDecode(const Inst &inst) noexcept
+{
+    PreDecode d;
+    const Opcode op = inst.op;
+    d.flags = (isCondBranch(op) ? kDecCondBranch : 0) |
+              (isControl(op) ? kDecControl : 0) |
+              (isDirectJump(op) ? kDecDirectJump : 0) |
+              (isIndirect(op) ? kDecIndirect : 0) |
+              (isCall(op) ? kDecCall : 0) |
+              (isReturn(op) ? kDecReturn : 0) |
+              (isLoad(op) ? kDecLoad : 0) |
+              (isStore(op) ? kDecStore : 0) |
+              (writesDest(inst) ? kDecWritesDest : 0) |
+              (readsSrc1(inst) ? kDecReadsSrc1 : 0) |
+              (readsSrc2(inst) ? kDecReadsSrc2 : 0);
+    d.cls = execClass(op);
+    return d;
+}
 
 /** Mnemonic for diagnostics and the assembler. */
 const char *opcodeName(Opcode op);
@@ -152,13 +339,118 @@ struct ExecResult
 /**
  * Evaluate an instruction's dataflow function.
  *
+ * Defined inline: the timing core, the functional simulator, and the
+ * oracle tracker all call this once per simulated instruction.
+ *
  * @param inst the instruction
  * @param pc its address (for CALL link values and fallthrough math)
  * @param s1 value of rs1
  * @param s2 value of rs2
  * @return computed result; loads leave value to be filled from memory.
  */
-ExecResult evaluate(const Inst &inst, Addr pc, Word s1, Word s2);
+inline ExecResult
+evaluate(const Inst &inst, Addr pc, Word s1, Word s2)
+{
+    ExecResult r;
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        break;
+
+      case Opcode::ADD: r.value = s1 + s2; break;
+      case Opcode::SUB: r.value = s1 - s2; break;
+      case Opcode::MUL: r.value = s1 * s2; break;
+      case Opcode::DIVQ: r.value = s2 ? s1 / s2 : ~0ULL; break;
+      case Opcode::AND: r.value = s1 & s2; break;
+      case Opcode::OR: r.value = s1 | s2; break;
+      case Opcode::XOR: r.value = s1 ^ s2; break;
+      case Opcode::SHL: r.value = s1 << (s2 & 63); break;
+      case Opcode::SHR: r.value = s1 >> (s2 & 63); break;
+      case Opcode::SRA:
+        r.value = static_cast<Word>(static_cast<SWord>(s1) >> (s2 & 63));
+        break;
+      case Opcode::SLT:
+        r.value = static_cast<SWord>(s1) < static_cast<SWord>(s2);
+        break;
+      case Opcode::SLTU: r.value = s1 < s2; break;
+      case Opcode::SEQ: r.value = s1 == s2; break;
+
+      case Opcode::ADDI: r.value = s1 + static_cast<Word>(inst.imm); break;
+      case Opcode::MULI: r.value = s1 * static_cast<Word>(inst.imm); break;
+      case Opcode::ANDI: r.value = s1 & static_cast<Word>(inst.imm); break;
+      case Opcode::ORI: r.value = s1 | static_cast<Word>(inst.imm); break;
+      case Opcode::XORI: r.value = s1 ^ static_cast<Word>(inst.imm); break;
+      case Opcode::SHLI: r.value = s1 << (inst.imm & 63); break;
+      case Opcode::SHRI: r.value = s1 >> (inst.imm & 63); break;
+      case Opcode::SLTI:
+        r.value = static_cast<SWord>(s1) < inst.imm;
+        break;
+      case Opcode::SEQI:
+        r.value = s1 == static_cast<Word>(inst.imm);
+        break;
+      case Opcode::LI: r.value = static_cast<Word>(inst.imm); break;
+
+      // FP-latency-class arithmetic: integer semantics, FP timing.
+      case Opcode::FADD: r.value = s1 + s2; break;
+      case Opcode::FMUL: r.value = s1 * s2; break;
+      case Opcode::FDIV: r.value = s2 ? s1 / s2 : ~0ULL; break;
+
+      case Opcode::LD:
+        r.memAddr = s1 + static_cast<Word>(inst.imm);
+        break;
+      case Opcode::ST:
+        r.memAddr = s1 + static_cast<Word>(inst.imm);
+        r.value = s2;
+        break;
+
+      case Opcode::BEQ:
+        r.taken = s1 == s2;
+        r.target = inst.target;
+        break;
+      case Opcode::BNE:
+        r.taken = s1 != s2;
+        r.target = inst.target;
+        break;
+      case Opcode::BLT:
+        r.taken = static_cast<SWord>(s1) < static_cast<SWord>(s2);
+        r.target = inst.target;
+        break;
+      case Opcode::BGE:
+        r.taken = static_cast<SWord>(s1) >= static_cast<SWord>(s2);
+        r.target = inst.target;
+        break;
+      case Opcode::BLTU:
+        r.taken = s1 < s2;
+        r.target = inst.target;
+        break;
+      case Opcode::BGEU:
+        r.taken = s1 >= s2;
+        r.target = inst.target;
+        break;
+
+      case Opcode::JMP:
+        r.taken = true;
+        r.target = inst.target;
+        break;
+      case Opcode::JR:
+        r.taken = true;
+        r.target = s1;
+        break;
+      case Opcode::CALL:
+        r.taken = true;
+        r.target = inst.target;
+        r.value = pc + kInstBytes; // link value
+        break;
+      case Opcode::RET:
+        r.taken = true;
+        r.target = s1; // rs1 is the link register
+        break;
+
+      default:
+        dmp_panic("evaluate: bad opcode ", int(inst.op));
+    }
+    return r;
+}
 
 } // namespace dmp::isa
 

@@ -14,21 +14,47 @@ Program::Program(Addr base_, std::vector<Inst> insts_,
       labelMap(std::move(labels_))
 {
     dmp_assert(base % kInstBytes == 0, "program base must be aligned");
+    preDec.reserve(insts.size());
+    for (const Inst &i : insts)
+        preDec.push_back(preDecode(i));
+    markIndex.assign(insts.size(), nullptr);
 }
 
-bool
-Program::contains(Addr pc) const
+Program::Program(const Program &o)
+    : base(o.base), insts(o.insts), preDec(o.preDec), data(o.data),
+      labelMap(o.labelMap), marks(o.marks)
 {
-    return pc >= base && pc < endAddr() && (pc - base) % kInstBytes == 0;
+    rebuildMarkIndex();
 }
 
-const Inst &
-Program::fetch(Addr pc) const
+Program &
+Program::operator=(const Program &o)
 {
-    if (!contains(pc))
-        dmp_fatal("instruction fetch outside program image: 0x",
-                  std::hex, pc);
-    return insts[(pc - base) / kInstBytes];
+    if (this == &o)
+        return *this;
+    base = o.base;
+    insts = o.insts;
+    preDec = o.preDec;
+    data = o.data;
+    labelMap = o.labelMap;
+    marks = o.marks;
+    rebuildMarkIndex();
+    return *this;
+}
+
+void
+Program::rebuildMarkIndex()
+{
+    markIndex.assign(insts.size(), nullptr);
+    for (const auto &[pc, m] : marks)
+        markIndex[indexOf(pc)] = &m;
+}
+
+void
+Program::fetchFault(Addr pc) const
+{
+    dmp_fatal("instruction fetch outside program image: 0x",
+              std::hex, pc);
 }
 
 Addr
@@ -46,14 +72,9 @@ Program::setMark(Addr pc, DivergeMark mark_)
     dmp_assert(contains(pc), "marking outside program image");
     dmp_assert(isCondBranch(fetch(pc).op),
                "diverge mark on a non-conditional-branch instruction");
-    marks[pc] = std::move(mark_);
-}
-
-const DivergeMark *
-Program::mark(Addr pc) const
-{
-    auto it = marks.find(pc);
-    return it == marks.end() ? nullptr : &it->second;
+    DivergeMark &node = marks[pc];
+    node = std::move(mark_);
+    markIndex[indexOf(pc)] = &node;
 }
 
 std::string

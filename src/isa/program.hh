@@ -56,20 +56,71 @@ class Program
             std::vector<std::pair<Addr, Word>> data_,
             std::unordered_map<std::string, Addr> labels_);
 
+    // The O(1) mark index stores pointers into this program's own marks
+    // map, so copies must re-point it at their own map (map nodes are
+    // stable under insert, which is why the index survives setMark).
+    Program(const Program &o);
+    Program &operator=(const Program &o);
+    Program(Program &&) noexcept = default;
+    Program &operator=(Program &&) noexcept = default;
+
+    /** log2(kInstBytes): pc-to-index conversions compile to a shift. */
+    static constexpr unsigned kInstShift = 2;
+    static_assert((Addr(1) << kInstShift) == kInstBytes);
+
     /** First instruction address. */
-    Addr baseAddr() const { return base; }
+    Addr baseAddr() const noexcept { return base; }
 
     /** One past the last instruction address. */
-    Addr endAddr() const { return base + insts.size() * kInstBytes; }
+    Addr endAddr() const noexcept
+    {
+        return base + insts.size() * kInstBytes;
+    }
 
     /** Number of static instructions. */
-    std::size_t size() const { return insts.size(); }
+    std::size_t size() const noexcept { return insts.size(); }
 
     /** True when pc addresses an instruction of this program. */
-    bool contains(Addr pc) const;
+    bool contains(Addr pc) const noexcept
+    {
+        // Unsigned wrap makes the single compare also reject pc < base.
+        return pc - base < insts.size() * kInstBytes &&
+               (pc & (kInstBytes - 1)) == 0;
+    }
+
+    /** Static-instruction index of pc; caller guarantees contains(pc). */
+    std::size_t indexOf(Addr pc) const noexcept
+    {
+        return (pc - base) >> kInstShift;
+    }
 
     /** The instruction at pc; fatal when pc is outside the image. */
-    const Inst &fetch(Addr pc) const;
+    const Inst &fetch(Addr pc) const
+    {
+        if (!contains(pc)) [[unlikely]]
+            fetchFault(pc);
+        return insts[indexOf(pc)];
+    }
+
+    /** Cached decode record for the instruction at pc (see isa.hh). */
+    const PreDecode &preDecoded(Addr pc) const
+    {
+        if (!contains(pc)) [[unlikely]]
+            fetchFault(pc);
+        return preDec[indexOf(pc)];
+    }
+
+    /** Cached decode record by static-instruction index (no checks). */
+    const PreDecode &preDecodedAt(std::size_t idx) const noexcept
+    {
+        return preDec[idx];
+    }
+
+    /** Instruction by static-instruction index (no checks). */
+    const Inst &instAt(std::size_t idx) const noexcept
+    {
+        return insts[idx];
+    }
 
     /** Initial data image: (byte address, word value) pairs. */
     const std::vector<std::pair<Addr, Word>> &initialData() const
@@ -89,17 +140,40 @@ class Program
     /** @name Compiler markings (mutated by the profiler/marker). */
     /// @{
     void setMark(Addr pc, DivergeMark mark);
-    const DivergeMark *mark(Addr pc) const;
+
+    /**
+     * The marking on the branch at pc, or nullptr. O(1): indexes the
+     * per-static-instruction pointer table rather than searching the map
+     * (fetch asks this question for every conditional branch).
+     */
+    const DivergeMark *mark(Addr pc) const noexcept
+    {
+        const std::size_t idx = (pc - base) >> kInstShift;
+        return idx < markIndex.size() ? markIndex[idx] : nullptr;
+    }
+
     const std::map<Addr, DivergeMark> &allMarks() const { return marks; }
-    void clearMarks() { marks.clear(); }
+
+    void clearMarks()
+    {
+        marks.clear();
+        markIndex.assign(insts.size(), nullptr);
+    }
     /// @}
 
     /** Full-program disassembly listing. */
     std::string listing() const;
 
   private:
+    [[noreturn]] void fetchFault(Addr pc) const;
+    void rebuildMarkIndex();
+
     Addr base = 0x1000;
     std::vector<Inst> insts;
+    /** Parallel to insts: classification cached at link time. */
+    std::vector<PreDecode> preDec;
+    /** Parallel to insts: marks-map node for each pc (or nullptr). */
+    std::vector<const DivergeMark *> markIndex;
     std::vector<std::pair<Addr, Word>> data;
     std::unordered_map<std::string, Addr> labelMap;
     std::map<Addr, DivergeMark> marks;

@@ -29,26 +29,15 @@ Cache::Cache(const CacheParams &params)
     dmp_assert(isPowerOfTwo(p.lineBytes), "line size must be 2^n");
     dmp_assert(isPowerOfTwo(numSets), "set count must be 2^n: ", p.name);
     dmp_assert(p.banks >= 1, "cache needs at least one bank");
+    while ((std::uint32_t(1) << lineShift) < p.lineBytes)
+        ++lineShift;
+    tagShift = lineShift;
+    while ((std::uint32_t(1) << (tagShift - lineShift)) < numSets)
+        ++tagShift;
+    banksPow2 = isPowerOfTwo(p.banks);
+    bankMask = p.banks - 1;
     statGroup.addStat("hits", &hitCount, "demand hits");
     statGroup.addStat("misses", &missCount, "demand misses");
-}
-
-std::uint32_t
-Cache::setIndex(Addr addr) const
-{
-    return std::uint32_t(addr / p.lineBytes) & (numSets - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / p.lineBytes / numSets;
-}
-
-std::uint32_t
-Cache::bankOf(Addr addr) const
-{
-    return std::uint32_t(addr / p.lineBytes) % p.banks;
 }
 
 bool
@@ -137,14 +126,21 @@ CacheHierarchy::CacheHierarchy(const Params &params)
       l1iCache(p.l1i),
       l1dCache(p.l1d),
       l2Cache(p.l2),
-      memBankFreeAt(p.memBanks, 0)
+      memBankFreeAt(p.memBanks, 0),
+      memBanksPow2(isPowerOfTwo(p.memBanks))
 {
 }
 
 Cycle
 CacheHierarchy::memoryAccess(Addr addr, Cycle now)
 {
-    std::uint32_t bank = std::uint32_t(addr / p.l2.lineBytes) % p.memBanks;
+    // Bank readiness is a direct-indexed timestamp array (no scan): a
+    // request reads and bumps exactly one memBankFreeAt slot, like the
+    // per-cache bankFreeAt in Cache::access. Line/bank decomposition is
+    // shift/mask when the counts are powers of two (the defaults).
+    std::uint32_t line = std::uint32_t(l2Cache.lineOf(addr));
+    std::uint32_t bank = memBanksPow2 ? (line & (p.memBanks - 1))
+                                      : (line % p.memBanks);
     Cycle start = std::max(now, memBankFreeAt[bank]);
     memBankFreeAt[bank] = start + p.memBankBusy;
     return start + p.memLatency;

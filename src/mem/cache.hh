@@ -32,7 +32,7 @@ struct CacheParams
 };
 
 /** One cache level with true-LRU replacement and banked ports. */
-class Cache
+class Cache final
 {
   public:
     explicit Cache(const CacheParams &params);
@@ -63,6 +63,9 @@ class Cache
     /** Invalidate everything (between benchmark runs). */
     void reset();
 
+    /** Line-granular address (the fetch loop's same-line test). */
+    Addr lineOf(Addr addr) const noexcept { return addr >> lineShift; }
+
     const CacheParams &params() const { return p; }
     StatGroup &stats() { return statGroup; }
 
@@ -78,12 +81,30 @@ class Cache
         bool valid = false;
     };
 
-    std::uint32_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    std::uint32_t bankOf(Addr addr) const;
+    // Index math is shift/mask: lineBytes and numSets are asserted to
+    // be powers of two at construction, so the per-access address
+    // decomposition never pays an integer divide. Banks are usually a
+    // power of two as well; the constructor precomputes a mask when
+    // they are and bankOf falls back to modulo when not.
+    std::uint32_t
+    setIndex(Addr addr) const noexcept
+    {
+        return std::uint32_t(addr >> lineShift) & (numSets - 1);
+    }
+    Addr tagOf(Addr addr) const noexcept { return addr >> tagShift; }
+    std::uint32_t
+    bankOf(Addr addr) const noexcept
+    {
+        std::uint32_t line = std::uint32_t(addr >> lineShift);
+        return banksPow2 ? (line & bankMask) : (line % p.banks);
+    }
 
     CacheParams p;
     std::uint32_t numSets;
+    std::uint32_t lineShift = 0;
+    std::uint32_t tagShift = 0;
+    std::uint32_t bankMask = 0; ///< banks - 1 (valid when banksPow2)
+    bool banksPow2 = false;
     std::vector<Line> lines; ///< numSets * assoc, set-major
     std::vector<Cycle> bankFreeAt;
     std::uint64_t lruClock = 0;
@@ -98,7 +119,7 @@ class Cache
  * fixed-latency banked memory (Table 2: 64KB 2-way L1I, 64KB 4-way L1D,
  * 1MB 8-way 8-bank L2 at 10 cycles, 300-cycle 32-bank memory).
  */
-class CacheHierarchy
+class CacheHierarchy final
 {
   public:
     struct Params
@@ -142,6 +163,7 @@ class CacheHierarchy
     Cache l1dCache;
     Cache l2Cache;
     std::vector<Cycle> memBankFreeAt;
+    bool memBanksPow2 = false;
 };
 
 } // namespace dmp::mem

@@ -149,6 +149,79 @@ TEST(StoreBufferUnit, YoungestMatchWins)
     EXPECT_EQ(data, 2u);
 }
 
+TEST(StoreBufferUnit, OverlappingStoresLayeredPredicates)
+{
+    // Three stores to the same address: plain, then unresolved
+    // predicate 7, then predicate 8 already resolved FALSE. The probe
+    // walks youngest-first, so the dead store is skipped and the
+    // unresolved one decides per rule (3).
+    StoreBuffer sb(16);
+    sb.allocate(1, kNoPred, true, true);
+    sb.fill(1, 0x100, 1);
+    sb.allocate(2, /*pred=*/7, false, false);
+    sb.fill(2, 0x100, 2);
+    sb.allocate(3, /*pred=*/8, false, false);
+    sb.fill(3, 0x100, 3);
+    sb.resolvePredicate(8, false); // dead, must be invisible
+
+    Word data = 0;
+    // Same predicate as the unresolved store: forwards its value.
+    EXPECT_EQ(sb.probe(9, 0x100, 7, data), ForwardResult::Forward);
+    EXPECT_EQ(data, 2u);
+    // Different predicate: the unresolved store blocks the load even
+    // though an older plain store matches (rule 3 is conservative).
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::MustWait);
+
+    // Once predicate 7 resolves FALSE too, the plain store shines
+    // through both overlapping dead stores.
+    sb.resolvePredicate(7, false);
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::Forward);
+    EXPECT_EQ(data, 1u);
+}
+
+TEST(StoreBufferUnit, UnknownAddressYoungerStoreBlocksOlderMatch)
+{
+    // A younger store whose address has not been computed blocks every
+    // later load — even one that would hit an older, filled entry —
+    // because the unknown address might overlap the load's.
+    StoreBuffer sb(16);
+    sb.allocate(1, kNoPred, true, true);
+    sb.fill(1, 0x100, 1);
+    sb.allocate(2, kNoPred, true, true); // address still unknown
+    Word data = 0;
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::MustWait);
+    // Filling it with a non-overlapping address unblocks the load.
+    sb.fill(2, 0x200, 2);
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::Forward);
+    EXPECT_EQ(data, 1u);
+}
+
+TEST(StoreBufferUnit, SquashRestoresForwardingAcrossFlushedEpisode)
+{
+    // A flush squashes the episode's predicated stores out of the
+    // buffer; loads issued after the flush must forward from the
+    // surviving pre-episode store, not wait on the squashed one.
+    StoreBuffer sb(16);
+    sb.allocate(1, kNoPred, true, true);
+    sb.fill(1, 0x100, 1);
+    sb.allocate(5, /*pred=*/7, false, false); // episode store
+    sb.fill(5, 0x100, 55);
+
+    Word data = 0;
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::MustWait); // blocked by the episode store
+
+    sb.squashYoungerThan(1); // pipeline flush at the diverge branch
+    EXPECT_EQ(sb.size(), 1u);
+    EXPECT_EQ(sb.probe(9, 0x100, kNoPred, data),
+              ForwardResult::Forward);
+    EXPECT_EQ(data, 1u);
+}
+
 // ---------------------------------------------------------------
 // End-to-end: predicated stores inside dpred episodes.
 // ---------------------------------------------------------------
@@ -205,6 +278,63 @@ TEST(PredicatedStores, FalsePathStoreNeverReachesMemory)
     // The post-CFM load had to wait for or forward from predicated
     // stores on both paths — and memory matches the reference, so the
     // FALSE-path stores were dropped.
+}
+
+/**
+ * Forwarding across flushed episodes: the fall-through arm is longer
+ * than the ROB, so a mispredicted-taken episode cannot reach the CFM
+ * and ends in a pipeline flush (exit case 4). Its predicated store to
+ * [r20] must be squashed from the store buffer, and the re-executed
+ * path's store plus the post-CFM load must still produce the reference
+ * memory image.
+ */
+TEST(PredicatedStores, ForwardingAcrossFlushedEpisode)
+{
+    ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 300);
+    b.li(14, 0x57073);
+    b.li(20, 0x100000);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.muli(14, 14, 6364136223846793005LL);
+    b.addi(14, 14, 1442695040888963407LL);
+    b.shri(1, 14, 33);
+    b.andi(2, 1, 255);
+    b.slti(2, 2, 205); // ~80% taken
+    b.st(20, 0, 10);   // pre-branch store the load can fall back to
+    Label cfm_l = b.newLabel();
+    Addr branch = b.bne(2, 0, cfm_l); // taken -> CFM directly
+    b.li(3, 222);
+    b.st(20, 0, 3); // fall-through store, squashed on flush
+    for (int i = 0; i < 700; ++i)
+        b.addi(6, 6, 1);
+    b.bind(cfm_l);
+    b.ld(4, 20, 0); // must see the surviving store's value
+    b.add(5, 5, 4);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, loop);
+    b.st(20, 8, 5);
+    b.halt();
+    Program p = b.build();
+
+    isa::DivergeMark mark;
+    mark.isDiverge = true;
+    mark.cfmPoints.push_back(p.fetch(branch).target);
+    p.setMark(branch, mark);
+
+    core::CoreParams params;
+    params.predication = core::PredicationScope::Diverge;
+    params.alwaysLowConfidence = true;
+    params.maxDpredPathInsts = 4096;
+    core::Core m(p, params);
+    m.run();
+    ASSERT_TRUE(m.halted());
+    // Mispredicted episodes that could not reach the CFM flushed.
+    EXPECT_GT(m.stats().exitCase[3].value(), 10u);
+    EXPECT_GT(m.stats().pipelineFlushes.value(), 10u);
+
+    test::expectCoreMatchesReference(p, params, "flushed_episode_fwd");
 }
 
 TEST(PredicatedStores, StoreBufferFullStallsRenameNotCorrectness)
