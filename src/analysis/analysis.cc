@@ -1,0 +1,58 @@
+#include "analysis/analysis.hh"
+
+#include "analysis/flowgraph.hh"
+#include "analysis/lint.hh"
+#include "analysis/verifier.hh"
+#include "cfg/cfg.hh"
+#include "cfg/dominators.hh"
+
+namespace dmp::analysis
+{
+
+Report
+analyzeProgram(const isa::Program &program, const AnalysisOptions &opts)
+{
+    Report report;
+    if (program.size() == 0) {
+        report.add(Severity::Error, "empty-program", kNoAddr, -1,
+                   "program has no instructions");
+        return report;
+    }
+
+    const cfg::Cfg graph = cfg::Cfg::build(program);
+    const FlowGraph flow(program);
+
+    if (opts.verify) {
+        VerifyOptions vo;
+        vo.memoryBytes = opts.memoryBytes;
+        verifyProgram(program, graph, flow, vo, report);
+    }
+    if (opts.lint && !program.allMarks().empty()) {
+        const cfg::PostDomTree pdom(graph);
+        LintOptions lo;
+        lo.marker = opts.marker;
+        lo.maxPredicateDepth = opts.maxPredicateDepth;
+        lintMarkings(program, graph, pdom, flow, lo, report);
+    }
+    return report;
+}
+
+LintError::LintError(std::string what_, Report report_)
+    : std::runtime_error(std::move(what_)), rep(std::move(report_))
+{
+}
+
+void
+preflightOrThrow(const isa::Program &program, const AnalysisOptions &opts,
+                 const std::string &subject)
+{
+    Report report = analyzeProgram(program, opts);
+    if (report.errors() == 0)
+        return; // warnings/infos alone never block a run
+    throw LintError("static analysis of '" + subject + "' found " +
+                        std::to_string(report.errors()) +
+                        " error(s):\n" + report.text(),
+                    std::move(report));
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Facade of the static-analysis subsystem.
+ *
+ * One call runs the program verifier (verifier.hh) and the
+ * diverge-marking legality linter (lint.hh) over a Program, building
+ * the shared CFG / post-dominator / flow-graph scaffolding once.
+ * Consumers:
+ *
+ *  - the `dmp-lint` tool (src/tools/dmp_lint.cc)
+ *  - `dmp-run --verify`
+ *  - BatchRunner's pre-flight: every freshly profiled program is linted
+ *    once per profile-cache entry before any simulation consumes it,
+ *    and a marking error aborts the batch via LintError.
+ */
+
+#ifndef DMP_ANALYSIS_ANALYSIS_HH
+#define DMP_ANALYSIS_ANALYSIS_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/report.hh"
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+
+namespace dmp::analysis
+{
+
+/** Combined knobs of verifier + linter. */
+struct AnalysisOptions
+{
+    /** Marker heuristics whose bounds the markings must respect. */
+    profile::MarkerConfig marker{};
+    /** Predicate-depth bound (mirror CoreParams::predRegisters). */
+    unsigned maxPredicateDepth = 32;
+    /** Data-memory size for load/store bound checks; 0 disables. */
+    std::size_t memoryBytes = 0;
+    /** Run the program verifier passes. */
+    bool verify = true;
+    /** Run the marking-legality linter passes. */
+    bool lint = true;
+};
+
+/** Run all enabled passes over `program` and collect the findings. */
+Report analyzeProgram(const isa::Program &program,
+                      const AnalysisOptions &opts);
+
+/** A pre-flight analysis found error-severity findings. */
+class LintError : public std::runtime_error
+{
+  public:
+    LintError(std::string what_, Report report_);
+
+    /** The full report, including the non-error findings. */
+    const Report &report() const noexcept { return rep; }
+
+  private:
+    Report rep;
+};
+
+/**
+ * Analyze `program` and throw LintError when any finding has Error
+ * severity. `subject` names the program in the exception message
+ * (e.g. the workload name).
+ */
+void preflightOrThrow(const isa::Program &program,
+                      const AnalysisOptions &opts,
+                      const std::string &subject);
+
+} // namespace dmp::analysis
+
+#endif // DMP_ANALYSIS_ANALYSIS_HH

@@ -1,0 +1,92 @@
+#include "analysis/flowgraph.hh"
+
+#include <deque>
+
+namespace dmp::analysis
+{
+
+using isa::kInstBytes;
+using isa::Opcode;
+
+FlowGraph::FlowGraph(const isa::Program &program) : prog(program)
+{
+    const std::size_t n = program.size();
+    succLists.resize(n);
+    isIndirect.assign(n, 0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const isa::Inst &inst = program.instAt(i);
+        auto addFall = [&] {
+            if (i + 1 < n)
+                succLists[i].push_back(std::uint32_t(i + 1));
+        };
+        auto addTarget = [&] {
+            if (inst.target != kNoAddr && prog.contains(inst.target))
+                succLists[i].push_back(
+                    std::uint32_t(prog.indexOf(inst.target)));
+        };
+        switch (inst.op) {
+          case Opcode::HALT:
+            break;
+          case Opcode::JMP:
+            addTarget();
+            break;
+          case Opcode::CALL:
+            // Summary edge pair: into the callee, and across it to the
+            // return continuation.
+            addTarget();
+            addFall();
+            break;
+          case Opcode::JR:
+          case Opcode::RET:
+            isIndirect[i] = 1;
+            break;
+          default:
+            if (isa::isCondBranch(inst.op)) {
+                addFall();
+                addTarget();
+            } else {
+                addFall();
+            }
+        }
+    }
+}
+
+FlowGraph::Reach
+FlowGraph::reach(std::size_t start,
+                 const std::vector<std::size_t> &stops) const
+{
+    Reach r;
+    r.dist.assign(size(), kUnreached);
+    if (start >= size())
+        return r;
+
+    std::vector<char> is_stop(size(), 0);
+    for (std::size_t s : stops)
+        if (s < size())
+            is_stop[s] = 1;
+
+    std::deque<std::uint32_t> queue;
+    r.dist[start] = 0;
+    if (isIndirect[start])
+        r.hitIndirect = true;
+    if (!is_stop[start])
+        queue.push_back(std::uint32_t(start));
+
+    while (!queue.empty()) {
+        std::uint32_t cur = queue.front();
+        queue.pop_front();
+        for (std::uint32_t s : succLists[cur]) {
+            if (r.dist[s] != kUnreached)
+                continue;
+            r.dist[s] = r.dist[cur] + 1;
+            if (isIndirect[s])
+                r.hitIndirect = true;
+            if (!is_stop[s])
+                queue.push_back(s);
+        }
+    }
+    return r;
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction-granular control-flow view of a Program.
+ *
+ * The block-level Cfg (src/cfg) is deliberately intra-procedural: CALL
+ * falls through and function bodies hang off the graph as separate
+ * components. The analysis passes instead need a *may-reach* relation
+ * over individual instructions that spans calls, because profile-driven
+ * CFM points are dynamic addresses that need not be block leaders and
+ * may sit on the far side of a call. FlowGraph over-approximates
+ * control flow per instruction:
+ *
+ *  - conditional branch: fall-through + taken target
+ *  - JMP:                target
+ *  - CALL:               target *and* fall-through (the callee may
+ *                        return; modelled as one summary edge)
+ *  - JR / RET:           no static successors; reaching one sets the
+ *                        `hitIndirect` flag so callers can report
+ *                        "unverifiable" instead of a false "unreachable"
+ *  - HALT:               no successors
+ *  - everything else:    fall-through
+ *
+ * Because the edge set over-approximates every dynamic path that stays
+ * inside the image, "statically unreachable" is a sound proof that no
+ * execution reaches the address (modulo indirect transfers, which the
+ * flag exposes).
+ */
+
+#ifndef DMP_ANALYSIS_FLOWGRAPH_HH
+#define DMP_ANALYSIS_FLOWGRAPH_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dmp::analysis
+{
+
+/** Distance value for "not reached". */
+constexpr std::uint32_t kUnreached =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Per-instruction successor graph of one Program. */
+class FlowGraph
+{
+  public:
+    explicit FlowGraph(const isa::Program &program);
+
+    std::size_t size() const { return succLists.size(); }
+
+    /** Static successors (instruction indices) of instruction `idx`. */
+    const std::vector<std::uint32_t> &succs(std::size_t idx) const
+    {
+        return succLists[idx];
+    }
+
+    /** The instruction at idx ends in JR/RET (unknown successors). */
+    bool indirectAt(std::size_t idx) const { return isIndirect[idx]; }
+
+    /** Result of one bounded breadth-first reachability sweep. */
+    struct Reach
+    {
+        /**
+         * BFS hop count per instruction index; the start indices are at
+         * distance 0, kUnreached means no static path. Hops equal the
+         * number of instructions executed after the start instruction
+         * along the shortest static path (each edge is one fetch).
+         */
+        std::vector<std::uint32_t> dist;
+        /** A JR/RET was reached: the sweep is an under-approximation
+         *  beyond that point (its targets are statically unknown). */
+        bool hitIndirect = false;
+
+        bool reached(std::size_t idx) const
+        {
+            return dist[idx] != kUnreached;
+        }
+    };
+
+    /**
+     * Breadth-first sweep from `start` (an instruction index).
+     * @param stops successors of these indices are not expanded, so a
+     *        sweep can be bounded by merge points; a stop instruction
+     *        itself is still marked reached when a path hits it.
+     */
+    Reach reach(std::size_t start,
+                const std::vector<std::size_t> &stops = {}) const;
+
+    const isa::Program &program() const { return prog; }
+
+  private:
+    const isa::Program &prog;
+    std::vector<std::vector<std::uint32_t>> succLists;
+    std::vector<char> isIndirect;
+};
+
+} // namespace dmp::analysis
+
+#endif // DMP_ANALYSIS_FLOWGRAPH_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Diverge-marking legality linter.
+ *
+ * Cross-validates every DivergeMark the compiler pass attached to a
+ * Program against CFG / dominator-tree ground truth. The timing core
+ * trusts markings blindly (paper section 2.2: the compiler conveys
+ * them "through modifications in the ISA"), so an illegal marking
+ * silently degrades IPC or wedges an episode instead of failing
+ * loudly. Checked invariants (see DESIGN.md "Marking-legality
+ * invariants"):
+ *
+ *  - a mark sits on an in-bounds conditional branch
+ *  - a diverge mark carries at least one CFM point; every CFM point is
+ *    in bounds, on an instruction boundary, distinct, and not the
+ *    branch itself
+ *  - every CFM point is statically reachable from BOTH outcomes of the
+ *    diverge branch (error when provably unreachable; informational
+ *    when indirect control flow makes the side unverifiable)
+ *  - the static shortest-path distance to the nearest CFM point does
+ *    not exceed MarkerConfig::maxCfmDistance (a lower bound on every
+ *    dynamic distance, so exceeding it is a proof of violation)
+ *  - at most MarkerConfig::maxCfmPoints CFM points per branch
+ *  - exact-hammock marks agree with the hammock classifier AND with
+ *    the branch block's immediate post-dominator
+ *  - loop (backward) diverge marks really are back edges and merge at
+ *    the fall-through loop exit
+ *  - nested diverge regions do not exceed the predicate-depth bound,
+ *    and a nested diverge branch merges inside (or at the merge point
+ *    of) its enclosing region rather than overlapping past it
+ */
+
+#ifndef DMP_ANALYSIS_LINT_HH
+#define DMP_ANALYSIS_LINT_HH
+
+#include "analysis/report.hh"
+#include "cfg/cfg.hh"
+#include "cfg/dominators.hh"
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+
+namespace dmp::analysis
+{
+
+class FlowGraph;
+
+/** Knobs of the marking linter. */
+struct LintOptions
+{
+    /** Marker heuristics whose bounds the markings must respect. */
+    profile::MarkerConfig marker{};
+    /**
+     * Maximum legal static nesting depth of diverge regions. Mirrors
+     * CoreParams::predRegisters: each simultaneously active episode
+     * holds predicate ids, so a static chain deeper than the register
+     * file can never fully predicate.
+     */
+    unsigned maxPredicateDepth = 32;
+};
+
+/**
+ * Lint every marking of `program`, appending findings.
+ * @param graph block-level Cfg of the same program
+ * @param pdom immediate post-dominator tree over `graph`
+ * @param flow instruction-level may-reach graph of the same program
+ */
+void lintMarkings(const isa::Program &program, const cfg::Cfg &graph,
+                  const cfg::PostDomTree &pdom, const FlowGraph &flow,
+                  const LintOptions &opts, Report &report);
+
+} // namespace dmp::analysis
+
+#endif // DMP_ANALYSIS_LINT_HH

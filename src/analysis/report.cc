@@ -1,0 +1,137 @@
+#include "analysis/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dmp::analysis
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+void
+Report::add(Severity sev, std::string code, Addr pc, std::int32_t block,
+            std::string message)
+{
+    items.push_back(Finding{sev, std::move(code), pc, block,
+                            std::move(message)});
+}
+
+std::size_t
+Report::count(Severity s) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : items)
+        n += f.severity == s;
+    return n;
+}
+
+const Finding *
+Report::first(const std::string &code) const
+{
+    for (const Finding &f : items)
+        if (f.code == code)
+            return &f;
+    return nullptr;
+}
+
+std::vector<const Finding *>
+Report::byCode(const std::string &code) const
+{
+    std::vector<const Finding *> out;
+    for (const Finding &f : items)
+        if (f.code == code)
+            out.push_back(&f);
+    return out;
+}
+
+std::string
+Report::text() const
+{
+    std::ostringstream os;
+    for (const Finding &f : items) {
+        os << severityName(f.severity) << ": [" << f.code << "]";
+        if (f.pc != kNoAddr)
+            os << " pc=0x" << std::hex << f.pc << std::dec;
+        if (f.block >= 0)
+            os << " block=" << f.block;
+        os << ": " << f.message << '\n';
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Report::json() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const Finding &f = items[i];
+        if (i)
+            os << ',';
+        os << "{\"severity\":\"" << severityName(f.severity)
+           << "\",\"code\":\"" << jsonEscape(f.code) << "\",";
+        if (f.pc != kNoAddr)
+            os << "\"pc\":\"0x" << std::hex << f.pc << std::dec << "\",";
+        else
+            os << "\"pc\":null,";
+        if (f.block >= 0)
+            os << "\"block\":" << f.block << ',';
+        else
+            os << "\"block\":null,";
+        os << "\"message\":\"" << jsonEscape(f.message) << "\"}";
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,382 @@
+#include "analysis/verifier.hh"
+
+#include <bitset>
+#include <deque>
+#include <sstream>
+
+#include "analysis/flowgraph.hh"
+#include "isa/isa.hh"
+
+namespace dmp::analysis
+{
+
+using isa::Inst;
+using isa::kInstBytes;
+using isa::Opcode;
+
+namespace
+{
+
+std::int32_t
+blockOf(const cfg::Cfg &graph, Addr pc)
+{
+    return graph.blockContaining(pc);
+}
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+/** Direct control transfers: targets present, in bounds, aligned. */
+void
+checkTargets(const isa::Program &prog, const cfg::Cfg &graph,
+             Report &report)
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Inst &inst = prog.instAt(i);
+        if (!isa::isCondBranch(inst.op) && !isa::isDirectJump(inst.op))
+            continue;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        if (inst.target == kNoAddr) {
+            report.add(Severity::Error, "missing-target", pc,
+                       blockOf(graph, pc),
+                       std::string(isa::opcodeName(inst.op)) +
+                           " has no target (unresolved label?)");
+            continue;
+        }
+        if (prog.contains(inst.target))
+            continue;
+        const bool misaligned = (inst.target & (kInstBytes - 1)) != 0;
+        const bool in_range = inst.target >= prog.baseAddr() &&
+                              inst.target < prog.endAddr();
+        if (misaligned && in_range) {
+            report.add(Severity::Error, "branch-target-misaligned", pc,
+                       blockOf(graph, pc),
+                       std::string(isa::opcodeName(inst.op)) +
+                           " target " + hex(inst.target) +
+                           " is not on an instruction boundary");
+        } else {
+            report.add(Severity::Error, "branch-target-oob", pc,
+                       blockOf(graph, pc),
+                       std::string(isa::opcodeName(inst.op)) +
+                           " target " + hex(inst.target) +
+                           " is outside the program image [" +
+                           hex(prog.baseAddr()) + ", " +
+                           hex(prog.endAddr()) + ")");
+        }
+    }
+}
+
+/** The last instruction must not fall through off the image. */
+void
+checkFallthroughEnd(const isa::Program &prog, const cfg::Cfg &graph,
+                    Report &report)
+{
+    if (prog.size() == 0)
+        return;
+    const Inst &last = prog.instAt(prog.size() - 1);
+    // HALT stops, JMP/JR/RET redirect unconditionally; everything else
+    // (including a conditional branch and CALL, whose callee returns to
+    // the fall-through) can execute past the end of the image.
+    switch (last.op) {
+      case Opcode::HALT:
+      case Opcode::JMP:
+      case Opcode::JR:
+      case Opcode::RET:
+        return;
+      default:
+        break;
+    }
+    const Addr pc = prog.endAddr() - kInstBytes;
+    report.add(Severity::Error, "fallthrough-end", pc, blockOf(graph, pc),
+               std::string(isa::opcodeName(last.op)) +
+                   " can fall through past the end of the program image");
+}
+
+/** RET must read the link register; anything else is an encoding bug. */
+void
+checkReturnEncoding(const isa::Program &prog, const cfg::Cfg &graph,
+                    Report &report)
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Inst &inst = prog.instAt(i);
+        if (inst.op != Opcode::RET || inst.rs1 == isa::kLinkReg)
+            continue;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        report.add(Severity::Error, "ret-linkreg", pc, blockOf(graph, pc),
+                   "RET encoded against r" +
+                       std::to_string(unsigned(inst.rs1)) +
+                       " instead of the link register r" +
+                       std::to_string(unsigned(isa::kLinkReg)));
+    }
+}
+
+/** Unreachable instructions + a reachable HALT. */
+void
+checkReachability(const isa::Program &prog, const cfg::Cfg &graph,
+                  const FlowGraph &flow, Report &report)
+{
+    if (prog.size() == 0)
+        return;
+    FlowGraph::Reach r = flow.reach(0);
+
+    bool has_jr = false;
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        has_jr |= prog.instAt(i).op == Opcode::JR;
+    // With an indirect jump in the program, "unreached" may simply mean
+    // "only reachable through a target we cannot resolve statically".
+    const Severity sev = has_jr ? Severity::Info : Severity::Warn;
+
+    bool halt_reached = false;
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        if (r.reached(i) && prog.instAt(i).op == Opcode::HALT)
+            halt_reached = true;
+
+    // Group unreached indices into maximal ranges: one finding per
+    // dead region, not per instruction.
+    std::size_t i = 0;
+    while (i < prog.size()) {
+        if (r.reached(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j + 1 < prog.size() && !r.reached(j + 1))
+            ++j;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        const Addr end = prog.baseAddr() + (j + 1) * kInstBytes;
+        report.add(sev, "unreachable-code", pc, blockOf(graph, pc),
+                   std::to_string(j - i + 1) +
+                       " instruction(s) unreachable from the entry point"
+                       " [" + hex(pc) + ", " + hex(end) + ")");
+        i = j + 1;
+    }
+
+    if (!halt_reached && !r.hitIndirect) {
+        report.add(Severity::Warn, "no-reachable-halt", prog.baseAddr(),
+                   blockOf(graph, prog.baseAddr()),
+                   "no HALT instruction is reachable from the entry "
+                   "point: the program cannot terminate");
+    }
+}
+
+/**
+ * Call/return stack discipline: a RET reachable with a provably empty
+ * call stack jumps through whatever r63 happens to hold.
+ *
+ * Minimum-call-depth dataflow over the instruction graph: the CALL
+ * summary edge (fall-through at unchanged depth) models the matched
+ * call/return pair, the callee edge enters at depth + 1.
+ */
+void
+checkCallDiscipline(const isa::Program &prog, const cfg::Cfg &graph,
+                    Report &report)
+{
+    const std::size_t n = prog.size();
+    if (n == 0)
+        return;
+    constexpr std::uint32_t kDepthCap = 1u << 20;
+    std::vector<std::uint32_t> min_depth(n, kUnreached);
+
+    std::deque<std::uint32_t> queue;
+    min_depth[0] = 0;
+    queue.push_back(0);
+    auto relax = [&](std::size_t idx, std::uint32_t d) {
+        if (idx < n && d < min_depth[idx]) {
+            min_depth[idx] = d;
+            queue.push_back(std::uint32_t(idx));
+        }
+    };
+    while (!queue.empty()) {
+        const std::uint32_t cur = queue.front();
+        queue.pop_front();
+        const Inst &inst = prog.instAt(cur);
+        const std::uint32_t d = min_depth[cur];
+        switch (inst.op) {
+          case Opcode::HALT:
+          case Opcode::JR:
+          case Opcode::RET:
+            break;
+          case Opcode::JMP:
+            if (inst.target != kNoAddr && prog.contains(inst.target))
+                relax(prog.indexOf(inst.target), d);
+            break;
+          case Opcode::CALL:
+            if (inst.target != kNoAddr && prog.contains(inst.target))
+                relax(prog.indexOf(inst.target),
+                      d < kDepthCap ? d + 1 : d);
+            relax(cur + 1, d); // summary: the callee returns here
+            break;
+          default:
+            if (isa::isCondBranch(inst.op)) {
+                relax(cur + 1, d);
+                if (inst.target != kNoAddr && prog.contains(inst.target))
+                    relax(prog.indexOf(inst.target), d);
+            } else {
+                relax(cur + 1, d);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (prog.instAt(i).op != Opcode::RET || min_depth[i] != 0)
+            continue;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        report.add(Severity::Warn, "ret-without-call", pc,
+                   blockOf(graph, pc),
+                   "RET is reachable without a matching CALL (empty "
+                   "call stack: jumps through the initial r63 value)");
+    }
+}
+
+/**
+ * Forward may-be-uninitialized register dataflow over the Cfg.
+ *
+ * Must-initialized sets per block (top = all initialized); the entry
+ * block starts with only r0. Blocks without Cfg predecessors other
+ * than the entry (function bodies entered via CALL, which the
+ * intra-procedural Cfg does not link) stay at top so callee parameter
+ * registers do not produce false positives.
+ */
+void
+checkRegisterInit(const isa::Program &prog, const cfg::Cfg &graph,
+                  Report &report)
+{
+    using RegSet = std::bitset<isa::kNumArchRegs>;
+    const std::size_t nb = graph.size();
+    if (nb == 0)
+        return;
+
+    auto blockWrites = [&](const cfg::BasicBlock &bb) {
+        RegSet w;
+        for (Addr pc = bb.start; pc < bb.end; pc += kInstBytes) {
+            const Inst &inst = prog.fetch(pc);
+            if (isa::writesDest(inst))
+                w.set(inst.op == Opcode::CALL ? isa::kLinkReg : inst.rd);
+        }
+        return w;
+    };
+
+    RegSet top;
+    top.set();
+    std::vector<RegSet> in(nb, top), out(nb);
+    RegSet entry_in;
+    entry_in.set(isa::kZeroReg);
+    in[graph.entry()] = entry_in;
+    for (std::size_t b = 0; b < nb; ++b)
+        out[b] = in[b] | blockWrites(graph.block(b));
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < nb; ++b) {
+            const cfg::BasicBlock &bb = graph.block(b);
+            RegSet next_in = cfg::BlockId(b) == graph.entry()
+                                 ? entry_in
+                                 : top;
+            for (cfg::BlockId p : bb.preds)
+                next_in &= out[p];
+            if (cfg::BlockId(b) == graph.entry())
+                next_in = entry_in; // the entry has no initialized state
+            if (next_in != in[b]) {
+                in[b] = next_in;
+                changed = true;
+            }
+            RegSet next_out = in[b] | blockWrites(bb);
+            if (next_out != out[b]) {
+                out[b] = next_out;
+                changed = true;
+            }
+        }
+    }
+
+    // Report pass: walk each block with its running set.
+    for (std::size_t b = 0; b < nb; ++b) {
+        const cfg::BasicBlock &bb = graph.block(b);
+        RegSet live = in[b];
+        for (Addr pc = bb.start; pc < bb.end; pc += kInstBytes) {
+            const Inst &inst = prog.fetch(pc);
+            auto checkRead = [&](ArchReg r) {
+                if (live.test(r))
+                    return;
+                std::string msg = "r";
+                msg += std::to_string(unsigned(r));
+                msg += " may be read before any write reaches it "
+                       "(reads the architectural zero-initial value)";
+                report.add(Severity::Info, "read-before-write", pc,
+                           std::int32_t(b), std::move(msg));
+                live.set(r); // one finding per register per block
+            };
+            if (isa::readsSrc1(inst))
+                checkRead(inst.rs1);
+            if (isa::readsSrc2(inst))
+                checkRead(inst.rs2);
+            if (isa::writesDest(inst))
+                live.set(inst.op == Opcode::CALL ? isa::kLinkReg
+                                                 : inst.rd);
+        }
+    }
+}
+
+/** Load/store alignment + segment sanity where statically provable. */
+void
+checkMemOps(const isa::Program &prog, const cfg::Cfg &graph,
+            const VerifyOptions &opts, Report &report)
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Inst &inst = prog.instAt(i);
+        if (inst.op != Opcode::LD && inst.op != Opcode::ST)
+            continue;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        if (inst.rs1 == isa::kZeroReg) {
+            // The effective address is exactly the immediate.
+            const Word addr = static_cast<Word>(inst.imm);
+            if (addr % sizeof(Word) != 0) {
+                report.add(Severity::Error, "mem-unaligned", pc,
+                           blockOf(graph, pc),
+                           std::string(isa::opcodeName(inst.op)) +
+                               " with r0 base accesses unaligned "
+                               "address " + hex(addr));
+            } else if (opts.memoryBytes && addr >= opts.memoryBytes) {
+                report.add(Severity::Error, "mem-oob", pc,
+                           blockOf(graph, pc),
+                           std::string(isa::opcodeName(inst.op)) +
+                               " with r0 base accesses " + hex(addr) +
+                               " beyond the " +
+                               std::to_string(opts.memoryBytes) +
+                               "-byte data space");
+            }
+        } else if (inst.imm % std::int64_t(sizeof(Word)) != 0) {
+            // Base unknown: an odd offset only works when the base
+            // compensates, which no workload generator does.
+            report.add(Severity::Info, "mem-odd-offset", pc,
+                       blockOf(graph, pc),
+                       std::string(isa::opcodeName(inst.op)) +
+                           " offset " + std::to_string(inst.imm) +
+                           " is not word-aligned (base register must "
+                           "compensate)");
+        }
+    }
+}
+
+} // namespace
+
+void
+verifyProgram(const isa::Program &program, const cfg::Cfg &graph,
+              const FlowGraph &flow, const VerifyOptions &opts,
+              Report &report)
+{
+    checkTargets(program, graph, report);
+    checkFallthroughEnd(program, graph, report);
+    checkReturnEncoding(program, graph, report);
+    checkReachability(program, graph, flow, report);
+    checkCallDiscipline(program, graph, report);
+    checkRegisterInit(program, graph, report);
+    checkMemOps(program, graph, opts, report);
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guest-program static verifier.
+ *
+ * Validates the structural invariants every consumer of an
+ * isa::Program (timing core, functional simulators, profiler) assumes
+ * but never checks up front:
+ *
+ *  - direct control transfers land in bounds on instruction boundaries
+ *  - the program cannot fall through past its last instruction
+ *  - RET is encoded against the link register and is not reachable
+ *    with a provably empty call stack
+ *  - no statically unreachable code (warning; informational when the
+ *    program contains indirect jumps whose targets are unknown)
+ *  - a forward may-be-uninitialized register dataflow over the Cfg
+ *    (informational: the ISA zero-initializes the register file, so a
+ *    read-before-write is defined behaviour — but it usually marks a
+ *    program-generator bug)
+ *  - load/store segment and alignment sanity where the effective
+ *    address is statically known (r0 base)
+ *
+ * Every check is read-only; findings are appended to the caller's
+ * Report.
+ */
+
+#ifndef DMP_ANALYSIS_VERIFIER_HH
+#define DMP_ANALYSIS_VERIFIER_HH
+
+#include <cstddef>
+
+#include "analysis/report.hh"
+#include "cfg/cfg.hh"
+#include "isa/program.hh"
+
+namespace dmp::analysis
+{
+
+class FlowGraph;
+
+/** Knobs of the program verifier. */
+struct VerifyOptions
+{
+    /**
+     * Architectural data-space size for segment checks on statically
+     * known addresses (0: skip the bound, keep the alignment check).
+     */
+    std::size_t memoryBytes = 0;
+};
+
+/**
+ * Run every verifier pass over `program`, appending findings.
+ * @param graph block-level Cfg of the same program (for block ids and
+ *        the register dataflow)
+ * @param flow instruction-level may-reach graph of the same program
+ */
+void verifyProgram(const isa::Program &program, const cfg::Cfg &graph,
+                   const FlowGraph &flow, const VerifyOptions &opts,
+                   Report &report);
+
+} // namespace dmp::analysis
+
+#endif // DMP_ANALYSIS_VERIFIER_HH

@@ -316,6 +316,13 @@ class ProgramBuilder
     /** Seed one word of the initial data image. */
     void dataWord(Addr addr, Word value);
 
+    /**
+     * Silence the debug-build link-time sanity warnings for this
+     * builder. Only for tests that construct deliberately malformed
+     * programs to exercise the full verifier (src/analysis).
+     */
+    void skipDebugVerify() { debugVerify = false; }
+
     /** Link: resolve label fixups and produce the immutable Program. */
     Program build();
 
@@ -334,6 +341,7 @@ class ProgramBuilder
     };
     std::vector<Fixup> fixups;
     bool built = false;
+    bool debugVerify = true;
 };
 
 } // namespace dmp::isa

@@ -400,6 +400,11 @@ profileAndMark(isa::Program &program, std::size_t mem_bytes,
         for (Addr pc : backward_candidates) {
             if (program.mark(pc))
                 continue;
+            // A backward branch that is the last instruction has no
+            // loop exit to merge at; marking it would produce a CFM
+            // one past the image.
+            if (!program.contains(pc + kInstBytes))
+                continue;
             isa::DivergeMark mark;
             mark.isDiverge = true;
             mark.isLoopBranch = true;

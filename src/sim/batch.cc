@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "analysis/analysis.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -175,6 +176,15 @@ BatchRunner::preparedProgram(const SimConfig &cfg)
             e->train = workloads::buildWorkload(cfg.workload, cfg.train);
             e->report = profile::profileAndMark(
                 e->train, cfg.core.memoryBytes, cfg.marker);
+            // Pre-flight: lint the freshly marked program once per
+            // cache entry. An illegal marking throws here, before any
+            // simulation consumes it, and every waiter of this entry
+            // observes the same LintError through the shared_future.
+            analysis::AnalysisOptions ao;
+            ao.marker = cfg.marker;
+            ao.maxPredicateDepth = cfg.core.predRegisters;
+            ao.memoryBytes = cfg.core.memoryBytes;
+            analysis::preflightOrThrow(e->train, ao, cfg.workload);
             trainProm.set_value(std::move(e));
         } catch (...) {
             trainProm.set_exception(std::current_exception());

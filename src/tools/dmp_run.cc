@@ -21,6 +21,9 @@
  *   --perfect-cbp        perfect conditional branch prediction
  *   --perfect-conf       perfect confidence estimation
  *   --loop-ext           diverge loop branches (section 2.7.4)
+ *   --verify             statically verify the marked program before
+ *                        simulating (error findings abort the run;
+ *                        see dmp-lint for the standalone checker)
  *   --list               list workloads and exit
  *   --marks              print the marked-program listing and exit
  *
@@ -45,6 +48,7 @@
 
 #include <memory>
 
+#include "analysis/analysis.hh"
 #include "common/trace.hh"
 #include "core/core.hh"
 #include "isa/assembler.hh"
@@ -73,6 +77,7 @@ struct Options
     bool perfectCbp = false;
     bool perfectConf = false;
     bool loopExt = false;
+    bool verify = false;
     bool list = false;
     bool marks = false;
     std::string debugFlags;
@@ -135,6 +140,8 @@ parse(int argc, char **argv)
             o.perfectConf = true;
         else if (std::strcmp(a, "--loop-ext") == 0)
             o.loopExt = true;
+        else if (std::strcmp(a, "--verify") == 0)
+            o.verify = true;
         else if (std::strcmp(a, "--list") == 0)
             o.list = true;
         else if (std::strcmp(a, "--marks") == 0)
@@ -363,6 +370,21 @@ main(int argc, char **argv)
     if (o.marks) {
         std::fputs(prog.listing().c_str(), stdout);
         return 0;
+    }
+
+    if (o.verify) {
+        analysis::AnalysisOptions ao;
+        ao.marker.markLoopBranches = o.loopExt;
+        ao.maxPredicateDepth = params.predRegisters;
+        ao.memoryBytes = params.memoryBytes;
+        analysis::Report vr = analysis::analyzeProgram(prog, ao);
+        if (!vr.empty())
+            std::fputs(vr.text().c_str(), stderr);
+        if (!vr.clean())
+            dmp_fatal("--verify: ", vr.errors(),
+                      " error finding(s); not simulating");
+        std::printf("verify: clean (%zu warning(s), %zu info(s))\n",
+                    vr.warnings(), vr.infos());
     }
 
     std::printf("target=%s mode=%s marked: %llu diverge, %llu hammock\n",
