@@ -28,6 +28,15 @@ Report::add(Severity sev, std::string code, Addr pc, std::int32_t block,
                             std::move(message)});
 }
 
+void
+Report::add(Severity sev, std::string code, Addr pc, std::int32_t block,
+            std::string message, std::int64_t cycle, std::string object)
+{
+    items.push_back(Finding{sev, std::move(code), pc, block,
+                            std::move(message), cycle,
+                            std::move(object)});
+}
+
 std::size_t
 Report::count(Severity s) const
 {
@@ -66,15 +75,15 @@ Report::text() const
             os << " pc=0x" << std::hex << f.pc << std::dec;
         if (f.block >= 0)
             os << " block=" << f.block;
+        if (f.cycle >= 0)
+            os << " cycle=" << f.cycle;
+        if (!f.object.empty())
+            os << " obj=" << f.object;
         os << ": " << f.message << '\n';
     }
     return os.str();
 }
 
-namespace
-{
-
-/** Minimal JSON string escaping (quotes, backslash, control chars). */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -107,8 +116,6 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 std::string
 Report::json() const
 {
@@ -128,6 +135,14 @@ Report::json() const
             os << "\"block\":" << f.block << ',';
         else
             os << "\"block\":null,";
+        if (f.cycle >= 0)
+            os << "\"cycle\":" << f.cycle << ',';
+        else
+            os << "\"cycle\":null,";
+        if (!f.object.empty())
+            os << "\"object\":\"" << jsonEscape(f.object) << "\",";
+        else
+            os << "\"object\":null,";
         os << "\"message\":\"" << jsonEscape(f.message) << "\"}";
     }
     os << ']';

@@ -22,6 +22,13 @@
 namespace dmp::analysis
 {
 
+/**
+ * Version of the machine-readable report schemas built on Finding
+ * (`dmp-lint --json`, `dmp-run --selfcheck-json`). Bump when a field is
+ * renamed or removed; adding fields is backward compatible.
+ */
+constexpr int kReportSchemaVersion = 1;
+
 /** How bad one finding is. */
 enum class Severity : std::uint8_t
 {
@@ -48,6 +55,13 @@ struct Finding
     std::int32_t block = -1;
     /** Human-readable explanation. */
     std::string message;
+    /** Simulated cycle of a dynamic finding (selfcheck), or -1. */
+    std::int64_t cycle = -1;
+    /**
+     * Structure id of a dynamic finding, e.g. "prf:42", "rob:13",
+     * "cp:3", "sb:7", "ep:9". Empty for static findings.
+     */
+    std::string object;
 };
 
 /** Ordered list of findings from one analysis run. */
@@ -56,6 +70,10 @@ class Report
   public:
     void add(Severity sev, std::string code, Addr pc, std::int32_t block,
              std::string message);
+
+    /** Dynamic-finding variant carrying a cycle and a structure id. */
+    void add(Severity sev, std::string code, Addr pc, std::int32_t block,
+             std::string message, std::int64_t cycle, std::string object);
 
     const std::vector<Finding> &findings() const { return items; }
 
@@ -82,13 +100,16 @@ class Report
     /**
      * JSON array of finding objects:
      * [{"severity":"error","code":"...","pc":"0x1010","block":3,
-     *   "message":"..."}, ...]
+     *   "cycle":120,"object":"prf:42","message":"..."}, ...]
      */
     std::string json() const;
 
   private:
     std::vector<Finding> items;
 };
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string &s);
 
 } // namespace dmp::analysis
 

@@ -90,7 +90,7 @@ class ReturnAddressStack final
     push(Addr return_addr) noexcept
     {
         stack[top] = return_addr;
-        top = (top + 1) % stack.size();
+        top = std::uint32_t((top + 1) % stack.size());
         if (used < stack.size())
             ++used;
     }
@@ -101,7 +101,7 @@ class ReturnAddressStack final
     {
         if (used == 0)
             return kNoAddr;
-        top = (top + std::uint32_t(stack.size()) - 1) % stack.size();
+        top = std::uint32_t((top + stack.size() - 1) % stack.size());
         --used;
         return stack[top];
     }

@@ -27,7 +27,7 @@ namespace dmp::trace
 {
 
 /** One flag per traceable component / event class. */
-enum class Flag : unsigned
+enum class Flag : std::uint8_t
 {
     Fetch,    ///< front-end fetch, prediction, redirects
     Rename,   ///< rename/dispatch, select-uop insertion

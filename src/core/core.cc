@@ -196,6 +196,8 @@ Core::Core(const isa::Program &program, const CoreParams &params)
 
 Core::~Core() = default;
 
+SelfCheckSink::~SelfCheckSink() = default;
+
 void
 Core::reset()
 {
@@ -257,6 +259,8 @@ Core::reset()
     if (oracle)
         oracle->reset();
     wpRecords.clear();
+
+    scNotifyReset();
 }
 
 bool
@@ -269,6 +273,7 @@ Core::tick()
         ++st.cycles;
         ++now;
         finalizeAllClassifiers();
+        scNotifyCycleEnd();
         return false;
     }
     completeStage();
@@ -277,6 +282,7 @@ Core::tick()
     fetchStage();
     ++st.cycles;
     ++now;
+    scNotifyCycleEnd();
     return true;
 }
 

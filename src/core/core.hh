@@ -43,11 +43,17 @@
 #include "core/episode.hh"
 #include "core/params.hh"
 #include "core/rename_map.hh"
+#include "core/selfcheck.hh"
 #include "core/store_buffer.hh"
 #include "isa/func_sim.hh"
 #include "isa/mem_image.hh"
 #include "isa/program.hh"
 #include "mem/cache.hh"
+
+namespace dmp::check
+{
+class CoreChecker;
+} // namespace dmp::check
 
 namespace dmp::core
 {
@@ -150,7 +156,16 @@ class Core
      */
     void setPipeView(trace::PipeView *pv) { pipeView = pv; }
 
+    /**
+     * Attach a self-check sink (non-owning; may be null). Hook calls
+     * are compiled in only under DMP_SELFCHECK_BUILD; attaching a sink
+     * in a build without it is a silent no-op, so callers should gate
+     * on the same macro (sim::runSimOnProgram makes it fatal instead).
+     */
+    void setSelfCheck(SelfCheckSink *sink) { selfCheck = sink; }
+
   private:
+    friend class dmp::check::CoreChecker;
     // ---- Pipeline stages (called oldest-stage-first each cycle) ----
     void retireStage();
     void completeStage();
@@ -311,6 +326,46 @@ class Core
     /** Diagnostic dump + panic when retirement stops making progress. */
     [[noreturn]] void dumpDeadlockState();
 
+    // ---- Self-check notifiers ----
+    // No-ops (not even a branch) unless DMP_SELFCHECK_BUILD is set.
+    void
+    scNotifyCycleEnd()
+    {
+#ifdef DMP_SELFCHECK_BUILD
+        if (selfCheck)
+            selfCheck->onCycleEnd();
+#endif
+    }
+    void
+    scNotifyRetire(const DynInst &di)
+    {
+#ifdef DMP_SELFCHECK_BUILD
+        if (selfCheck)
+            selfCheck->onRetire(di);
+#else
+        (void)di;
+#endif
+    }
+    void
+    scNotifyFlush(std::uint64_t survive_seq, Addr redirect_pc)
+    {
+#ifdef DMP_SELFCHECK_BUILD
+        if (selfCheck)
+            selfCheck->onFlush(survive_seq, redirect_pc);
+#else
+        (void)survive_seq;
+        (void)redirect_pc;
+#endif
+    }
+    void
+    scNotifyReset()
+    {
+#ifdef DMP_SELFCHECK_BUILD
+        if (selfCheck)
+            selfCheck->onReset();
+#endif
+    }
+
     // ---- Configuration & members ----
     const isa::Program &prog;
     CoreParams p;
@@ -429,6 +484,9 @@ class Core
 
     /** Optional Konata/O3-pipeview writer (non-owning). */
     trace::PipeView *pipeView = nullptr;
+
+    /** Optional self-check sink (non-owning; see setSelfCheck). */
+    SelfCheckSink *selfCheck = nullptr;
 
     // Figure 1 classifier.
     std::vector<WrongPathRecord> wpRecords;

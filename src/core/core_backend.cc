@@ -484,6 +484,7 @@ Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
 
     dualAltMapValid = false;
     redirectFetch(redirect_pc);
+    scNotifyFlush(b.seq, redirect_pc);
 }
 
 std::uint64_t

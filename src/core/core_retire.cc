@@ -28,6 +28,7 @@ Core::retireStage()
                    "unresolved predicate at retirement");
 
         commitInst(di);
+        scNotifyRetire(di);
         if (di.kind == UopKind::Normal)
             st.fetchToRetire.sample(std::uint32_t(now) - di.fetchedAt);
         if (pipeView)

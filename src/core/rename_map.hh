@@ -71,6 +71,13 @@ class PhysRegFile
 
     bool hasFree() const { return !freeList.empty(); }
     std::size_t numFree() const { return freeList.size(); }
+    std::size_t size() const { return values.size(); }
+
+    /** True when p sits on the free list (checker/test inspection). */
+    bool isFree(PhysReg p) const { return freeFlags[p] != 0; }
+
+    /** The free list itself (checker/test inspection; do not mutate). */
+    const std::vector<PhysReg> &freeView() const { return freeList; }
 
     PhysReg
     alloc()
@@ -227,6 +234,13 @@ class CheckpointPool
 
     bool hasFree() const { return !freeIds.empty(); }
     unsigned freeCount() const { return unsigned(freeIds.size()); }
+    std::size_t size() const { return pool.size(); }
+
+    /** All checkpoints, in-use or not (checker/test inspection). */
+    const std::vector<Checkpoint> &view() const { return pool; }
+
+    /** The free-id stack (checker/test inspection; do not mutate). */
+    const std::vector<std::int32_t> &freeView() const { return freeIds; }
 
     /** Allocate a checkpoint; returns -1 when exhausted. */
     std::int32_t

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Core-side interface of the microarchitectural self-checking subsystem
+ * (src/check). The core only knows this abstract sink; the concrete
+ * checker lives in dmp_check, which links dmp_core — never the other
+ * way around — so the dependency stays one-directional.
+ *
+ * Hook calls are compiled in only under DMP_SELFCHECK_BUILD (a CMake
+ * option, ON by default, OFF in the release/performance presets so the
+ * KIPS hot path carries not even the null-pointer test).
+ */
+
+#ifndef DMP_CORE_SELFCHECK_HH
+#define DMP_CORE_SELFCHECK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dmp::core
+{
+
+struct DynInst;
+
+/**
+ * Observer of the core's architectural commit points and recovery
+ * events. Implementations may read the entire core state (the concrete
+ * checker is a friend of Core) and signal a broken invariant by
+ * throwing; the core performs no work after a hook call that the hook's
+ * exception could leave half-done within the same event.
+ */
+class SelfCheckSink
+{
+  public:
+    virtual ~SelfCheckSink();
+
+    /** End of one Core::tick(), after every stage ran. */
+    virtual void onCycleEnd() = 0;
+
+    /**
+     * One entry retired: called right after commitInst applied its
+     * architectural effects, while `di` is still valid in the ROB.
+     */
+    virtual void onRetire(const DynInst &di) = 0;
+
+    /**
+     * A pipeline flush completed: everything younger than `survive_seq`
+     * is squashed and fetch was redirected to `redirect_pc`.
+     */
+    virtual void onFlush(std::uint64_t survive_seq, Addr redirect_pc) = 0;
+
+    /** Core::reset() finished; checker state must restart too. */
+    virtual void onReset() = 0;
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_SELFCHECK_HH

@@ -56,6 +56,12 @@ class StoreBuffer
     std::size_t size() const { return entries.size(); }
     bool empty() const { return entries.empty(); }
 
+    /** Entries oldest-first (checker inspection). */
+    const std::deque<SbEntry> &view() const { return entries; }
+
+    /** Mutable entry access for checker fault injection and tests. */
+    std::deque<SbEntry> &view() { return entries; }
+
     /** Allocate at rename. */
     void
     allocate(std::uint64_t seq, PredId pred, bool pred_resolved,

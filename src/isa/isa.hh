@@ -197,9 +197,9 @@ readsSrc1(const Inst &inst) noexcept
       case Opcode::JMP:
       case Opcode::CALL:
         return false;
-      case Opcode::RET:
-        return true; // implicitly reads the link register
       default:
+        // Everything else reads rs1 directly; RET reads it implicitly
+        // (the link register).
         return true;
     }
 }

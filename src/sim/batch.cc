@@ -80,7 +80,12 @@ configFingerprint(const SimConfig &cfg)
     os << "wl:" << cfg.workload << "|train:" << workloadFp(cfg.train)
        << "|ref:" << workloadFp(cfg.ref) << "|marker:" << markerFp(cfg.marker)
        << "|core:" << coreFp(cfg.core) << "|mi=" << cfg.maxInsts
-       << "|mc=" << cfg.maxCycles;
+       << "|mc=" << cfg.maxCycles
+       << "|sc=" << int(cfg.selfcheck);
+    if (cfg.faultPlan) {
+        os << "|fault=" << check::faultKindName(cfg.faultPlan->kind)
+           << "@" << cfg.faultPlan->notBefore;
+    }
     return os.str();
 }
 

@@ -147,6 +147,21 @@ runSimOnProgram(const isa::Program &ref,
                 const profile::MarkingReport &report, const SimConfig &cfg)
 {
     core::Core machine(ref, cfg.core);
+
+    std::unique_ptr<check::CoreChecker> checker;
+    if (cfg.selfcheck != check::Mode::Off) {
+        if (!check::buildEnabled()) {
+            dmp_fatal("selfcheck requested but this binary was built "
+                      "with DMP_SELFCHECK_BUILD=OFF");
+        }
+        check::CheckerOptions copt;
+        copt.mode = cfg.selfcheck;
+        checker = std::make_unique<check::CoreChecker>(ref, machine, copt);
+        if (cfg.faultPlan)
+            checker->injectFault(*cfg.faultPlan);
+        machine.setSelfCheck(checker.get());
+    }
+
     auto host_start = std::chrono::steady_clock::now();
     machine.run(cfg.maxInsts ? cfg.maxInsts : ~0ULL,
                 cfg.maxCycles ? cfg.maxCycles : ~0ULL);

@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "check/checker.hh"
 #include "core/core.hh"
 #include "core/params.hh"
 #include "isa/program.hh"
@@ -40,6 +41,18 @@ struct SimConfig
     std::uint64_t maxInsts = 0;
     /** Timing-run cycle budget (0 = unlimited). */
     std::uint64_t maxCycles = 0;
+    /**
+     * Attach a CoreChecker to the timing run. Any mode other than Off
+     * is fatal in a binary built without DMP_SELFCHECK_BUILD. A check
+     * failure throws check::CheckError out of runSim/runSimOnProgram;
+     * under BatchRunner this fails that run's future, not the batch.
+     */
+    check::Mode selfcheck = check::Mode::Off;
+    /**
+     * Test-only fault plan armed on the attached checker (non-owning;
+     * must outlive the run). Ignored when selfcheck is Off.
+     */
+    const check::FaultPlan *faultPlan = nullptr;
 
     SimConfig()
     {

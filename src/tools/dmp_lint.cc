@@ -155,10 +155,8 @@ loadTarget(const std::string &target, const Options &o,
     return prog;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     Options o = parse(argc, argv);
 
@@ -180,7 +178,8 @@ main(int argc, char **argv)
     ao.memoryBytes = o.mem ? o.mem : defaults.memoryBytes;
 
     std::ostringstream json;
-    json << "[";
+    json << "{\"schema\":" << analysis::kReportSchemaVersion
+         << ",\"targets\":[";
 
     std::size_t total_errors = 0, total_warnings = 0, total_infos = 0;
     for (std::size_t i = 0; i < targets.size(); ++i) {
@@ -215,7 +214,7 @@ main(int argc, char **argv)
     }
 
     if (o.json) {
-        json << "\n]\n";
+        json << "\n]}\n";
         if (o.jsonPath.empty()) {
             std::fputs(json.str().c_str(), stdout);
         } else {
@@ -232,4 +231,19 @@ main(int argc, char **argv)
                     total_errors, total_warnings, total_infos,
                     targets.size());
     return total_errors ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Surface stray exceptions (assembler/filesystem errors) as a
+    // clean diagnostic instead of std::terminate.
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dmp-lint: %s\n", e.what());
+        return 1;
+    }
 }

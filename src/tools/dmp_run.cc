@@ -24,6 +24,14 @@
  *   --verify             statically verify the marked program before
  *                        simulating (error findings abort the run;
  *                        see dmp-lint for the standalone checker)
+ *   --selfcheck[=MODE]   run under the microarchitectural self-checker
+ *                        (MODE: all | invariants | lockstep | off;
+ *                        bare --selfcheck = all). Also: DMP_SELFCHECK
+ *                        env. Requires a DMP_SELFCHECK_BUILD=ON build;
+ *                        the first broken invariant or architectural
+ *                        divergence aborts with a diagnosis and exit 1
+ *   --selfcheck-json=PATH  write the self-check outcome (schema 1,
+ *                        see EXPERIMENTS.md) to PATH
  *   --list               list workloads and exit
  *   --marks              print the marked-program listing and exit
  *
@@ -49,6 +57,7 @@
 #include <memory>
 
 #include "analysis/analysis.hh"
+#include "check/checker.hh"
 #include "common/trace.hh"
 #include "core/core.hh"
 #include "isa/assembler.hh"
@@ -78,6 +87,9 @@ struct Options
     bool perfectConf = false;
     bool loopExt = false;
     bool verify = false;
+    check::Mode selfcheck = check::Mode::Off;
+    bool selfcheckGiven = false;
+    std::string selfcheckJsonPath;
     bool list = false;
     bool marks = false;
     std::string debugFlags;
@@ -142,6 +154,14 @@ parse(int argc, char **argv)
             o.loopExt = true;
         else if (std::strcmp(a, "--verify") == 0)
             o.verify = true;
+        else if (std::strcmp(a, "--selfcheck") == 0 ||
+                 flagValue(a, "--selfcheck", v)) {
+            if (!check::parseMode(v, o.selfcheck))
+                dmp_fatal("--selfcheck: unknown mode: ", v);
+            o.selfcheckGiven = true;
+        }
+        else if (flagValue(a, "--selfcheck-json", v))
+            o.selfcheckJsonPath = v;
         else if (std::strcmp(a, "--list") == 0)
             o.list = true;
         else if (std::strcmp(a, "--marks") == 0)
@@ -247,6 +267,33 @@ appendStatsJson(const std::string &path, const std::string &line)
     out << line << "\n";
 }
 
+/** Write the --selfcheck-json outcome record (overwrites `path`). */
+void
+writeSelfcheckJson(const std::string &path, const std::string &json)
+{
+    std::ofstream out(path);
+    if (!out)
+        dmp_fatal("--selfcheck-json: cannot open ", path);
+    out << json << "\n";
+}
+
+/** Report a self-check failure on stderr (and optionally as JSON). */
+void
+reportCheckFailure(const Options &o, const check::CheckError &e,
+                   std::uint64_t checked_commits)
+{
+    std::fputs(e.report().text().c_str(), stderr);
+    std::fputs(e.diagnosis().c_str(), stderr);
+    std::fputc('\n', stderr);
+    if (!o.selfcheckJsonPath.empty()) {
+        writeSelfcheckJson(
+            o.selfcheckJsonPath,
+            check::selfcheckJson(o.selfcheck, o.target, true,
+                                 checked_commits, e.report(),
+                                 e.diagnosis()));
+    }
+}
+
 /**
  * --sweep: run the target workload through several machine modes on
  * the BatchRunner pool and print an IPC comparison. The profiling pass
@@ -277,11 +324,18 @@ runSweep(const Options &o)
         cfg.train.seed = 0x7e41a;
         cfg.ref.iterations = o.iters;
         cfg.ref.seed = o.seed;
+        cfg.selfcheck = o.selfcheck;
         grid.push_back(cfg);
     }
 
     sim::BatchRunner runner(o.jobs);
-    std::vector<sim::SimResult> results = runner.run(grid);
+    std::vector<sim::SimResult> results;
+    try {
+        results = runner.run(grid);
+    } catch (const check::CheckError &e) {
+        reportCheckFailure(o, e, 0);
+        return 1;
+    }
 
     std::printf("=== %s: %zu modes on %u worker(s) ===\n",
                 o.target.c_str(), modes.size(), runner.jobs());
@@ -304,13 +358,21 @@ runSweep(const Options &o)
                 (unsigned long long)st.profileRuns,
                 (unsigned long long)st.profileHits,
                 (unsigned long long)st.simRuns, st.simSeconds);
+    if (o.selfcheck != check::Mode::Off) {
+        std::printf("selfcheck: clean (mode=%s across %zu runs)\n",
+                    check::modeName(o.selfcheck), grid.size());
+        if (!o.selfcheckJsonPath.empty()) {
+            writeSelfcheckJson(
+                o.selfcheckJsonPath,
+                check::selfcheckJson(o.selfcheck, o.target, false, 0,
+                                     analysis::Report{}, ""));
+        }
+    }
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     Options o = parse(argc, argv);
 
@@ -332,6 +394,18 @@ main(int argc, char **argv)
     }
     if (o.target.empty())
         usage();
+
+    if (!o.selfcheckGiven) {
+        if (const char *env = std::getenv("DMP_SELFCHECK")) {
+            if (!check::parseMode(env, o.selfcheck))
+                dmp_fatal("DMP_SELFCHECK: unknown mode: ", env);
+        }
+    }
+    if (o.selfcheck != check::Mode::Off && !check::buildEnabled()) {
+        dmp_fatal("--selfcheck requires a build with "
+                  "DMP_SELFCHECK_BUILD=ON (the release/performance "
+                  "presets compile the hooks out)");
+    }
 
     if (!o.sweep.empty())
         return runSweep(o);
@@ -398,11 +472,39 @@ main(int argc, char **argv)
         pv = std::make_unique<trace::PipeView>(o.pipeview);
         machine.setPipeView(pv.get());
     }
+    std::unique_ptr<check::CoreChecker> checker;
+    if (o.selfcheck != check::Mode::Off) {
+        check::CheckerOptions copt;
+        copt.mode = o.selfcheck;
+        checker = std::make_unique<check::CoreChecker>(prog, machine, copt);
+        machine.setSelfCheck(checker.get());
+    }
     auto host_start = std::chrono::steady_clock::now();
-    machine.run();
+    try {
+        machine.run();
+    } catch (const check::CheckError &e) {
+        reportCheckFailure(o, e,
+                           checker ? checker->checkedCommits() : 0);
+        return 1;
+    }
     double host_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - host_start)
                               .count();
+
+    if (checker) {
+        std::printf("selfcheck: clean (mode=%s, %llu commits "
+                    "cross-checked, %llu invariant passes)\n",
+                    check::modeName(o.selfcheck),
+                    (unsigned long long)checker->checkedCommits(),
+                    (unsigned long long)checker->invariantPasses());
+        if (!o.selfcheckJsonPath.empty()) {
+            writeSelfcheckJson(
+                o.selfcheckJsonPath,
+                check::selfcheckJson(o.selfcheck, o.target, false,
+                                     checker->checkedCommits(),
+                                     analysis::Report{}, ""));
+        }
+    }
 
     const core::CoreStats &st = machine.stats();
     double ipc = st.cycles.value()
@@ -436,4 +538,19 @@ main(int argc, char **argv)
                         sim::simResultJson(r, o.mode, o.target));
     }
     return machine.halted() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Surface stray exceptions (LintError from --verify, filesystem
+    // errors) as a clean diagnostic instead of std::terminate.
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dmp-run: %s\n", e.what());
+        return 1;
+    }
 }

@@ -29,7 +29,7 @@ buildRandomProgram(std::uint64_t structure_seed, std::uint64_t data_seed,
     Random srng(structure_seed ^ 0xD1CE);
     Random drng(data_seed ^ 0xF00D);
 
-    const unsigned table_log2 = 10 + srng.below(3); // 8-32KB tables
+    const unsigned table_log2 = 10 + unsigned(srng.below(3)); // 8-32KB
     const std::uint64_t iters = 40ULL * (size_class + 1) +
                                 srng.below(60 * (size_class + 1));
     const Addr data_base = 0x100000;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Zero-findings gate: representative workloads run clean under full
+ * self-checking (invariants + lockstep oracle) in every machine
+ * configuration class — baseline, hammock-only predication, full DMP,
+ * enhanced DMP, dual-path — and with the loop-marker extension. CI runs
+ * the complete 15-workload sweep; this keeps a cross-section in ctest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checker.hh"
+#include "core/params.hh"
+#include "sim/simulator.hh"
+
+namespace dmp
+{
+namespace
+{
+
+sim::SimConfig
+gateConfig(const std::string &workload, std::uint64_t iters = 60)
+{
+    sim::SimConfig cfg;
+    cfg.workload = workload;
+    cfg.train.iterations = iters;
+    cfg.ref.iterations = iters;
+    cfg.marker.profileInsts = 60000;
+    cfg.selfcheck = check::Mode::All;
+    return cfg;
+}
+
+/** Run one config under --selfcheck=all; any finding fails the test. */
+void
+expectClean(sim::SimConfig cfg, const std::string &what)
+{
+    try {
+        sim::SimResult r = sim::runSim(cfg);
+        EXPECT_GT(r.retiredInsts, 0u) << what;
+    } catch (const check::CheckError &e) {
+        FAIL() << what << ": self-check finding\n"
+               << e.report().text() << e.diagnosis();
+    }
+}
+
+TEST(SelfCheckWorkloads, BaselineClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    for (const char *wl : {"bzip2", "mcf", "twolf"})
+        expectClean(gateConfig(wl), std::string("base/") + wl);
+}
+
+TEST(SelfCheckWorkloads, HammockPredicationClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    sim::SimConfig cfg = gateConfig("parser");
+    cfg.core.predication = core::PredicationScope::SimpleHammock;
+    expectClean(cfg, "dhp/parser");
+}
+
+TEST(SelfCheckWorkloads, DmpClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    for (const char *wl : {"bzip2", "gzip"}) {
+        sim::SimConfig cfg = gateConfig(wl);
+        cfg.core.predication = core::PredicationScope::Diverge;
+        expectClean(cfg, std::string("dmp/") + wl);
+    }
+}
+
+TEST(SelfCheckWorkloads, DmpEnhancedClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    for (const char *wl : {"bzip2", "mcf", "vpr"}) {
+        sim::SimConfig cfg = gateConfig(wl);
+        cfg.core.predication = core::PredicationScope::Diverge;
+        cfg.core.enhMultiCfm = true;
+        cfg.core.enhEarlyExit = true;
+        cfg.core.enhMultiDiverge = true;
+        expectClean(cfg, std::string("dmp-enhanced/") + wl);
+    }
+}
+
+TEST(SelfCheckWorkloads, DualPathClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    for (const char *wl : {"bzip2", "twolf"}) {
+        sim::SimConfig cfg = gateConfig(wl);
+        cfg.core.mode = core::CoreMode::DualPath;
+        expectClean(cfg, std::string("dual/") + wl);
+    }
+}
+
+TEST(SelfCheckWorkloads, LoopMarkerExtensionClean)
+{
+    if (!check::buildEnabled())
+        GTEST_SKIP() << "built with DMP_SELFCHECK_BUILD=OFF";
+    sim::SimConfig cfg = gateConfig("gzip");
+    cfg.core.predication = core::PredicationScope::Diverge;
+    cfg.core.enhMultiCfm = true;
+    cfg.core.enhEarlyExit = true;
+    cfg.core.enhMultiDiverge = true;
+    cfg.marker.markLoopBranches = true;
+    expectClean(cfg, "dmp-enhanced+loop-ext/gzip");
+}
+
+} // namespace
+} // namespace dmp

@@ -127,6 +127,65 @@ TEST(CheckpointPool, ExhaustionReturnsMinusOne)
     EXPECT_EQ(pool.alloc(3), -1);
 }
 
+TEST(CheckpointPool, ExhaustionRecoversAfterRelease)
+{
+    CheckpointPool pool(3);
+    std::int32_t ids[3];
+    for (int i = 0; i < 3; ++i) {
+        ids[i] = pool.alloc(10 + i);
+        ASSERT_GE(ids[i], 0);
+    }
+    // Exhaustion is stable: repeated failing allocs neither corrupt the
+    // pool nor consume anything.
+    EXPECT_EQ(pool.alloc(99), -1);
+    EXPECT_EQ(pool.alloc(99), -1);
+    EXPECT_EQ(pool.freeCount(), 0u);
+
+    pool.release(ids[1], 11);
+    std::int32_t again = pool.alloc(50);
+    EXPECT_EQ(again, ids[1]); // LIFO free list hands back the slot
+    EXPECT_EQ(pool.alloc(51), -1);
+}
+
+TEST(CheckpointPool, MispredictFlushRestoresFreeList)
+{
+    // A mispredict flush walks the ROB youngest-first and releases
+    // every checkpoint owned by a squashed branch. The free list must
+    // return to its pre-speculation state and the released slots must
+    // be immediately reusable.
+    CheckpointPool pool(4);
+    std::int32_t a = pool.alloc(10); // surviving branch
+    std::int32_t b = pool.alloc(20); // mispredicted branch
+    std::int32_t c = pool.alloc(30); // squashed
+    std::int32_t d = pool.alloc(40); // squashed
+    ASSERT_EQ(pool.freeCount(), 0u);
+
+    // Flush: everything younger than seq 20 dies, youngest first.
+    pool.release(d, 40);
+    pool.release(c, 30);
+    EXPECT_EQ(pool.freeCount(), 2u);
+
+    // Stale releases from the squashed window are ignored (the pool is
+    // owner-validated, so a replayed release cannot double-free).
+    pool.release(d, 40);
+    pool.release(c, 30);
+    EXPECT_EQ(pool.freeCount(), 2u);
+
+    // Re-speculation down the correct path reuses the freed slots.
+    std::int32_t e = pool.alloc(50);
+    std::int32_t f = pool.alloc(60);
+    EXPECT_TRUE((e == c && f == d) || (e == d && f == c));
+    EXPECT_EQ(pool.alloc(70), -1);
+
+    // Retiring the old branches releases the rest; fully drained pool
+    // has every slot back.
+    pool.release(e, 50);
+    pool.release(f, 60);
+    pool.release(b, 20);
+    pool.release(a, 10);
+    EXPECT_EQ(pool.freeCount(), 4u);
+}
+
 TEST(CheckpointPool, ContentRoundTrip)
 {
     CheckpointPool pool(2);
