@@ -19,6 +19,12 @@
  *   DMP_BENCH_ITERS     workload loop iterations (default 2000)
  *   DMP_BENCH_WORKLOADS comma-separated subset of benchmarks to run
  *   DMP_BENCH_JOBS      simulation worker threads (default: all cores)
+ *   DMP_STATS_JSON      append one schema-1 JSONL record per distinct
+ *                        run to this path (dmp-report consumes these)
+ *   DMP_BENCH_ACCT      any non-empty value attaches the cycle
+ *                        accounting sink to every run, so exported
+ *                        records carry the accounting block (requires
+ *                        DMP_TRACING=ON; changes config fingerprints)
  */
 
 #ifndef DMP_BENCH_BENCH_UTIL_HH
@@ -105,6 +111,9 @@ class RunCache
         cfg.workload = workload;
         cfg.train.iterations = benchIterations();
         cfg.ref.iterations = benchIterations();
+        if (const char *acct = std::getenv("DMP_BENCH_ACCT");
+            acct && *acct)
+            cfg.accounting = true;
         if (fn)
             fn(cfg.core);
         return cfg;
@@ -144,11 +153,17 @@ class RunCache
         if (!path)
             return;
         std::lock_guard lk(exportMtx);
-        if (!exported.insert(sim::configFingerprint(cfg)).second)
+        std::string fp = sim::configFingerprint(cfg);
+        if (!exported.insert(fp).second)
             return;
+        // Fingerprints use only JSON-string-safe characters, so they
+        // can be spliced into the record without escaping.
+        std::string extra = "\"fingerprint\":\"" + fp +
+                            "\",\"bench_iters\":" +
+                            std::to_string(benchIterations());
         std::ofstream out(path, std::ios::app);
         if (out)
-            out << sim::simResultJson(r, label, workload) << "\n";
+            out << sim::simResultJson(r, label, workload, extra) << "\n";
     }
 
     sim::BatchRunner pool; ///< DMP_BENCH_JOBS workers (default: cores)

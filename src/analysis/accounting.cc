@@ -1,0 +1,393 @@
+#include "analysis/accounting.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dmp::analysis
+{
+
+namespace
+{
+
+// Trace-event track ids (pid is fixed at 1 by TraceEventWriter).
+constexpr int kTidTopdown = 1;
+constexpr int kTidEpisodes = 2;
+constexpr int kTidFlushes = 3;
+
+// Numeric values of core::ExitCase / core::ConversionReason as carried
+// by AcctEpisodeEnd (the sink interface is deliberately enum-free so
+// dmp_analysis needs no core headers beyond acct_sink.hh; kept in sync
+// by tests/analysis/test_accounting.cpp).
+constexpr std::uint8_t kCase2 = 2;
+constexpr std::uint8_t kCase3 = 3;
+constexpr std::uint8_t kCase4 = 4;
+constexpr std::uint8_t kNotConverted = 0;
+constexpr std::uint8_t kEarlyExit = 1;
+
+} // namespace
+
+const char *
+bucketName(CycleBucket b)
+{
+    switch (b) {
+      case CycleBucket::RetireUseful:
+        return "retire_useful";
+      case CycleBucket::RetireFalsePath:
+        return "retire_false_path";
+      case CycleBucket::FlushRecovery:
+        return "flush_recovery";
+      case CycleBucket::BackendStall:
+        return "backend_stall";
+      case CycleBucket::FetchStall:
+        return "fetch_stall";
+      case CycleBucket::FrontendStarved:
+        return "frontend_starved";
+      case CycleBucket::Idle:
+        return "idle";
+      default:
+        return "?";
+    }
+}
+
+CycleAccounting::CycleAccounting(unsigned frontend_depth,
+                                 unsigned retire_width)
+    : frontendDepth(frontend_depth), retireWidth(retire_width)
+{
+    dmp_assert(retireWidth > 0, "accounting needs a non-zero retire width");
+    for (unsigned i = 0; i < unsigned(CycleBucket::NumBuckets); ++i) {
+        group.addStat(std::string("cycles_") + bucketName(CycleBucket(i)),
+                      &buckets[i]);
+    }
+    group.addStat("rename_blocked_cycles", &renameBlockedCycles,
+                  "cycles rename stalled on a backend resource");
+    group.addStat("episodes", &episodesTracked, "episodes observed");
+    group.addStat("flushes", &flushesSeen, "pipeline flushes observed");
+    group.addStat("pred_false_retired", &predFalseRetired,
+                  "predicated-FALSE insts attributed to a diverge branch");
+    group.addStat("pred_uops_retired", &predUopsRetired,
+                  "marker/select uops attributed to a diverge branch");
+    group.addStat("flushes_avoided", &flushesAvoidedTotal,
+                  "episodes that absorbed a misprediction without a flush");
+}
+
+void
+CycleAccounting::closeTopdownSlice(Cycle end)
+{
+    if (traceW && curBucket >= 0 && end > runStart) {
+        traceW->complete(kTidTopdown, runStart, end - runStart,
+                         bucketName(CycleBucket(curBucket)), "topdown");
+    }
+}
+
+void
+CycleAccounting::onCycleEnd(const core::AcctCycleSample &s)
+{
+    CycleBucket b;
+    if (s.usefulRetired > 0)
+        b = CycleBucket::RetireUseful;
+    else if (s.falseRetired + s.uopRetired > 0)
+        b = CycleBucket::RetireFalsePath;
+    else if (s.cycle < flushShadowEnd)
+        b = CycleBucket::FlushRecovery;
+    else if (!s.robEmpty)
+        b = CycleBucket::BackendStall;
+    else if (s.fetchStalled)
+        b = CycleBucket::FetchStall;
+    else if (s.frontendActive)
+        b = CycleBucket::FrontendStarved;
+    else
+        b = CycleBucket::Idle;
+
+    ++buckets[unsigned(b)];
+    if (s.renameBlocked)
+        ++renameBlockedCycles;
+
+    if (traceW && int(b) != curBucket) {
+        closeTopdownSlice(s.cycle);
+        curBucket = int(b);
+        runStart = s.cycle;
+    }
+    lastCycle = s.cycle;
+    sawCycle = true;
+}
+
+void
+CycleAccounting::onEpisodeStart(EpisodeId id, Addr diverge_pc,
+                                bool is_dual, Cycle now)
+{
+    DivergeBranchStats &row = rowFor(diverge_pc);
+    if (is_dual)
+        ++row.dualEpisodes;
+    else
+        ++row.episodes;
+    ++episodesTracked;
+    openEpisodes.emplace(id, diverge_pc);
+    if (traceW) {
+        traceW->asyncBegin(kTidEpisodes, now, id,
+                           "EP@" + trace::hex(diverge_pc), "episode",
+                           std::string("{\"dual\":") +
+                               (is_dual ? "1" : "0") + "}");
+    }
+}
+
+void
+CycleAccounting::onEpisodeEnd(const core::AcctEpisodeEnd &e, Cycle now)
+{
+    auto it = openEpisodes.find(e.id);
+    if (it == openEpisodes.end())
+        return; // already ended (classified, then squashed later)
+    openEpisodes.erase(it);
+
+    DivergeBranchStats &row = rowFor(e.divergePc);
+    row.fetchedInsts += e.fetchedInsts;
+    if (e.dead) {
+        ++row.squashed;
+    } else if (e.isDualPath) {
+        // A dual fork that collapsed to the alternate stream absorbed a
+        // misprediction that would have flushed the baseline.
+        if (!e.resolvedCorrect) {
+            ++row.flushesAvoided;
+            ++flushesAvoidedTotal;
+        }
+    } else {
+        if (e.converted != kNotConverted) {
+            ++row.converted;
+            if (e.converted == kEarlyExit)
+                ++row.earlyExits;
+        }
+        switch (e.exitCase) {
+          case kCase2:
+            ++row.mergedAtCfm;
+            ++row.flushesAvoided;
+            ++flushesAvoidedTotal;
+            break;
+          case kCase4:
+            ++row.flushesAvoided;
+            ++flushesAvoidedTotal;
+            break;
+          case kCase3:
+            ++row.overshot;
+            break;
+          default:
+            if (e.exitCase == 1)
+                ++row.mergedAtCfm;
+            break;
+        }
+    }
+    if (traceW) {
+        traceW->asyncEnd(kTidEpisodes, now, e.id,
+                         "EP@" + trace::hex(e.divergePc), "episode",
+                         "{\"exit_case\":" + std::to_string(e.exitCase) +
+                             ",\"dead\":" + (e.dead ? "1" : "0") + "}");
+    }
+}
+
+void
+CycleAccounting::onFlush(Addr branch_pc, std::uint64_t squashed, Cycle now)
+{
+    ++flushesSeen;
+    ++rowFor(branch_pc).flushes;
+    // Everything between now and the refilled front end is recovery.
+    flushShadowEnd = now + frontendDepth;
+    if (traceW) {
+        traceW->instant(kTidFlushes, now, "flush@" + trace::hex(branch_pc),
+                        "flush",
+                        "{\"squashed\":" + std::to_string(squashed) + "}");
+    }
+}
+
+void
+CycleAccounting::onPredicatedRetire(Addr diverge_pc, bool is_uop)
+{
+    DivergeBranchStats &row = rowFor(diverge_pc);
+    if (is_uop) {
+        ++row.extraUops;
+        ++predUopsRetired;
+    } else {
+        ++row.falseInsts;
+        ++predFalseRetired;
+    }
+}
+
+void
+CycleAccounting::attachTrace(trace::TraceEventWriter *w)
+{
+    dmp_assert(!sawCycle, "trace attached after accounting started");
+    traceW = w;
+    if (traceW) {
+        traceW->threadName(kTidTopdown, "topdown");
+        traceW->threadName(kTidEpisodes, "episodes");
+        traceW->threadName(kTidFlushes, "flushes");
+    }
+}
+
+void
+CycleAccounting::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (!traceW)
+        return;
+    closeTopdownSlice(lastCycle + 1);
+    curBucket = -1;
+    for (const auto &[id, pc] : openEpisodes) {
+        traceW->asyncEnd(kTidEpisodes, lastCycle + 1, id,
+                         "EP@" + trace::hex(pc), "episode");
+    }
+}
+
+DivergeBranchStats &
+CycleAccounting::rowFor(Addr pc)
+{
+    DivergeBranchStats &row = table[pc];
+    row.pc = pc;
+    return row;
+}
+
+std::uint64_t
+CycleAccounting::bucketCycles(CycleBucket b) const
+{
+    return buckets[unsigned(b)].value();
+}
+
+std::uint64_t
+CycleAccounting::totalCycles() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < unsigned(CycleBucket::NumBuckets); ++i)
+        sum += buckets[i].value();
+    return sum;
+}
+
+double
+CycleAccounting::netCycles(const DivergeBranchStats &row) const
+{
+    double saved = double(row.flushesAvoided) * double(frontendDepth);
+    double paid = double(row.falseInsts + row.extraUops) /
+                  double(retireWidth);
+    return saved - paid;
+}
+
+namespace
+{
+
+/** Rows sorted by descending net benefit (ties by PC for determinism). */
+std::vector<const DivergeBranchStats *>
+sortedRows(const std::unordered_map<Addr, DivergeBranchStats> &table,
+           const CycleAccounting &acct)
+{
+    std::vector<const DivergeBranchStats *> rows;
+    rows.reserve(table.size());
+    for (const auto &[pc, row] : table)
+        rows.push_back(&row);
+    std::sort(rows.begin(), rows.end(),
+              [&](const DivergeBranchStats *a, const DivergeBranchStats *b) {
+                  double na = acct.netCycles(*a), nb = acct.netCycles(*b);
+                  if (na != nb)
+                      return na > nb;
+                  return a->pc < b->pc;
+              });
+    return rows;
+}
+
+} // namespace
+
+std::string
+CycleAccounting::branchesJson() const
+{
+    std::ostringstream os;
+    os << '[';
+    bool first = true;
+    for (const DivergeBranchStats *r : sortedRows(table, *this)) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"pc\":\"" << trace::hex(r->pc) << '"'
+           << ",\"episodes\":" << r->episodes
+           << ",\"dual_episodes\":" << r->dualEpisodes
+           << ",\"merged_at_cfm\":" << r->mergedAtCfm
+           << ",\"overshot\":" << r->overshot
+           << ",\"early_exits\":" << r->earlyExits
+           << ",\"converted\":" << r->converted
+           << ",\"squashed\":" << r->squashed
+           << ",\"fetched_insts\":" << r->fetchedInsts
+           << ",\"false_insts\":" << r->falseInsts
+           << ",\"extra_uops\":" << r->extraUops
+           << ",\"flushes_avoided\":" << r->flushesAvoided
+           << ",\"flushes\":" << r->flushes << ",\"net_cycles\":"
+           << netCycles(*r) << '}';
+    }
+    os << ']';
+    return os.str();
+}
+
+std::string
+CycleAccounting::json() const
+{
+    std::ostringstream os;
+    os << "{\"frontend_depth\":" << frontendDepth
+       << ",\"retire_width\":" << retireWidth
+       << ",\"total_cycles\":" << totalCycles() << ",\"buckets\":{";
+    for (unsigned i = 0; i < unsigned(CycleBucket::NumBuckets); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << bucketName(CycleBucket(i))
+           << "\":" << buckets[i].value();
+    }
+    os << "},\"branches\":" << branchesJson() << '}';
+    return os.str();
+}
+
+std::string
+CycleAccounting::summary() const
+{
+    std::ostringstream os;
+    std::uint64_t total = totalCycles();
+    os << "top-down cycle accounting (" << total << " cycles):\n";
+    for (unsigned i = 0; i < unsigned(CycleBucket::NumBuckets); ++i) {
+        std::uint64_t c = buckets[i].value();
+        double pct = total ? 100.0 * double(c) / double(total) : 0.0;
+        char line[96];
+        std::snprintf(line, sizeof(line), "  %-18s %12llu  %5.1f%%\n",
+                      bucketName(CycleBucket(i)),
+                      (unsigned long long)c, pct);
+        os << line;
+    }
+    auto rows = sortedRows(table, *this);
+    if (!rows.empty()) {
+        os << "per-branch diverge analytics (net benefit order):\n"
+           << "  pc          episodes  mergedCFM  overshot  flushAvoid"
+              "  flushes  falseInsts  uops  netCycles\n";
+    }
+    std::size_t shown = 0;
+    for (const DivergeBranchStats *r : rows) {
+        // Pure-flush rows (no episodes) are base-mode noise for this
+        // view; the full set is in branchesJson().
+        if (r->episodes + r->dualEpisodes == 0)
+            continue;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %-10s %9llu %10llu %9llu %11llu %8llu %11llu "
+                      "%5llu %10.1f\n",
+                      trace::hex(r->pc).c_str(),
+                      (unsigned long long)(r->episodes + r->dualEpisodes),
+                      (unsigned long long)r->mergedAtCfm,
+                      (unsigned long long)r->overshot,
+                      (unsigned long long)r->flushesAvoided,
+                      (unsigned long long)r->flushes,
+                      (unsigned long long)r->falseInsts,
+                      (unsigned long long)r->extraUops, netCycles(*r));
+        os << line;
+        if (++shown >= 20) {
+            os << "  ... (" << rows.size() << " branches total)\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,278 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dmp::json
+{
+
+const Value *
+Value::get(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Value *
+Value::get(std::string_view a, std::string_view b) const
+{
+    const Value *v = get(a);
+    return v ? v->get(b) : nullptr;
+}
+
+std::uint64_t
+Value::asU64() const
+{
+    if (!isNumber() || number < 0)
+        return 0;
+    return std::uint64_t(number);
+}
+
+namespace
+{
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string &err_)
+        : s(text), err(err_)
+    {
+    }
+
+    bool
+    document(Value &out)
+    {
+        skipWs();
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const char *reason)
+    {
+        err = "offset " + std::to_string(pos) + ": " + reason;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word, std::size_t n)
+    {
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{':
+            return objectValue(out, depth);
+          case '[':
+            return arrayValue(out, depth);
+          case '"':
+            out.kind = Value::Kind::String;
+            return stringValue(out.string);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null", 4);
+          default:
+            return numberValue(out);
+        }
+    }
+
+    bool
+    stringValue(std::string &out)
+    {
+        ++pos; // opening quote
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos];
+            if (c == '\\') {
+                if (pos + 1 >= s.size())
+                    return fail("unterminated escape");
+                char e = s[pos + 1];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out += e;
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  default:
+                    return fail("unsupported escape");
+                }
+                pos += 2;
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        if (pos >= s.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    numberValue(Value &out)
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            if (std::isdigit(static_cast<unsigned char>(s[pos])))
+                digits = true;
+            ++pos;
+        }
+        if (!digits) {
+            pos = start;
+            return fail("expected a value");
+        }
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(std::string(s.substr(start, pos - start))
+                                     .c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    bool
+    arrayValue(Value &out, int depth)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Value elem;
+            if (!value(elem, depth + 1))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                skipWs();
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    objectValue(Value &out, int depth)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected a string key");
+            std::string key;
+            if (!stringValue(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':' after key");
+            ++pos;
+            skipWs();
+            Value member;
+            if (!value(member, depth + 1))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view s;
+    std::string &err;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string &err)
+{
+    out = Value{};
+    err.clear();
+    return Parser(text, err).document(out);
+}
+
+} // namespace dmp::json

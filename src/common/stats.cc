@@ -42,6 +42,24 @@ Distribution::reset()
 }
 
 // ---------------------------------------------------------------------
+// Formula
+// ---------------------------------------------------------------------
+
+double
+Formula::value() const
+{
+    if (!fn)
+        return 0.0;
+    double v = fn();
+    if (!std::isfinite(v)) {
+        dmp_warn_once("formula produced a non-finite value (zero or "
+                      "absent denominator?); emitting 0 instead");
+        return 0.0;
+    }
+    return v;
+}
+
+// ---------------------------------------------------------------------
 // StatGroup
 // ---------------------------------------------------------------------
 

@@ -141,7 +141,14 @@ class Formula
     Formula() = default;
     explicit Formula(std::function<double()> fn_) : fn(std::move(fn_)) {}
 
-    double value() const { return fn ? fn() : 0.0; }
+    /**
+     * Evaluated result. A non-finite value (a zero or absent
+     * denominator counter, typically from an empty or truncated run)
+     * is flattened to 0 with a dmp_warn_once instead of leaking
+     * NaN/Inf into dumps and JSON exports.
+     */
+    double value() const;
+
     bool valid() const { return bool(fn); }
 
   private:

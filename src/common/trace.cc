@@ -73,6 +73,111 @@ PipeView::~PipeView()
         std::fclose(f);
 }
 
+TraceEventWriter::TraceEventWriter(const std::string &path)
+{
+    f = std::fopen(path.c_str(), "w");
+    if (!f)
+        dmp_fatal("cannot open trace-event file: ", path);
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+}
+
+TraceEventWriter::~TraceEventWriter()
+{
+    close();
+}
+
+namespace
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceEventWriter::event(const char *ph, int tid, std::uint64_t ts,
+                        const std::string &name, const char *cat,
+                        const std::string &extra, const std::string &args)
+{
+    std::fprintf(f, "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                    "\"ts\":%llu,\"pid\":1,\"tid\":%d%s",
+                 nEvents ? ",\n" : "", jsonEscape(name).c_str(), cat, ph,
+                 (unsigned long long)ts, tid, extra.c_str());
+    if (!args.empty())
+        std::fprintf(f, ",\"args\":%s", args.c_str());
+    std::fputs("}", f);
+    ++nEvents;
+}
+
+void
+TraceEventWriter::threadName(int tid, const std::string &name)
+{
+    // Metadata events name the track; args carry the name itself.
+    event("M", tid, 0, "thread_name", "__metadata", "",
+          "{\"name\":\"" + jsonEscape(name) + "\"}");
+}
+
+void
+TraceEventWriter::complete(int tid, std::uint64_t ts, std::uint64_t dur,
+                           const std::string &name, const char *cat,
+                           const std::string &args)
+{
+    std::string extra = ",\"dur\":" + std::to_string(dur);
+    event("X", tid, ts, name, cat, extra, args);
+}
+
+void
+TraceEventWriter::asyncBegin(int tid, std::uint64_t ts, std::uint64_t id,
+                             const std::string &name, const char *cat,
+                             const std::string &args)
+{
+    event("b", tid, ts, name, cat, ",\"id\":" + std::to_string(id),
+          args);
+}
+
+void
+TraceEventWriter::asyncEnd(int tid, std::uint64_t ts, std::uint64_t id,
+                           const std::string &name, const char *cat,
+                           const std::string &args)
+{
+    event("e", tid, ts, name, cat, ",\"id\":" + std::to_string(id),
+          args);
+}
+
+void
+TraceEventWriter::instant(int tid, std::uint64_t ts,
+                          const std::string &name, const char *cat,
+                          const std::string &args)
+{
+    event("i", tid, ts, name, cat, ",\"s\":\"t\"", args);
+}
+
+void
+TraceEventWriter::close()
+{
+    if (!f)
+        return;
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    f = nullptr;
+}
+
 void
 PipeView::emit(const Record &r)
 {

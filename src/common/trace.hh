@@ -15,6 +15,13 @@
  * O3PipeView format (one tick per cycle), which the Konata pipeline
  * visualizer loads directly: fetch, decode/rename/dispatch, issue,
  * complete, retire — with retire tick 0 marking a squashed instruction.
+ *
+ * TraceEventWriter emits Chrome trace-event JSON (the format Perfetto
+ * and chrome://tracing load directly): complete slices, async spans,
+ * and instant markers on named threads of one synthetic process, with
+ * one simulated cycle mapped to one timestamp unit. The cycle
+ * accounting subsystem (src/analysis/accounting.hh) uses it to render
+ * top-down phases, dpred episodes, and flushes on a timeline.
  */
 
 #ifndef DMP_COMMON_TRACE_HH
@@ -85,6 +92,74 @@ class PipeView
   private:
     std::FILE *f = nullptr;
     std::uint64_t nRecords = 0;
+};
+
+/** True when DMP_TRACE statements (and accounting probes) compile in. */
+constexpr bool
+tracingCompiledIn()
+{
+    return DMP_TRACING_ON != 0;
+}
+
+/**
+ * Chrome trace-event JSON writer (Perfetto-loadable).
+ *
+ * Produces {"displayTimeUnit":"ms","traceEvents":[...]} with one event
+ * object per call; timestamps are simulated cycles. Events carry a
+ * fixed pid and a caller-chosen tid, so related slices group into named
+ * tracks (see threadName). The footer is written by close() or the
+ * destructor; a file truncated mid-run is not valid JSON, matching the
+ * all-or-nothing contract of the other exporters.
+ */
+class TraceEventWriter
+{
+  public:
+    /** Open `path` for writing; fatal on failure. */
+    explicit TraceEventWriter(const std::string &path);
+    ~TraceEventWriter();
+
+    TraceEventWriter(const TraceEventWriter &) = delete;
+    TraceEventWriter &operator=(const TraceEventWriter &) = delete;
+
+    /** Name a track (tid) via a metadata event. */
+    void threadName(int tid, const std::string &name);
+
+    /**
+     * One complete slice ("ph":"X") covering [ts, ts+dur).
+     * @param args optional pre-rendered JSON object ("{...}") attached
+     *        as the event's args; empty = no args member.
+     */
+    void complete(int tid, std::uint64_t ts, std::uint64_t dur,
+                  const std::string &name, const char *cat,
+                  const std::string &args = "");
+
+    /** Async span begin ("ph":"b"); paired by (cat, id, name). */
+    void asyncBegin(int tid, std::uint64_t ts, std::uint64_t id,
+                    const std::string &name, const char *cat,
+                    const std::string &args = "");
+
+    /** Async span end ("ph":"e"); must match an asyncBegin. */
+    void asyncEnd(int tid, std::uint64_t ts, std::uint64_t id,
+                  const std::string &name, const char *cat,
+                  const std::string &args = "");
+
+    /** Thread-scoped instant marker ("ph":"i"). */
+    void instant(int tid, std::uint64_t ts, const std::string &name,
+                 const char *cat, const std::string &args = "");
+
+    /** Write the JSON footer and close the file (idempotent). */
+    void close();
+
+    /** Events written so far (metadata included). */
+    std::uint64_t count() const { return nEvents; }
+
+  private:
+    void event(const char *ph, int tid, std::uint64_t ts,
+               const std::string &name, const char *cat,
+               const std::string &extra, const std::string &args);
+
+    std::FILE *f = nullptr;
+    std::uint64_t nEvents = 0;
 };
 
 } // namespace dmp::trace

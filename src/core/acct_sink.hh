@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core-side interface of the cycle-accounting subsystem
+ * (src/analysis/accounting.hh). Mirrors the SelfCheckSink pattern: the
+ * core only knows this abstract sink, and the concrete implementation
+ * lives in dmp_analysis — which does not link dmp_core, so the
+ * destructor is defined inline here instead of in a core TU.
+ *
+ * Probe calls are compiled in only when DMP_TRACING_ON is set (the
+ * default; -DDMP_TRACING=OFF removes them with the rest of the tracing
+ * statements) and cost one null-pointer test per site when no sink is
+ * attached.
+ */
+
+#ifndef DMP_CORE_ACCT_SINK_HH
+#define DMP_CORE_ACCT_SINK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dmp::core
+{
+
+// Same alias as core/dyn_inst.hh (redeclared so this header stays
+// self-contained for dmp_analysis, which includes nothing else of core).
+using EpisodeId = std::uint64_t;
+
+/** What happened during one completed core cycle. */
+struct AcctCycleSample
+{
+    Cycle cycle = 0;            ///< index of the cycle that just ran
+    unsigned usefulRetired = 0; ///< committed program instructions
+    unsigned falseRetired = 0;  ///< predicated-FALSE program insts
+    unsigned uopRetired = 0;    ///< marker/select uops retired
+    bool robEmpty = false;
+    bool fetchStalled = false;   ///< fetch serving a redirect penalty
+    bool frontendActive = false; ///< fetch has a live pc or queued work
+    bool renameBlocked = false;  ///< rename stalled on a backend resource
+};
+
+/** Final state of one dynamic-predication (or dual-path) episode. */
+struct AcctEpisodeEnd
+{
+    EpisodeId id = ~0ULL; // kNoEpisode
+    Addr divergePc = kNoAddr;
+    std::uint8_t exitCase = 0;  ///< core::ExitCase value (0 = none)
+    std::uint8_t converted = 0; ///< core::ConversionReason value
+    std::uint32_t fetchedInsts = 0;
+    bool dead = false; ///< squashed by an older misprediction
+    bool isDualPath = false;
+    bool resolvedCorrect = false;
+};
+
+/**
+ * Observer of the core's cycle-level activity and episode lifecycle.
+ * One onCycleEnd per tick; episode end may be reported more than once
+ * for the same id (classified, then squashed later) — implementations
+ * must deduplicate by id.
+ */
+class AcctSink
+{
+  public:
+    virtual ~AcctSink() = default;
+
+    /** End of one Core::tick(), before the cycle counter advances. */
+    virtual void onCycleEnd(const AcctCycleSample &s) = 0;
+
+    /** A dpred or dual-path episode entered at fetch. */
+    virtual void onEpisodeStart(EpisodeId id, Addr diverge_pc,
+                                bool is_dual, Cycle now) = 0;
+
+    /** An episode finished (classified, collapsed, or squashed). */
+    virtual void onEpisodeEnd(const AcctEpisodeEnd &e, Cycle now) = 0;
+
+    /** A pipeline flush: `squashed` program insts thrown away. */
+    virtual void onFlush(Addr branch_pc, std::uint64_t squashed,
+                         Cycle now) = 0;
+
+    /**
+     * A predication-overhead entry retired: a predicated-FALSE program
+     * instruction (is_uop = false) or a marker/select uop (true),
+     * attributed to the episode's diverge branch.
+     */
+    virtual void onPredicatedRetire(Addr diverge_pc, bool is_uop) = 0;
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_ACCT_SINK_HH

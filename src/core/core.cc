@@ -270,6 +270,7 @@ Core::tick()
         return false;
     retireStage();
     if (isHalted) {
+        acNotifyCycleEnd();
         ++st.cycles;
         ++now;
         finalizeAllClassifiers();
@@ -280,6 +281,7 @@ Core::tick()
     issueStage();
     renameStage();
     fetchStage();
+    acNotifyCycleEnd();
     ++st.cycles;
     ++now;
     scNotifyCycleEnd();
@@ -414,6 +416,7 @@ Core::killEpisode(Episode &ep)
         fdp.clear();
     if (fdual.episodeId == ep.id)
         fdual.clear();
+    acNotifyEpisodeEnd(ep);
 }
 
 void
@@ -425,6 +428,7 @@ Core::classifyExit(Episode &ep, ExitCase c)
     st.episodeLength.sample(ep.fetchedInsts);
     DMP_TRACE(Dpred, now, 0, "core.dpred", "EP", ep.id, " exit case ",
               unsigned(c), " after ", ep.fetchedInsts, " insts");
+    acNotifyEpisodeEnd(ep);
 }
 
 void

@@ -39,6 +39,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
+#include "core/acct_sink.hh"
 #include "core/dyn_inst.hh"
 #include "core/episode.hh"
 #include "core/params.hh"
@@ -163,6 +164,15 @@ class Core
      * on the same macro (sim::runSimOnProgram makes it fatal instead).
      */
     void setSelfCheck(SelfCheckSink *sink) { selfCheck = sink; }
+
+    /**
+     * Attach a cycle-accounting sink (non-owning; may be null). Probe
+     * calls are compiled in only when DMP_TRACING_ON is set; attaching
+     * a sink in a -DDMP_TRACING=OFF build is a silent no-op, so callers
+     * should gate on trace::tracingCompiledIn() (sim::runSimOnProgram
+     * makes it fatal instead).
+     */
+    void setAccounting(AcctSink *sink) { acct = sink; }
 
   private:
     friend class dmp::check::CoreChecker;
@@ -366,6 +376,91 @@ class Core
 #endif
     }
 
+    // ---- Cycle-accounting notifiers ----
+    // One null-pointer test per site when no sink is attached; the
+    // whole body folds away under -DDMP_TRACING=OFF. Per-cycle retire
+    // counts accumulate in the ac* scratch members and are consumed
+    // (and always reset) by acNotifyCycleEnd.
+    void
+    acNotifyCycleEnd()
+    {
+        if (DMP_TRACING_ON && acct) {
+            AcctCycleSample s;
+            s.cycle = now;
+            s.usefulRetired = acUseful;
+            s.falseRetired = acFalse;
+            s.uopRetired = acUops;
+            s.robEmpty = robCount == 0;
+            s.fetchStalled = now < fetchStallUntil;
+            s.frontendActive = !fetchQueue.empty() ||
+                               fetchPc != kNoAddr || fdual.active;
+            s.renameBlocked = acRenameBlocked;
+            acct->onCycleEnd(s);
+        }
+        acUseful = 0;
+        acFalse = 0;
+        acUops = 0;
+        acRenameBlocked = false;
+    }
+    void
+    acNotifyRetire(const DynInst &di)
+    {
+        if (DMP_TRACING_ON && acct) {
+            const bool is_false = di.pred != kNoPred && di.predResolved &&
+                                  !di.predValue;
+            if (di.kind == UopKind::Normal) {
+                if (is_false)
+                    ++acFalse;
+                else
+                    ++acUseful;
+            } else {
+                ++acUops;
+            }
+            if (di.episode != kNoEpisode &&
+                (is_false || di.kind != UopKind::Normal)) {
+                const Episode &ep = episodeTable[di.episode & episodeMask];
+                if (ep.id == di.episode && ep.divergePc != kNoAddr) {
+                    acct->onPredicatedRetire(ep.divergePc,
+                                             di.kind != UopKind::Normal);
+                }
+            }
+        }
+    }
+    void
+    acNotifyEpisodeStart(EpisodeId id, Addr diverge_pc, bool is_dual)
+    {
+        if (DMP_TRACING_ON && acct)
+            acct->onEpisodeStart(id, diverge_pc, is_dual, now);
+    }
+    void
+    acNotifyEpisodeEnd(const Episode &ep)
+    {
+        if (DMP_TRACING_ON && acct) {
+            AcctEpisodeEnd e;
+            e.id = ep.id;
+            e.divergePc = ep.divergePc;
+            e.exitCase = std::uint8_t(ep.exitCase);
+            e.converted = std::uint8_t(ep.converted);
+            e.fetchedInsts = ep.fetchedInsts;
+            e.dead = ep.dead;
+            e.isDualPath = ep.isDualPath;
+            e.resolvedCorrect = ep.resolvedCorrect;
+            acct->onEpisodeEnd(e, now);
+        }
+    }
+    void
+    acNotifyFlush(Addr branch_pc, std::uint64_t squashed)
+    {
+        if (DMP_TRACING_ON && acct)
+            acct->onFlush(branch_pc, squashed, now);
+    }
+    void
+    acNoteRenameBlocked()
+    {
+        if (DMP_TRACING_ON && acct)
+            acRenameBlocked = true;
+    }
+
     // ---- Configuration & members ----
     const isa::Program &prog;
     CoreParams p;
@@ -487,6 +582,15 @@ class Core
 
     /** Optional self-check sink (non-owning; see setSelfCheck). */
     SelfCheckSink *selfCheck = nullptr;
+
+    /** Optional cycle-accounting sink (non-owning; see setAccounting). */
+    AcctSink *acct = nullptr;
+    // Per-cycle retire tallies for the accounting sample (reset every
+    // cycle by acNotifyCycleEnd; only written when a sink is attached).
+    unsigned acUseful = 0;
+    unsigned acFalse = 0;
+    unsigned acUops = 0;
+    bool acRenameBlocked = false;
 
     // Figure 1 classifier.
     std::vector<WrongPathRecord> wpRecords;

@@ -404,6 +404,7 @@ Core::resolveDualFork(DynInst &di, Episode &ep)
         if (oracle && win_pc != kNoAddr)
             oracle->onRedirect(win_pc);
     }
+    acNotifyEpisodeEnd(ep);
 }
 
 void
@@ -454,7 +455,9 @@ Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
 
     ++st.pipelineFlushes;
     noteFlushForClassifier(b.seq);
-    st.flushDepth.sample(squashYoungerThan(b.seq));
+    std::uint64_t squashed = squashYoungerThan(b.seq);
+    st.flushDepth.sample(squashed);
+    acNotifyFlush(b.pc, squashed);
     sb.squashYoungerThan(b.seq);
     clearFetchQueue();
 

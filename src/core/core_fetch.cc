@@ -355,6 +355,7 @@ Core::tryStartDpredEpisode(FetchedInst &fi, const isa::DivergeMark &mark)
               trace::hex(ep.divergePc), " predTaken=", int(ep.predTaken),
               " cfms=", ep.cfmCount);
     ++st.dpredEntries;
+    acNotifyEpisodeStart(ep.id, ep.divergePc, false);
     return true;
 }
 
@@ -397,6 +398,7 @@ Core::tryStartDualEpisode(FetchedInst &fi)
               " fork pc=", trace::hex(fi.pc), " pred=",
               trace::hex(fdual.pc[0]), " alt=", trace::hex(fdual.pc[1]));
     ++st.dualForks;
+    acNotifyEpisodeStart(fi.episode, fi.pc, true);
     return true;
 }
 

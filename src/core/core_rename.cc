@@ -25,8 +25,10 @@ Core::renameStage()
         FetchedInst &fi = fetchQueue.front();
         if (fi.renameReadyAt > now)
             break;
-        if (!renameOne(fi))
+        if (!renameOne(fi)) {
+            acNoteRenameBlocked();
             break; // resource stall
+        }
         fetchQueue.pop_front();
         ++renamed;
     }

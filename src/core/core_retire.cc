@@ -29,6 +29,7 @@ Core::retireStage()
 
         commitInst(di);
         scNotifyRetire(di);
+        acNotifyRetire(di);
         if (di.kind == UopKind::Normal)
             st.fetchToRetire.sample(std::uint32_t(now) - di.fetchedAt);
         if (pipeView)

@@ -82,6 +82,10 @@ configFingerprint(const SimConfig &cfg)
        << "|core:" << coreFp(cfg.core) << "|mi=" << cfg.maxInsts
        << "|mc=" << cfg.maxCycles
        << "|sc=" << int(cfg.selfcheck);
+    // Appended only when set so pre-accounting fingerprints (cached
+    // bench artifacts, golden files) keep their exact byte form.
+    if (cfg.accounting)
+        os << "|acct=1";
     if (cfg.faultPlan) {
         os << "|fault=" << check::faultKindName(cfg.faultPlan->kind)
            << "@" << cfg.faultPlan->notBefore;

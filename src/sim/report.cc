@@ -1,0 +1,438 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace dmp::sim
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, const char *spec = "%.3f")
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::uint64_t
+memberU64(const json::Value &obj, const char *key)
+{
+    const json::Value *v = obj.get(key);
+    return v ? v->asU64() : 0;
+}
+
+} // namespace
+
+std::uint64_t
+StatsRecord::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+parseStatsRecord(const std::string &line, StatsRecord &out, std::string &err)
+{
+    out = StatsRecord{};
+    json::Value doc;
+    if (!json::parse(line, doc, err))
+        return false;
+    if (!doc.isObject()) {
+        err = "record is not a JSON object";
+        return false;
+    }
+
+    if (const json::Value *v = doc.get("schema"))
+        out.schema = int(v->asU64());
+    if (const json::Value *v = doc.get("label"); v && v->isString())
+        out.label = v->string;
+    if (const json::Value *v = doc.get("workload"); v && v->isString())
+        out.workload = v->string;
+    if (const json::Value *v = doc.get("ipc"))
+        out.ipc = v->asDouble();
+    out.cycles = memberU64(doc, "cycles");
+    out.retiredInsts = memberU64(doc, "retired_insts");
+
+    if (const json::Value *c = doc.get("counters"); c && c->isObject()) {
+        for (const auto &[k, v] : c->object)
+            out.counters.emplace(k, v.asU64());
+    }
+    if (const json::Value *f = doc.get("formulas"); f && f->isObject()) {
+        for (const auto &[k, v] : f->object)
+            out.formulas.emplace(k, v.asDouble());
+    }
+
+    const json::Value *acct = doc.get("accounting");
+    if (acct && acct->isObject()) {
+        out.hasAccounting = true;
+        if (const json::Value *b = acct->get("buckets"); b && b->isObject())
+            for (const auto &[k, v] : b->object)
+                out.buckets.emplace_back(k, v.asU64());
+        if (const json::Value *br = acct->get("branches");
+            br && br->isArray()) {
+            for (const json::Value &row : br->array) {
+                if (!row.isObject())
+                    continue;
+                ReportBranchRow r;
+                if (const json::Value *pc = row.get("pc");
+                    pc && pc->isString())
+                    r.pc = pc->string;
+                r.episodes = memberU64(row, "episodes");
+                r.dualEpisodes = memberU64(row, "dual_episodes");
+                r.mergedAtCfm = memberU64(row, "merged_at_cfm");
+                r.overshot = memberU64(row, "overshot");
+                r.earlyExits = memberU64(row, "early_exits");
+                r.converted = memberU64(row, "converted");
+                r.squashed = memberU64(row, "squashed");
+                r.fetchedInsts = memberU64(row, "fetched_insts");
+                r.falseInsts = memberU64(row, "false_insts");
+                r.extraUops = memberU64(row, "extra_uops");
+                r.flushesAvoided = memberU64(row, "flushes_avoided");
+                r.flushes = memberU64(row, "flushes");
+                if (const json::Value *nc = row.get("net_cycles"))
+                    r.netCycles = nc->asDouble();
+                out.branches.push_back(std::move(r));
+            }
+        }
+    }
+    return true;
+}
+
+bool
+loadStatsJsonl(const std::string &path, std::vector<StatsRecord> &out,
+               std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        StatsRecord rec;
+        std::string rec_err;
+        if (!parseStatsRecord(line, rec, rec_err)) {
+            err = path + ":" + std::to_string(lineno) + ": " + rec_err;
+            return false;
+        }
+        out.push_back(std::move(rec));
+    }
+    return true;
+}
+
+const StatsRecord *
+findRecord(const std::vector<StatsRecord> &records,
+           const std::string &label, const std::string &workload)
+{
+    for (const StatsRecord &r : records)
+        if (r.label == label && r.workload == workload)
+            return &r;
+    return nullptr;
+}
+
+bool
+parseReportFormat(const std::string &name, ReportFormat &out)
+{
+    if (name == "text")
+        out = ReportFormat::Text;
+    else if (name == "json")
+        out = ReportFormat::Json;
+    else if (name == "md" || name == "markdown")
+        out = ReportFormat::Markdown;
+    else
+        return false;
+    return true;
+}
+
+std::string
+ReportTable::render(ReportFormat f) const
+{
+    std::ostringstream os;
+    if (f == ReportFormat::Json) {
+        os << "{\"title\":\"" << jsonEscape(title) << "\",\"header\":[";
+        for (std::size_t i = 0; i < header.size(); ++i)
+            os << (i ? "," : "") << '"' << jsonEscape(header[i]) << '"';
+        os << "],\"rows\":[";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            os << (i ? "," : "") << '[';
+            for (std::size_t j = 0; j < rows[i].size(); ++j)
+                os << (j ? "," : "") << '"' << jsonEscape(rows[i][j])
+                   << '"';
+            os << ']';
+        }
+        os << "]}";
+        return os.str();
+    }
+
+    if (f == ReportFormat::Markdown) {
+        os << "### " << title << "\n\n|";
+        for (const std::string &h : header)
+            os << ' ' << h << " |";
+        os << "\n|";
+        for (std::size_t i = 0; i < header.size(); ++i)
+            os << (i ? " ---: |" : " :--- |");
+        os << '\n';
+        for (const auto &row : rows) {
+            os << '|';
+            for (const std::string &cell : row)
+                os << ' ' << cell << " |";
+            os << '\n';
+        }
+        return os.str();
+    }
+
+    // Text: first column left-aligned, the rest right-aligned.
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t i = 0; i < header.size(); ++i)
+        width[i] = header[i].size();
+    for (const auto &row : rows)
+        for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            const std::string &cell = row[i];
+            std::size_t pad = width[i] > cell.size()
+                ? width[i] - cell.size() : 0;
+            if (i == 0) {
+                os << cell << std::string(pad, ' ');
+            } else {
+                os << "  " << std::string(pad, ' ') << cell;
+            }
+        }
+        os << '\n';
+    };
+    os << "=== " << title << " ===\n";
+    emitRow(header);
+    for (const auto &row : rows)
+        emitRow(row);
+    return os.str();
+}
+
+std::string
+renderTables(const std::vector<ReportTable> &tables, ReportFormat f)
+{
+    std::ostringstream os;
+    if (f == ReportFormat::Json) {
+        os << '[';
+        for (std::size_t i = 0; i < tables.size(); ++i)
+            os << (i ? "," : "") << tables[i].render(f);
+        os << "]\n";
+        return os.str();
+    }
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        if (i)
+            os << '\n';
+        os << tables[i].render(f);
+    }
+    return os.str();
+}
+
+ReportTable
+summaryTable(const std::vector<StatsRecord> &records)
+{
+    ReportTable t;
+    t.title = "runs";
+    t.header = {"label", "workload", "IPC", "cycles",
+                "retired", "flushes", "MPKI"};
+    for (const StatsRecord &r : records) {
+        auto mpki = r.formulas.find("mispred_per_kilo_insts");
+        t.rows.push_back(
+            {r.label, r.workload, fmtDouble(r.ipc), fmtU64(r.cycles),
+             fmtU64(r.retiredInsts),
+             fmtU64(r.counter("pipeline_flushes")),
+             mpki == r.formulas.end() ? "-" : fmtDouble(mpki->second,
+                                                        "%.2f")});
+    }
+    return t;
+}
+
+ReportTable
+topdownTable(const std::vector<StatsRecord> &records)
+{
+    ReportTable t;
+    t.title = "top-down cycle breakdown (% of cycles)";
+    // Column set = bucket order of the first accounting record.
+    for (const StatsRecord &r : records) {
+        if (!r.hasAccounting)
+            continue;
+        t.header = {"label", "workload", "cycles"};
+        for (const auto &[name, cycles] : r.buckets)
+            t.header.push_back(name);
+        break;
+    }
+    if (t.header.empty()) {
+        t.header = {"label", "workload", "cycles"};
+        return t;
+    }
+    for (const StatsRecord &r : records) {
+        if (!r.hasAccounting)
+            continue;
+        std::vector<std::string> row = {r.label, r.workload,
+                                        fmtU64(r.cycles)};
+        std::uint64_t total = 0;
+        for (const auto &[name, cycles] : r.buckets)
+            total += cycles;
+        for (std::size_t i = 3; i < t.header.size(); ++i) {
+            std::uint64_t c = 0;
+            for (const auto &[name, cycles] : r.buckets)
+                if (name == t.header[i])
+                    c = cycles;
+            double pct = total ? 100.0 * double(c) / double(total) : 0.0;
+            row.push_back(fmtDouble(pct, "%.1f"));
+        }
+        t.rows.push_back(std::move(row));
+    }
+    return t;
+}
+
+ReportTable
+diffTable(const std::vector<StatsRecord> &records,
+          const std::string &label_a, const std::string &label_b)
+{
+    ReportTable t;
+    t.title = label_b + " vs " + label_a;
+    t.header = {"workload",       "IPC " + label_a, "IPC " + label_b,
+                "IPC delta %",    "flushes " + label_a,
+                "flushes " + label_b, "flush red. %"};
+    double ipc_sum = 0, red_sum = 0;
+    unsigned n = 0;
+    for (const StatsRecord &ra : records) {
+        if (ra.label != label_a)
+            continue;
+        const StatsRecord *rb = findRecord(records, label_b, ra.workload);
+        if (!rb)
+            continue;
+        std::uint64_t fa = ra.counter("pipeline_flushes");
+        std::uint64_t fb = rb->counter("pipeline_flushes");
+        double ipc_delta =
+            ra.ipc ? 100.0 * (rb->ipc - ra.ipc) / ra.ipc : 0.0;
+        double red = flushReductionPct(fa, fb);
+        t.rows.push_back({ra.workload, fmtDouble(ra.ipc),
+                          fmtDouble(rb->ipc), fmtDouble(ipc_delta, "%.1f"),
+                          fmtU64(fa), fmtU64(fb),
+                          fmtDouble(red, "%.1f")});
+        ipc_sum += ipc_delta;
+        red_sum += red;
+        ++n;
+    }
+    if (n) {
+        t.rows.push_back({"average", "-", "-",
+                          fmtDouble(ipc_sum / n, "%.1f"), "-", "-",
+                          fmtDouble(red_sum / n, "%.1f")});
+    }
+    return t;
+}
+
+ReportTable
+branchTable(const std::vector<StatsRecord> &records, std::size_t top_n)
+{
+    ReportTable t;
+    t.title = "diverge branches by net benefit";
+    t.header = {"workload", "label",      "pc",         "episodes",
+                "mergedCFM", "overshot",  "flushAvoid", "flushes",
+                "falseInsts", "uops",     "netCycles"};
+    struct Item
+    {
+        const StatsRecord *rec;
+        const ReportBranchRow *row;
+    };
+    std::vector<Item> items;
+    for (const StatsRecord &r : records) {
+        for (const ReportBranchRow &b : r.branches)
+            if (b.episodes + b.dualEpisodes > 0)
+                items.push_back({&r, &b});
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.row->netCycles > b.row->netCycles;
+                     });
+    if (top_n && items.size() > top_n)
+        items.resize(top_n);
+    for (const Item &it : items) {
+        const ReportBranchRow &b = *it.row;
+        t.rows.push_back(
+            {it.rec->workload, it.rec->label, b.pc,
+             fmtU64(b.episodes + b.dualEpisodes), fmtU64(b.mergedAtCfm),
+             fmtU64(b.overshot), fmtU64(b.flushesAvoided),
+             fmtU64(b.flushes), fmtU64(b.falseInsts), fmtU64(b.extraUops),
+             fmtDouble(b.netCycles, "%.1f")});
+    }
+    return t;
+}
+
+ReportTable
+flushReductionTable(const std::vector<StatsRecord> &records,
+                    const std::string &base_label,
+                    const std::string &enh_label)
+{
+    ReportTable t;
+    t.title = "pipeline-flush reduction: " + enh_label + " vs " +
+              base_label + " (Fig. 11)";
+    t.header = {"workload", base_label, enh_label, "reduction %"};
+    double sum = 0;
+    unsigned n = 0;
+    for (const StatsRecord &r : records) {
+        if (r.label != base_label)
+            continue;
+        const StatsRecord *enh = findRecord(records, enh_label,
+                                            r.workload);
+        if (!enh)
+            continue;
+        std::uint64_t base_f = r.counter("pipeline_flushes");
+        std::uint64_t enh_f = enh->counter("pipeline_flushes");
+        double red = flushReductionPct(base_f, enh_f);
+        t.rows.push_back({r.workload, fmtU64(base_f), fmtU64(enh_f),
+                          fmtDouble(red, "%.1f")});
+        sum += red;
+        ++n;
+    }
+    if (n)
+        t.rows.push_back({"average", "-", "-",
+                          fmtDouble(sum / n, "%.1f")});
+    return t;
+}
+
+double
+flushReductionPct(std::uint64_t base, std::uint64_t enh)
+{
+    return base ? 100.0 * (double(base) - double(enh)) / double(base)
+                : 0.0;
+}
+
+} // namespace dmp::sim

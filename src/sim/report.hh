@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Aggregation of --stats-json / DMP_STATS_JSON JSONL records into
+ * figure-ready tables (the dmp-report CLI is a thin shell over this).
+ *
+ * A StatsRecord is one parsed simResultJson line (schema 1, see
+ * EXPERIMENTS.md). The table builders turn a set of records into the
+ * views the paper's evaluation uses: per-run summaries, top-down cycle
+ * breakdowns, mode-vs-mode diffs, per-branch "who benefits from DMP"
+ * rankings, and the Figure 11 flush-reduction computation — all from
+ * the raw JSONL alone, no re-simulation. Tables render as aligned
+ * text, Markdown, or JSON.
+ */
+
+#ifndef DMP_SIM_REPORT_HH
+#define DMP_SIM_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dmp::sim
+{
+
+/** One per-branch analytics row from a record's accounting block. */
+struct ReportBranchRow
+{
+    std::string pc; ///< "0x..." as emitted
+    std::uint64_t episodes = 0;
+    std::uint64_t dualEpisodes = 0;
+    std::uint64_t mergedAtCfm = 0;
+    std::uint64_t overshot = 0;
+    std::uint64_t earlyExits = 0;
+    std::uint64_t converted = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t falseInsts = 0;
+    std::uint64_t extraUops = 0;
+    std::uint64_t flushesAvoided = 0;
+    std::uint64_t flushes = 0;
+    double netCycles = 0;
+};
+
+/** One parsed stats-JSONL record. */
+struct StatsRecord
+{
+    int schema = 0; ///< 0: record predates the schema field
+    std::string label;
+    std::string workload;
+    double ipc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t retiredInsts = 0;
+    std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, double> formulas;
+
+    bool hasAccounting = false;
+    /** Top-down buckets in emission order (name -> cycles). */
+    std::vector<std::pair<std::string, std::uint64_t>> buckets;
+    std::vector<ReportBranchRow> branches;
+
+    /** Counter lookup tolerating absence (returns 0). */
+    std::uint64_t counter(const std::string &name) const;
+};
+
+/**
+ * Parse one JSONL line into a record.
+ * @return true on success; on failure `err` explains why.
+ */
+bool parseStatsRecord(const std::string &line, StatsRecord &out,
+                      std::string &err);
+
+/**
+ * Load every record of a JSONL file (blank lines skipped).
+ * @return true on success; on failure `err` carries the line number.
+ */
+bool loadStatsJsonl(const std::string &path,
+                    std::vector<StatsRecord> &out, std::string &err);
+
+/** First record with the given label and workload, or nullptr. */
+const StatsRecord *findRecord(const std::vector<StatsRecord> &records,
+                              const std::string &label,
+                              const std::string &workload);
+
+/** Output renderings supported by the report tables. */
+enum class ReportFormat
+{
+    Text,
+    Json,
+    Markdown,
+};
+
+/** Parse "text" | "json" | "md" (false on anything else). */
+bool parseReportFormat(const std::string &name, ReportFormat &out);
+
+/** One rendered-agnostic table: a title, a header, string cells. */
+struct ReportTable
+{
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    std::string render(ReportFormat f) const;
+};
+
+/** Render several tables (JSON: one array; text/md: blank-line join). */
+std::string renderTables(const std::vector<ReportTable> &tables,
+                         ReportFormat f);
+
+/** Per-run overview: label, workload, IPC, cycles, flushes, MPKI. */
+ReportTable summaryTable(const std::vector<StatsRecord> &records);
+
+/**
+ * Top-down cycle breakdown (records with accounting only): one row per
+ * run, one column per bucket as a percentage of total cycles.
+ */
+ReportTable topdownTable(const std::vector<StatsRecord> &records);
+
+/**
+ * Mode-vs-mode comparison over workloads present under both labels:
+ * IPC delta and flush reduction per workload, plus arithmetic means.
+ */
+ReportTable diffTable(const std::vector<StatsRecord> &records,
+                      const std::string &label_a,
+                      const std::string &label_b);
+
+/**
+ * Per-branch "who benefits" ranking across all records with
+ * accounting: branches that entered episodes, best net benefit first,
+ * truncated to `top_n` rows (0 = all).
+ */
+ReportTable branchTable(const std::vector<StatsRecord> &records,
+                        std::size_t top_n);
+
+/**
+ * Figure 11: percentage reduction in pipeline flushes of `enh_label`
+ * relative to `base_label`, per workload, with the arithmetic average
+ * (the paper reports 31%).
+ */
+ReportTable flushReductionTable(const std::vector<StatsRecord> &records,
+                                const std::string &base_label,
+                                const std::string &enh_label);
+
+/** 100 * (base - enh) / base; 0 when base is 0 (as bench/fig11). */
+double flushReductionPct(std::uint64_t base, std::uint64_t enh);
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_REPORT_HH

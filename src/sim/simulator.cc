@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/accounting.hh"
 #include "common/logging.hh"
 
 namespace dmp::sim
@@ -79,11 +80,12 @@ appendNumber(std::ostringstream &os, double v)
 
 std::string
 simResultJson(const SimResult &r, const std::string &label,
-              const std::string &workload)
+              const std::string &workload, const std::string &extra)
 {
     std::ostringstream os;
     os.precision(12);
-    os << "{\"label\":\"" << jsonEscape(label) << "\"";
+    os << "{\"schema\":" << kStatsSchemaVersion;
+    os << ",\"label\":\"" << jsonEscape(label) << "\"";
     os << ",\"workload\":\"" << jsonEscape(workload) << "\"";
     os << ",\"ipc\":";
     appendNumber(os, r.ipc);
@@ -93,6 +95,8 @@ simResultJson(const SimResult &r, const std::string &label,
     appendNumber(os, r.hostSeconds);
     os << ",\"host_inst_rate\":";
     appendNumber(os, r.hostInstRate);
+    if (!extra.empty())
+        os << ',' << extra;
 
     // Sort names so records diff cleanly across runs.
     auto sortedKeys = [](const auto &m) {
@@ -125,7 +129,10 @@ simResultJson(const SimResult &r, const std::string &label,
         appendNumber(os, r.formulas.at(k));
         first = false;
     }
-    os << "}}";
+    os << "}";
+    if (r.hasAccounting)
+        os << ",\"accounting\":" << r.accountingJson;
+    os << "}";
     return os.str();
 }
 
@@ -162,6 +169,18 @@ runSimOnProgram(const isa::Program &ref,
         machine.setSelfCheck(checker.get());
     }
 
+    std::unique_ptr<analysis::CycleAccounting> acct;
+    if (cfg.accounting) {
+        if (!trace::tracingCompiledIn()) {
+            dmp_fatal("accounting requested but this binary was built "
+                      "with DMP_TRACING=OFF (the probes are compiled "
+                      "out)");
+        }
+        acct = std::make_unique<analysis::CycleAccounting>(
+            cfg.core.frontendDepth, cfg.core.retireWidth);
+        machine.setAccounting(acct.get());
+    }
+
     auto host_start = std::chrono::steady_clock::now();
     machine.run(cfg.maxInsts ? cfg.maxInsts : ~0ULL,
                 cfg.maxCycles ? cfg.maxCycles : ~0ULL);
@@ -186,6 +205,14 @@ runSimOnProgram(const isa::Program &ref,
                                 st.group.distribution(name).snapshot());
     for (const std::string &name : st.group.formulaNames())
         r.formulas.emplace(name, st.group.formula(name));
+    if (acct) {
+        acct->finish();
+        const StatGroup &ag = acct->stats();
+        for (const std::string &name : ag.names())
+            r.counters.emplace("acct_" + name, ag.get(name));
+        r.hasAccounting = true;
+        r.accountingJson = acct->json();
+    }
     return r;
 }
 

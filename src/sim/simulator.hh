@@ -53,6 +53,13 @@ struct SimConfig
      * must outlive the run). Ignored when selfcheck is Off.
      */
     const check::FaultPlan *faultPlan = nullptr;
+    /**
+     * Attach a cycle-accounting sink (analysis::CycleAccounting) to the
+     * timing run: the result gains "acct_" counters and an accounting
+     * JSON block. Fatal in a -DDMP_TRACING=OFF build (the probes are
+     * compiled out there and the counters would silently read 0).
+     */
+    bool accounting = false;
 
     SimConfig()
     {
@@ -76,6 +83,12 @@ struct SimResult
     double hostSeconds = 0;  ///< wall-clock of the timing run
     double hostInstRate = 0; ///< retired program insts per host second
 
+    // Cycle accounting (present only when SimConfig::accounting ran;
+    // the bucket/branch counters also appear in `counters` with an
+    // "acct_" prefix).
+    bool hasAccounting = false;
+    std::string accountingJson; ///< analysis::CycleAccounting::json()
+
     /**
      * Counter lookup tolerating unknown names (returns 0, with a
      * one-shot dmp_warn so typos do not silently zero a figure).
@@ -90,13 +103,30 @@ struct SimResult
 };
 
 /**
+ * Version of the JSONL stats-record schema emitted by simResultJson
+ * (dmp-run --stats-json, DMP_STATS_JSON bench export; documented in
+ * EXPERIMENTS.md). Every record carries it as its first field,
+ * "schema". Bump when a field is renamed or removed; adding fields is
+ * backward compatible.
+ */
+constexpr int kStatsSchemaVersion = 1;
+
+/**
  * Render one run as a single-line JSON object (a JSONL record):
- * {"label":..., "workload":..., "ipc":..., "cycles":...,
+ * {"schema":1, "label":..., "workload":..., "ipc":..., "cycles":...,
  *  "retired_insts":..., "host_seconds":..., "host_inst_rate":...,
- *  "counters":{...}, "distributions":{...}, "formulas":{...}}.
+ *  "counters":{...}, "distributions":{...}, "formulas":{...}[,
+ *  "accounting":{...}]}. The accounting block appears only for runs
+ * with SimConfig::accounting.
+ *
+ * @param extra optional pre-rendered extra top-level fields
+ *        ("\"key\":value[,...]", no braces) spliced in after
+ *        host_inst_rate — the bench harness adds its config
+ *        fingerprint and iteration count this way.
  */
 std::string simResultJson(const SimResult &r, const std::string &label,
-                          const std::string &workload);
+                          const std::string &workload,
+                          const std::string &extra = "");
 
 /**
  * Build + profile + mark + run one configuration.

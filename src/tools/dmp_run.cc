@@ -42,6 +42,15 @@
  *   --trace-file=PATH    write trace records to PATH instead of stderr
  *   --pipeview=PATH      write a Konata/O3PipeView pipeline trace
  *   --stats-json=PATH    append one JSONL stats record per run to PATH
+ *   --accounting         attach the top-down cycle-accounting sink:
+ *                        prints the bucket breakdown and per-branch
+ *                        diverge analytics, and embeds the accounting
+ *                        block in --stats-json records. Requires a
+ *                        build with DMP_TRACING=ON (the default)
+ *   --perfetto=PATH      write a Chrome/Perfetto trace-event JSON file
+ *                        (top-down slices, episode async spans, flush
+ *                        instants; implies --accounting; single-run
+ *                        only)
  */
 
 #include <chrono>
@@ -56,6 +65,7 @@
 
 #include <memory>
 
+#include "analysis/accounting.hh"
 #include "analysis/analysis.hh"
 #include "check/checker.hh"
 #include "common/trace.hh"
@@ -96,6 +106,8 @@ struct Options
     std::string traceFile;
     std::string pipeview;
     std::string statsJson;
+    bool accounting = false;
+    std::string perfetto;
     bool listDebugFlags = false;
 };
 
@@ -174,6 +186,12 @@ parse(int argc, char **argv)
             o.pipeview = v;
         else if (flagValue(a, "--stats-json", v))
             o.statsJson = v;
+        else if (std::strcmp(a, "--accounting") == 0)
+            o.accounting = true;
+        else if (flagValue(a, "--perfetto", v)) {
+            o.perfetto = v;
+            o.accounting = true;
+        }
         else if (std::strcmp(a, "--list-debug-flags") == 0)
             o.listDebugFlags = true;
         else if (a[0] == '-')
@@ -325,6 +343,7 @@ runSweep(const Options &o)
         cfg.ref.iterations = o.iters;
         cfg.ref.seed = o.seed;
         cfg.selfcheck = o.selfcheck;
+        cfg.accounting = o.accounting;
         grid.push_back(cfg);
     }
 
@@ -407,8 +426,16 @@ runMain(int argc, char **argv)
                   "presets compile the hooks out)");
     }
 
-    if (!o.sweep.empty())
+    if (o.accounting && !trace::tracingCompiledIn()) {
+        dmp_fatal("--accounting/--perfetto require a build with "
+                  "DMP_TRACING=ON (the probes are compiled out here)");
+    }
+    if (!o.sweep.empty()) {
+        if (!o.perfetto.empty())
+            dmp_fatal("--perfetto is single-run only (the trace would "
+                      "interleave sweep runs); drop --sweep");
         return runSweep(o);
+    }
 
     core::CoreParams params = machineFor(o, o.mode);
 
@@ -479,6 +506,18 @@ runMain(int argc, char **argv)
         checker = std::make_unique<check::CoreChecker>(prog, machine, copt);
         machine.setSelfCheck(checker.get());
     }
+    std::unique_ptr<analysis::CycleAccounting> acct;
+    std::unique_ptr<trace::TraceEventWriter> perfetto;
+    if (o.accounting) {
+        acct = std::make_unique<analysis::CycleAccounting>(
+            params.frontendDepth, params.retireWidth);
+        if (!o.perfetto.empty()) {
+            perfetto =
+                std::make_unique<trace::TraceEventWriter>(o.perfetto);
+            acct->attachTrace(perfetto.get());
+        }
+        machine.setAccounting(acct.get());
+    }
     auto host_start = std::chrono::steady_clock::now();
     try {
         machine.run();
@@ -517,6 +556,16 @@ runMain(int argc, char **argv)
     if (pv)
         std::printf("pipeview: %llu records -> %s\n",
                     (unsigned long long)pv->count(), o.pipeview.c_str());
+    if (acct) {
+        acct->finish();
+        std::fputs(acct->summary().c_str(), stdout);
+    }
+    if (perfetto) {
+        perfetto->close();
+        std::printf("perfetto: %llu events -> %s\n",
+                    (unsigned long long)perfetto->count(),
+                    o.perfetto.c_str());
+    }
 
     if (!o.statsJson.empty()) {
         sim::SimResult r;
@@ -534,6 +583,13 @@ runMain(int argc, char **argv)
                 name, st.group.distribution(name).snapshot());
         for (const std::string &name : st.group.formulaNames())
             r.formulas.emplace(name, st.group.formula(name));
+        if (acct) {
+            const StatGroup &ag = acct->stats();
+            for (const std::string &name : ag.names())
+                r.counters.emplace("acct_" + name, ag.get(name));
+            r.hasAccounting = true;
+            r.accountingJson = acct->json();
+        }
         appendStatsJson(o.statsJson,
                         sim::simResultJson(r, o.mode, o.target));
     }

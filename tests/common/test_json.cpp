@@ -1,0 +1,129 @@
+/** @file Unit tests for the minimal JSON reader (common/json.hh). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace dmp::json
+{
+namespace
+{
+
+Value
+parseOk(const std::string &text)
+{
+    Value v;
+    std::string err;
+    EXPECT_TRUE(parse(text, v, err)) << text << "\n" << err;
+    return v;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    Value v;
+    std::string err;
+    EXPECT_FALSE(parse(text, v, err)) << text;
+    return err;
+}
+
+TEST(Json, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean);
+    EXPECT_FALSE(parseOk("false").boolean);
+    EXPECT_DOUBLE_EQ(parseOk("42").number, 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.5").number, -3.5);
+    EXPECT_DOUBLE_EQ(parseOk("1e3").number, 1000.0);
+    EXPECT_EQ(parseOk("\"hi\"").string, "hi");
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseOk("\"a\\\"b\"").string, "a\"b");
+    EXPECT_EQ(parseOk("\"a\\\\b\"").string, "a\\b");
+    EXPECT_EQ(parseOk("\"a\\nb\\tc\"").string, "a\nb\tc");
+}
+
+TEST(Json, ArraysAndNesting)
+{
+    Value v = parseOk("[1, [2, 3], {\"k\": 4}]");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.array[0].number, 1.0);
+    ASSERT_TRUE(v.array[1].isArray());
+    EXPECT_DOUBLE_EQ(v.array[1].array[1].number, 3.0);
+    EXPECT_EQ(v.array[2].get("k")->asU64(), 4u);
+    EXPECT_TRUE(parseOk("[]").array.empty());
+    EXPECT_TRUE(parseOk("{}").object.empty());
+}
+
+TEST(Json, ObjectLookup)
+{
+    Value v = parseOk("{\"a\": 1, \"b\": {\"c\": 2}}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.get("a")->asU64(), 1u);
+    EXPECT_EQ(v.get("b", "c")->asU64(), 2u);
+    EXPECT_EQ(v.get("missing"), nullptr);
+    EXPECT_EQ(v.get("a", "nested"), nullptr); // "a" is not an object
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Value v = parseOk("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_EQ(v.object.size(), 3u);
+    EXPECT_EQ(v.object[0].first, "z");
+    EXPECT_EQ(v.object[1].first, "a");
+    EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(Json, AsU64Conversions)
+{
+    EXPECT_EQ(parseOk("7").asU64(), 7u);
+    EXPECT_EQ(parseOk("-7").asU64(), 0u);     // negative clamps to 0
+    EXPECT_EQ(parseOk("\"7\"").asU64(), 0u);  // not a number
+    EXPECT_DOUBLE_EQ(parseOk("\"x\"").asDouble(), 0.0);
+}
+
+TEST(Json, ErrorsCarryOffset)
+{
+    EXPECT_NE(parseErr("{\"a\": }").find("offset"), std::string::npos);
+    EXPECT_NE(parseErr("[1, 2").find("offset"), std::string::npos);
+    EXPECT_NE(parseErr("").find("offset"), std::string::npos);
+    EXPECT_NE(parseErr("{\"a\": 1} trailing").find("offset"),
+              std::string::npos);
+    EXPECT_NE(parseErr("\"unterminated").find("offset"),
+              std::string::npos);
+}
+
+TEST(Json, DepthLimitRejectsDeepNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(parseErr(deep).empty());
+    // A document inside the limit still parses.
+    std::string ok(30, '[');
+    ok += std::string(30, ']');
+    parseOk(ok);
+}
+
+TEST(Json, ParsesAStatsStyleRecord)
+{
+    Value v = parseOk(
+        "{\"schema\":1,\"label\":\"base\",\"ipc\":0.424,"
+        "\"counters\":{\"pipeline_flushes\":539},"
+        "\"accounting\":{\"buckets\":{\"idle\":0},"
+        "\"branches\":[{\"pc\":\"0x1300\",\"net_cycles\":-1.5}]}}");
+    EXPECT_EQ(v.get("schema")->asU64(), 1u);
+    EXPECT_EQ(v.get("counters", "pipeline_flushes")->asU64(), 539u);
+    const Value *branches = v.get("accounting", "branches");
+    ASSERT_NE(branches, nullptr);
+    EXPECT_EQ(branches->array[0].get("pc")->string, "0x1300");
+    EXPECT_DOUBLE_EQ(branches->array[0].get("net_cycles")->asDouble(),
+                     -1.5);
+}
+
+} // namespace
+} // namespace dmp::json

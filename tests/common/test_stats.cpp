@@ -213,6 +213,69 @@ TEST(Stats, JsonRoundTripsEveryKind)
     EXPECT_NE(j.find("\"ipc\":0.5"), std::string::npos) << j;
 }
 
+TEST(Distribution, NonPowerOfTwoBucketWidth)
+{
+    Distribution d;
+    d.init(0, 20, 3); // 7 buckets: [0-2] [3-5] ... [18-20], width 3
+    d.sample(0);
+    d.sample(2);  // still bucket 0
+    d.sample(3);  // first of bucket 1
+    d.sample(17); // last of bucket 5
+    d.sample(18); // first of bucket 6
+    d.sample(20); // last in-range value
+    d.sample(21); // overflow
+    const DistSnapshot &s = d.snapshot();
+    ASSERT_EQ(s.buckets.size(), 7u);
+    EXPECT_EQ(s.buckets[0], 2u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[5], 1u);
+    EXPECT_EQ(s.buckets[6], 2u);
+    EXPECT_EQ(s.overflow, 1u);
+    EXPECT_EQ(s.samples, 7u);
+}
+
+TEST(Distribution, NonPowerOfTwoOffsetRange)
+{
+    Distribution d;
+    d.init(5, 14, 5); // buckets [5-9] [10-14]
+    d.sample(5);
+    d.sample(9);
+    d.sample(10);
+    d.sample(14);
+    d.sample(4); // underflow
+    const DistSnapshot &s = d.snapshot();
+    ASSERT_EQ(s.buckets.size(), 2u);
+    EXPECT_EQ(s.buckets[0], 2u);
+    EXPECT_EQ(s.buckets[1], 2u);
+    EXPECT_EQ(s.underflow, 1u);
+}
+
+TEST(Formula, NonFiniteValueIsClampedToZero)
+{
+    StatGroup g("g");
+    Counter num, den; // both zero: naive num/den is 0/0 = NaN
+    g.addStat("num", &num);
+    g.addStat("den", &den);
+    g.addFormula("nan_ratio", [&] {
+        return double(num.value()) / double(den.value());
+    });
+    g.addFormula("inf_ratio",
+                 [&] { return 1.0 / double(den.value()); });
+    EXPECT_DOUBLE_EQ(g.formula("nan_ratio"), 0.0);
+    EXPECT_DOUBLE_EQ(g.formula("inf_ratio"), 0.0);
+    // A finite value passes through untouched once the counters move.
+    num += 6;
+    den += 4;
+    EXPECT_DOUBLE_EQ(g.formula("nan_ratio"), 1.5);
+    EXPECT_DOUBLE_EQ(g.formula("inf_ratio"), 0.25);
+}
+
+TEST(Formula, DefaultConstructedEvaluatesToZero)
+{
+    Formula f;
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
 TEST(Stats, ResetAllClearsDistributions)
 {
     StatGroup g("g");

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.hh"
 #include "common/trace.hh"
 
 namespace dmp::trace
@@ -188,6 +189,72 @@ TEST_F(TraceTest, PipeViewSquashedRetiresAtTickZero)
     std::string out = slurp(path);
     EXPECT_NE(out.find("O3PipeView:retire:0:store:0"), std::string::npos)
         << out;
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, TraceEventWriterEmitsParsableJson)
+{
+    std::string path = testing::TempDir() + "dmp_trace_events.json";
+    {
+        TraceEventWriter w(path);
+        w.threadName(1, "topdown");
+        w.complete(1, 0, 10, "retire_useful", "topdown");
+        w.asyncBegin(2, 2, 7, "EP@0x10d8", "episode", "{\"dual\":0}");
+        w.asyncEnd(2, 9, 7, "EP@0x10d8", "episode",
+                   "{\"exit_case\":2,\"dead\":0}");
+        w.instant(3, 5, "flush@0x1300", "flush", "{\"squashed\":12}");
+        EXPECT_EQ(w.count(), 5u);
+        w.close();
+        w.close(); // idempotent
+    }
+    std::string out = slurp(path);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(out, doc, err)) << err << "\n" << out;
+    const json::Value *events = doc.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 5u);
+
+    const json::Value &meta = events->array[0];
+    EXPECT_EQ(meta.get("ph")->string, "M");
+    EXPECT_EQ(meta.get("name")->string, "thread_name");
+
+    const json::Value &slice = events->array[1];
+    EXPECT_EQ(slice.get("ph")->string, "X");
+    EXPECT_EQ(slice.get("ts")->asU64(), 0u);
+    EXPECT_EQ(slice.get("dur")->asU64(), 10u);
+    EXPECT_EQ(slice.get("name")->string, "retire_useful");
+
+    const json::Value &b = events->array[2];
+    const json::Value &e = events->array[3];
+    EXPECT_EQ(b.get("ph")->string, "b");
+    EXPECT_EQ(e.get("ph")->string, "e");
+    EXPECT_EQ(b.get("id")->asU64(), e.get("id")->asU64());
+    EXPECT_EQ(b.get("cat")->string, e.get("cat")->string);
+    EXPECT_EQ(b.get("args")->get("dual")->asU64(), 0u);
+    EXPECT_EQ(e.get("args")->get("exit_case")->asU64(), 2u);
+
+    const json::Value &inst = events->array[4];
+    EXPECT_EQ(inst.get("ph")->string, "i");
+    EXPECT_EQ(inst.get("s")->string, "t");
+    EXPECT_EQ(inst.get("args")->get("squashed")->asU64(), 12u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, TraceEventWriterEscapesNames)
+{
+    std::string path = testing::TempDir() + "dmp_trace_escape.json";
+    {
+        TraceEventWriter w(path);
+        w.instant(1, 0, "quote\"back\\slash", "cat");
+        w.close();
+    }
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(slurp(path), doc, err)) << err;
+    EXPECT_EQ(doc.get("traceEvents")->array[0].get("name")->string,
+              "quote\"back\\slash");
     std::remove(path.c_str());
 }
 

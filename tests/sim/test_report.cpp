@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the stats-JSONL aggregation layer behind dmp-report:
+ * record parsing (including real simResultJson output round-trips),
+ * table building, and the Figure 11 flush-reduction computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace dmp::sim
+{
+namespace
+{
+
+StatsRecord
+parseOk(const std::string &line)
+{
+    StatsRecord rec;
+    std::string err;
+    EXPECT_TRUE(parseStatsRecord(line, rec, err)) << err << "\n" << line;
+    return rec;
+}
+
+/** A synthetic schema-1 record line. */
+std::string
+recordLine(const std::string &label, const std::string &workload,
+           double ipc, std::uint64_t cycles, std::uint64_t flushes)
+{
+    return "{\"schema\":1,\"label\":\"" + label + "\",\"workload\":\"" +
+           workload + "\",\"ipc\":" + std::to_string(ipc) +
+           ",\"cycles\":" + std::to_string(cycles) +
+           ",\"retired_insts\":1000,\"counters\":{\"pipeline_flushes\":" +
+           std::to_string(flushes) + "},\"formulas\":{}}";
+}
+
+TEST(Report, ParsesSyntheticRecord)
+{
+    StatsRecord r = parseOk(recordLine("base", "bzip2", 0.42, 1234, 99));
+    EXPECT_EQ(r.schema, 1);
+    EXPECT_EQ(r.label, "base");
+    EXPECT_EQ(r.workload, "bzip2");
+    EXPECT_DOUBLE_EQ(r.ipc, 0.42);
+    EXPECT_EQ(r.cycles, 1234u);
+    EXPECT_EQ(r.counter("pipeline_flushes"), 99u);
+    EXPECT_EQ(r.counter("no_such_counter"), 0u);
+    EXPECT_FALSE(r.hasAccounting);
+}
+
+TEST(Report, ParsesAccountingBlock)
+{
+    StatsRecord r = parseOk(
+        "{\"schema\":1,\"label\":\"dmp\",\"workload\":\"mcf\","
+        "\"ipc\":0.5,\"cycles\":100,\"retired_insts\":50,"
+        "\"counters\":{},\"formulas\":{},"
+        "\"accounting\":{\"frontend_depth\":8,\"retire_width\":4,"
+        "\"total_cycles\":100,"
+        "\"buckets\":{\"retire_useful\":60,\"idle\":40},"
+        "\"branches\":[{\"pc\":\"0x1300\",\"episodes\":7,"
+        "\"flushes_avoided\":2,\"net_cycles\":12.5}]}}");
+    ASSERT_TRUE(r.hasAccounting);
+    ASSERT_EQ(r.buckets.size(), 2u);
+    EXPECT_EQ(r.buckets[0].first, "retire_useful");
+    EXPECT_EQ(r.buckets[0].second, 60u);
+    ASSERT_EQ(r.branches.size(), 1u);
+    EXPECT_EQ(r.branches[0].pc, "0x1300");
+    EXPECT_EQ(r.branches[0].episodes, 7u);
+    EXPECT_EQ(r.branches[0].flushesAvoided, 2u);
+    EXPECT_DOUBLE_EQ(r.branches[0].netCycles, 12.5);
+}
+
+TEST(Report, RoundTripsRealSimResultJson)
+{
+    SimResult r;
+    r.ipc = 0.75;
+    r.cycles = 4000;
+    r.retiredInsts = 3000;
+    r.counters.emplace("pipeline_flushes", 17);
+    r.formulas.emplace("mispred_per_kilo_insts", 5.5);
+    std::string line = simResultJson(r, "dmp-enhanced", "twolf");
+    StatsRecord rec = parseOk(line);
+    EXPECT_EQ(rec.schema, kStatsSchemaVersion);
+    EXPECT_EQ(rec.label, "dmp-enhanced");
+    EXPECT_EQ(rec.workload, "twolf");
+    EXPECT_DOUBLE_EQ(rec.ipc, 0.75);
+    EXPECT_EQ(rec.counter("pipeline_flushes"), 17u);
+    EXPECT_DOUBLE_EQ(rec.formulas.at("mispred_per_kilo_insts"), 5.5);
+}
+
+TEST(Report, RejectsMalformedLine)
+{
+    StatsRecord rec;
+    std::string err;
+    EXPECT_FALSE(parseStatsRecord("not json", rec, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseStatsRecord("[1,2,3]", rec, err));
+    EXPECT_NE(err.find("not a JSON object"), std::string::npos);
+}
+
+TEST(Report, LoadsJsonlSkippingBlankLines)
+{
+    std::string path = testing::TempDir() + "dmp_report_test.jsonl";
+    {
+        std::ofstream out(path);
+        out << recordLine("base", "bzip2", 0.4, 100, 10) << "\n\n"
+            << "   \n"
+            << recordLine("dmp", "bzip2", 0.5, 80, 4) << "\n";
+    }
+    std::vector<StatsRecord> recs;
+    std::string err;
+    ASSERT_TRUE(loadStatsJsonl(path, recs, err)) << err;
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].label, "base");
+    EXPECT_EQ(recs[1].label, "dmp");
+    EXPECT_NE(findRecord(recs, "dmp", "bzip2"), nullptr);
+    EXPECT_EQ(findRecord(recs, "dmp", "mcf"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Report, LoadErrorsCarryLineNumber)
+{
+    std::string path = testing::TempDir() + "dmp_report_bad.jsonl";
+    {
+        std::ofstream out(path);
+        out << recordLine("base", "bzip2", 0.4, 100, 10) << "\n"
+            << "{broken\n";
+    }
+    std::vector<StatsRecord> recs;
+    std::string err;
+    EXPECT_FALSE(loadStatsJsonl(path, recs, err));
+    EXPECT_NE(err.find(":2:"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(Report, FormatParsing)
+{
+    ReportFormat f;
+    EXPECT_TRUE(parseReportFormat("text", f));
+    EXPECT_EQ(f, ReportFormat::Text);
+    EXPECT_TRUE(parseReportFormat("json", f));
+    EXPECT_EQ(f, ReportFormat::Json);
+    EXPECT_TRUE(parseReportFormat("md", f));
+    EXPECT_EQ(f, ReportFormat::Markdown);
+    EXPECT_FALSE(parseReportFormat("csv", f));
+}
+
+TEST(Report, FlushReductionMatchesFig11Formula)
+{
+    // The bench (bench/fig11_flush_reduction.cpp) computes
+    // base ? 100*(base-enh)/base : 0 per workload, then the average.
+    EXPECT_DOUBLE_EQ(flushReductionPct(200, 62), 69.0);
+    EXPECT_DOUBLE_EQ(flushReductionPct(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(flushReductionPct(0, 5), 0.0); // no div-by-zero
+    EXPECT_DOUBLE_EQ(flushReductionPct(50, 75), -50.0);
+
+    std::vector<StatsRecord> recs = {
+        parseOk(recordLine("base", "bzip2", 0.4, 100, 200)),
+        parseOk(recordLine("enhanced", "bzip2", 0.5, 80, 62)),
+        parseOk(recordLine("base", "mcf", 0.3, 100, 100)),
+        parseOk(recordLine("enhanced", "mcf", 0.3, 100, 50)),
+    };
+    ReportTable t = flushReductionTable(recs, "base", "enhanced");
+    ASSERT_EQ(t.rows.size(), 3u); // two workloads + average
+    EXPECT_EQ(t.rows[0][0], "bzip2");
+    EXPECT_EQ(t.rows[0][3], "69.0");
+    EXPECT_EQ(t.rows[1][3], "50.0");
+    EXPECT_EQ(t.rows[2][0], "average");
+    EXPECT_EQ(t.rows[2][3], "59.5");
+}
+
+TEST(Report, SummaryAndDiffTables)
+{
+    std::vector<StatsRecord> recs = {
+        parseOk(recordLine("base", "bzip2", 0.40, 100, 10)),
+        parseOk(recordLine("dmp", "bzip2", 0.50, 80, 5)),
+    };
+    ReportTable s = summaryTable(recs);
+    ASSERT_EQ(s.rows.size(), 2u);
+    EXPECT_EQ(s.rows[0][0], "base");
+    EXPECT_EQ(s.rows[0][5], "10"); // flushes column
+
+    ReportTable d = diffTable(recs, "base", "dmp");
+    ASSERT_EQ(d.rows.size(), 2u); // bzip2 + average
+    EXPECT_EQ(d.rows[0][0], "bzip2");
+    EXPECT_EQ(d.rows[0][3], "25.0"); // IPC delta %
+    EXPECT_EQ(d.rows[0][6], "50.0"); // flush reduction %
+}
+
+TEST(Report, RenderersProduceAllThreeFormats)
+{
+    ReportTable t;
+    t.title = "demo";
+    t.header = {"a", "b"};
+    t.rows = {{"x", "1"}, {"y", "22"}};
+
+    std::string text = t.render(ReportFormat::Text);
+    EXPECT_NE(text.find("=== demo ==="), std::string::npos);
+    EXPECT_NE(text.find("x"), std::string::npos);
+
+    std::string md = t.render(ReportFormat::Markdown);
+    EXPECT_NE(md.find("### demo"), std::string::npos);
+    EXPECT_NE(md.find("| x | 1 |"), std::string::npos);
+
+    std::string js = renderTables({t}, ReportFormat::Json);
+    // The JSON rendering must itself be parsable.
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(js, doc, err)) << err << "\n" << js;
+    ASSERT_TRUE(doc.isArray());
+    EXPECT_EQ(doc.array[0].get("title")->string, "demo");
+}
+
+TEST(Report, BranchTableRanksByNetCycles)
+{
+    StatsRecord rec = parseOk(
+        "{\"schema\":1,\"label\":\"dmp\",\"workload\":\"gap\","
+        "\"ipc\":0.5,\"cycles\":10,\"retired_insts\":5,"
+        "\"counters\":{},\"formulas\":{},"
+        "\"accounting\":{\"buckets\":{},\"branches\":["
+        "{\"pc\":\"0x100\",\"episodes\":2,\"net_cycles\":5.0},"
+        "{\"pc\":\"0x200\",\"episodes\":3,\"net_cycles\":50.0},"
+        "{\"pc\":\"0x300\",\"episodes\":0,\"net_cycles\":99.0},"
+        "{\"pc\":\"0x400\",\"episodes\":1,\"net_cycles\":-2.0}]}}");
+    std::vector<StatsRecord> recs = {rec};
+    ReportTable t = branchTable(recs, 0);
+    // 0x300 excluded (no episodes); rest ranked best-first.
+    ASSERT_EQ(t.rows.size(), 3u);
+    EXPECT_EQ(t.rows[0][2], "0x200");
+    EXPECT_EQ(t.rows[1][2], "0x100");
+    EXPECT_EQ(t.rows[2][2], "0x400");
+    ReportTable top1 = branchTable(recs, 1);
+    ASSERT_EQ(top1.rows.size(), 1u);
+    EXPECT_EQ(top1.rows[0][2], "0x200");
+}
+
+} // namespace
+} // namespace dmp::sim

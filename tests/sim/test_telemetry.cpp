@@ -103,6 +103,13 @@ TEST(Telemetry, JsonRecordRoundTrips)
     std::string j = sim::simResultJson(r, "dmp-enhanced", "bzip2");
     // One line, no embedded newlines (JSONL requirement).
     EXPECT_EQ(j.find('\n'), std::string::npos);
+    // The schema version leads every record (satellite contract:
+    // consumers can cheaply sniff it before full parsing).
+    EXPECT_EQ(j.rfind("{\"schema\":" +
+                          std::to_string(sim::kStatsSchemaVersion) + ",",
+                      0),
+              0u)
+        << j.substr(0, 40);
     EXPECT_NE(j.find("\"label\":\"dmp-enhanced\""), std::string::npos);
     EXPECT_NE(j.find("\"workload\":\"bzip2\""), std::string::npos);
     EXPECT_NE(j.find("\"cycles\":" + std::to_string(r.cycles)),
@@ -117,6 +124,14 @@ TEST(Telemetry, JsonRecordRoundTrips)
     for (const auto &kv : r.formulas)
         EXPECT_NE(j.find("\"" + kv.first + "\":"), std::string::npos)
             << kv.first;
+}
+
+TEST(Telemetry, JsonRecordSplicesExtraFields)
+{
+    const sim::SimResult &r = sharedResult();
+    std::string j = sim::simResultJson(r, "l", "w",
+                                       "\"bench_iters\":200");
+    EXPECT_NE(j.find(",\"bench_iters\":200,"), std::string::npos) << j;
 }
 
 TEST(Telemetry, BatchAccruesSimWallClock)
