@@ -1,31 +1,94 @@
 #!/usr/bin/env python3
 """Compare two perf_kips BENCH_core.json files and fail on regression.
 
-Usage: check_kips.py BASELINE.json CURRENT.json [--threshold 0.85]
+Usage:
+  check_kips.py BASELINE.json CURRENT.json [--threshold 0.85]
+                [--per-workload-threshold R] [--update-baseline]
 
 The gate is the single-job total KIPS (sum of retired instructions over
 sum of per-run timing seconds): CURRENT must reach at least
-``threshold * BASELINE``. KIPS is host- and build-dependent, so only
-compare files produced on the same machine with the same CMake preset
-and the same DMP_BENCH_ITERS / DMP_BENCH_WORKLOADS — in CI both files
-are generated on the same runner (HEAD vs. the baseline commit).
+``threshold * BASELINE``. On top of the total, every (workload, config)
+run's current/baseline ratio is reported so a regression localized to
+one workload is visible even when the total stays green; pass
+--per-workload-threshold to also gate on the worst per-run ratio
+(off by default — single runs are noisier than the total).
+
+With --update-baseline, a passing comparison ends by copying CURRENT
+over BASELINE (refusing on regression unless --force), so raising the
+committed baseline after an intentional speedup is one flag instead of
+a manual copy.
+
+KIPS is host- and build-dependent, so only compare files produced on
+the same machine with the same CMake preset and the same
+DMP_BENCH_ITERS / DMP_BENCH_WORKLOADS — in CI both files are generated
+on the same runner (HEAD vs. the baseline commit).
 
 Exit status: 0 ok, 1 regression, 2 usage/parse error.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
-def total_kips(path):
+def load(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
-        return float(doc["single_job"]["kips_total"])
-    except (OSError, ValueError, KeyError) as e:
+            return json.load(f)
+    except (OSError, ValueError) as e:
         print(f"check_kips: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def total_kips(doc, path):
+    try:
+        return float(doc["single_job"]["kips_total"])
+    except (ValueError, KeyError, TypeError) as e:
+        print(f"check_kips: bad schema in {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def per_run_kips(doc):
+    """(workload, config) -> kips for every single-job run."""
+    out = {}
+    for run in doc.get("single_job", {}).get("runs", []):
+        try:
+            out[(run["workload"], run["config"])] = float(run["kips"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def report_per_workload(base_doc, cur_doc):
+    """Print per-run ratios, worst first. Returns the worst ratio."""
+    base_runs = per_run_kips(base_doc)
+    cur_runs = per_run_kips(cur_doc)
+    shared = sorted(set(base_runs) & set(cur_runs))
+    if not shared:
+        print("check_kips: no shared per-workload runs to compare")
+        return None
+
+    rows = []
+    for key in shared:
+        b, c = base_runs[key], cur_runs[key]
+        if b > 0:
+            rows.append((c / b, key, b, c))
+    rows.sort()
+
+    print(f"per-workload single-job KIPS ({len(rows)} runs, worst first):")
+    print(f"  {'workload':<12} {'config':<14} {'base':>9} "
+          f"{'current':>9} {'ratio':>7}")
+    for ratio, (workload, config), b, c in rows:
+        print(f"  {workload:<12} {config:<14} {b:>9.1f} {c:>9.1f} "
+              f"{ratio:>7.3f}")
+
+    missing = sorted(set(base_runs) ^ set(cur_runs))
+    if missing:
+        print(f"  ({len(missing)} runs present in only one file: "
+              + ", ".join(f"{w}/{c}" for w, c in missing[:6])
+              + (" ..." if len(missing) > 6 else "") + ")")
+    return rows[0][0] if rows else None
 
 
 def main():
@@ -33,11 +96,22 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.85,
-                    help="minimum current/baseline ratio (default 0.85)")
+                    help="minimum current/baseline total ratio "
+                         "(default 0.85)")
+    ap.add_argument("--per-workload-threshold", type=float, default=None,
+                    help="also fail when any single run's ratio drops "
+                         "below this (default: report only)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="on success, copy CURRENT over BASELINE")
+    ap.add_argument("--force", action="store_true",
+                    help="with --update-baseline, copy even on "
+                         "regression")
     args = ap.parse_args()
 
-    base = total_kips(args.baseline)
-    cur = total_kips(args.current)
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base = total_kips(base_doc, args.baseline)
+    cur = total_kips(cur_doc, args.current)
     if base <= 0:
         print("check_kips: baseline KIPS is zero; nothing to compare",
               file=sys.stderr)
@@ -45,13 +119,34 @@ def main():
     ratio = cur / base
     print(f"baseline {base:.1f} KIPS, current {cur:.1f} KIPS, "
           f"ratio {ratio:.3f} (threshold {args.threshold})")
+
+    worst = report_per_workload(base_doc, cur_doc)
+
+    failed = False
     if ratio < args.threshold:
         print(f"check_kips: REGRESSION: single-job KIPS dropped by "
               f"{(1 - ratio) * 100:.1f}% (> "
               f"{(1 - args.threshold) * 100:.0f}% allowed)",
               file=sys.stderr)
-        sys.exit(1)
-    print("check_kips: ok")
+        failed = True
+    if (args.per_workload_threshold is not None and worst is not None
+            and worst < args.per_workload_threshold):
+        print(f"check_kips: REGRESSION: worst per-workload ratio "
+              f"{worst:.3f} below {args.per_workload_threshold}",
+              file=sys.stderr)
+        failed = True
+
+    if args.update_baseline:
+        if failed and not args.force:
+            print("check_kips: refusing --update-baseline on a "
+                  "regression (pass --force to override)",
+                  file=sys.stderr)
+        else:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"check_kips: baseline updated: {args.baseline} <- "
+                  f"{args.current}")
+
+    sys.exit(1 if failed else 0)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail if a perf_kips BENCH json shows the cycle-skip fast path dead.
+
+Usage: check_skip.py BENCH.json [workload ...]
+
+Every named workload (default: all workloads in the file) must report
+``cycles_skipped > 0`` in at least one of its single-job runs. The
+simulator's event-driven scheduler jumps over quiescent cycles (memory
+misses with a stalled front end, terminal pipeline drains); a workload
+whose runs never skip a single cycle means the fast path has been
+silently disabled — the simulation is still correct, but the host-speed
+win the perf gate was calibrated against is gone, and the plain KIPS
+threshold can take several noisy CI runs to catch it.
+
+Exit status: 0 ok, 1 fast path dead for some workload, 2 usage/parse
+error.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    want = set(sys.argv[2:])
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        runs = doc["single_job"]["runs"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_skip: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    skipped = {}
+    for run in runs:
+        wl = run.get("workload", "?")
+        skipped[wl] = skipped.get(wl, 0) + int(run.get("cycles_skipped", 0))
+
+    unknown = want - set(skipped)
+    if unknown:
+        print(f"check_skip: workloads not in {path}: "
+              f"{', '.join(sorted(unknown))}", file=sys.stderr)
+        sys.exit(2)
+
+    checked = sorted(want) if want else sorted(skipped)
+    dead = [wl for wl in checked if skipped[wl] == 0]
+    for wl in checked:
+        print(f"{wl}: {skipped[wl]} cycles skipped")
+    if dead:
+        print(f"check_skip: cycle-skip fast path dead for: "
+              f"{', '.join(dead)}", file=sys.stderr)
+        sys.exit(1)
+    print("check_skip: ok")
+
+
+if __name__ == "__main__":
+    main()
+

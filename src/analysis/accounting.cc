@@ -115,6 +115,52 @@ CycleAccounting::onCycleEnd(const core::AcctCycleSample &s)
 }
 
 void
+CycleAccounting::chargeRun(CycleBucket b, Cycle start, std::uint64_t len)
+{
+    buckets[unsigned(b)] += len;
+    if (traceW && int(b) != curBucket) {
+        closeTopdownSlice(start);
+        curBucket = int(b);
+        runStart = start;
+    }
+}
+
+void
+CycleAccounting::onIdleSpan(const core::AcctCycleSample &first,
+                            std::uint64_t span)
+{
+    // A skipped span retires nothing, so per-cycle classification
+    // reduces to: FlushRecovery until flushShadowEnd, then one bucket
+    // chosen by the (span-constant) state flags. Charging the two runs
+    // in bulk produces byte-identical counters and trace slices to
+    // feeding each cycle through onCycleEnd.
+    if (span == 0)
+        return;
+    std::uint64_t recovery = 0;
+    if (first.cycle < flushShadowEnd) {
+        recovery = std::min<std::uint64_t>(span,
+                                           flushShadowEnd - first.cycle);
+        chargeRun(CycleBucket::FlushRecovery, first.cycle, recovery);
+    }
+    if (recovery < span) {
+        CycleBucket b;
+        if (!first.robEmpty)
+            b = CycleBucket::BackendStall;
+        else if (first.fetchStalled)
+            b = CycleBucket::FetchStall;
+        else if (first.frontendActive)
+            b = CycleBucket::FrontendStarved;
+        else
+            b = CycleBucket::Idle;
+        chargeRun(b, first.cycle + recovery, span - recovery);
+    }
+    if (first.renameBlocked)
+        renameBlockedCycles += span;
+    lastCycle = first.cycle + span - 1;
+    sawCycle = true;
+}
+
+void
 CycleAccounting::onEpisodeStart(EpisodeId id, Addr diverge_pc,
                                 bool is_dual, Cycle now)
 {

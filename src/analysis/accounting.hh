@@ -93,6 +93,8 @@ class CycleAccounting final : public core::AcctSink
 
     // ---- AcctSink ----
     void onCycleEnd(const core::AcctCycleSample &s) override;
+    void onIdleSpan(const core::AcctCycleSample &first,
+                    std::uint64_t span) override;
     void onEpisodeStart(EpisodeId id, Addr diverge_pc, bool is_dual,
                         Cycle now) override;
     void onEpisodeEnd(const core::AcctEpisodeEnd &e, Cycle now) override;
@@ -144,6 +146,7 @@ class CycleAccounting final : public core::AcctSink
   private:
     DivergeBranchStats &rowFor(Addr pc);
     void closeTopdownSlice(Cycle end);
+    void chargeRun(CycleBucket b, Cycle start, std::uint64_t len);
 
     unsigned frontendDepth;
     unsigned retireWidth;

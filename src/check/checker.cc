@@ -217,15 +217,16 @@ CoreChecker::onCycleEnd()
 }
 
 void
-CoreChecker::onRetire(const DynInst &di)
+CoreChecker::onRetire(const DynInst &di, std::uint64_t seq, PredId pred)
 {
-    history.push_back(RetiredRec{di.seq, di.pc, di.kind, di.pred,
-                                 di.predValue, core.now});
+    history.push_back(
+        RetiredRec{seq, di.pc, di.kind, pred, di.predValue, core.now});
     if (history.size() > opt.historyDepth)
         history.pop_front();
     if (wantsLockstep(opt.mode))
-        lockstepCommit(di);
+        lockstepCommit(di, pred);
 }
+
 
 void
 CoreChecker::onFlush(std::uint64_t survive_seq, Addr redirect_pc)
@@ -278,59 +279,85 @@ CoreChecker::checkDeep()
 void
 CoreChecker::checkRob()
 {
+    // The checker deliberately reads the same SoA views the scheduler
+    // uses (robSeq/robState/robDeps/robDest/robCompleteAt/robPred): a
+    // desync between those arrays and the DynInst records is exactly
+    // the class of bug the split could introduce.
     robStoreSeqs.clear();
     std::uint64_t prev_seq = 0;
     for (std::uint32_t i = 0; i < core.robCount; ++i) {
-        const DynInst &di = core.robAt(i);
-        std::string obj = "rob:" + std::to_string(di.seq);
+        const std::uint32_t slot = core.robSlotAt(i);
+        const DynInst &di = core.rob[slot];
+        const std::uint64_t seq = core.robSeq[slot];
+        std::string obj = "rob:" + std::to_string(seq);
 
-        if (!di.valid) {
+        if (seq == 0) {
             fail("rob-invalid-entry", di.pc, std::move(obj),
-                 "ROB slot inside [head, head+count) holds an invalid "
+                 "ROB slot inside [head, head+count) holds a freed "
                  "entry at position " + std::to_string(i));
         }
-        if ((i > 0 && di.seq <= prev_seq) || di.seq >= core.nextSeq) {
+        if ((i > 0 && seq <= prev_seq) || seq >= core.nextSeq) {
             fail("rob-age-order", di.pc, std::move(obj),
                  "ROB sequence numbers not strictly increasing: entry " +
                      std::to_string(i) + " has seq " +
-                     std::to_string(di.seq) + " after " +
+                     std::to_string(seq) + " after " +
                      std::to_string(prev_seq) + " (nextSeq " +
                      std::to_string(core.nextSeq) + ")");
         }
-        prev_seq = di.seq;
+        prev_seq = seq;
 
-        if ((di.issued && !di.dispatched) || (di.executed && !di.issued) ||
-            (di.issued && di.depsOutstanding != 0)) {
+        const std::uint8_t s = core.robState[slot];
+        const bool dispatched = s & core::Core::kRobDispatched;
+        const bool issued = s & core::Core::kRobIssued;
+        const bool executed = s & core::Core::kRobExecuted;
+        const std::uint32_t deps = core.robDeps[slot];
+        if ((issued && !dispatched) || (executed && !issued) ||
+            (issued && deps != 0)) {
             fail("rob-lifecycle-monotonic", di.pc, std::move(obj),
                  "scheduling lifecycle violated: dispatched=" +
-                     std::to_string(int(di.dispatched)) + " issued=" +
-                     std::to_string(int(di.issued)) + " executed=" +
-                     std::to_string(int(di.executed)) + " deps=" +
-                     std::to_string(di.depsOutstanding));
+                     std::to_string(int(dispatched)) + " issued=" +
+                     std::to_string(int(issued)) + " executed=" +
+                     std::to_string(int(executed)) + " deps=" +
+                     std::to_string(deps));
+        }
+        const Cycle complete_at = core.robCompleteAt[slot];
+        if (issued && complete_at == kNeverCycle) {
+            fail("rob-lifecycle-monotonic", di.pc, std::move(obj),
+                 "issued instruction has no scheduled completion cycle");
+        }
+        if (executed && complete_at > core.now) {
+            fail("rob-lifecycle-monotonic", di.pc, std::move(obj),
+                 "executed instruction's completion cycle " +
+                     std::to_string(complete_at) +
+                     " lies in the future (now " +
+                     std::to_string(core.now) + ")");
         }
         if (di.hasDest) {
-            if (di.dest == kNoPhysReg ||
-                std::size_t(di.dest) >= core.prf.size() ||
-                core.prf.isFree(di.dest)) {
+            const PhysReg dest = core.robDest[slot];
+            if (dest == kNoPhysReg ||
+                std::size_t(dest) >= core.prf.size() ||
+                core.prf.isFree(dest)) {
                 fail("rob-dest-freed", di.pc, std::move(obj),
-                     "in-flight destination p" + std::to_string(di.dest) +
+                     "in-flight destination p" + std::to_string(dest) +
                          " is invalid or on the free list");
             }
-            if (di.executed && !core.prf.ready(di.dest)) {
+            if (executed && !core.prf.ready(dest)) {
                 fail("rob-dest-not-ready", di.pc, std::move(obj),
                      "executed instruction's destination p" +
-                         std::to_string(di.dest) + " is not ready");
+                         std::to_string(dest) + " is not ready");
             }
         }
-        if (di.pred != kNoPred && !core.preds.known(di.pred)) {
+        const PredId pred = core.robPred[slot];
+        if (pred != kNoPred && !core.preds.known(pred)) {
             fail("dangling-predicate", di.pc, std::move(obj),
                  "ROB entry references predicate id " +
-                     std::to_string(di.pred) +
+                     std::to_string(pred) +
                      " unknown to the predicate file");
         }
         if (di.kind == UopKind::Normal && di.isStore())
-            robStoreSeqs.push_back(di.seq);
+            robStoreSeqs.push_back(seq);
     }
+
 }
 
 void
@@ -467,15 +494,18 @@ CoreChecker::checkCheckpoints()
     // owned by it, and each in-use checkpoint has its owner in the ROB.
     std::vector<char> owned(pool.size(), 0);
     for (std::uint32_t i = 0; i < core.robCount; ++i) {
-        const DynInst &di = core.robAt(i);
+        const std::uint32_t slot = core.robSlotAt(i);
+        const DynInst &di = core.rob[slot];
+        const std::uint64_t seq = core.robSeq[slot];
         if (di.checkpointId < 0)
             continue;
         std::string obj = "cp:" + std::to_string(di.checkpointId);
         if (std::size_t(di.checkpointId) >= pool.size() ||
             !pool[di.checkpointId].inUse ||
-            pool[di.checkpointId].ownerSeq != di.seq) {
+            pool[di.checkpointId].ownerSeq != seq) {
             fail("checkpoint-owner-mismatch", di.pc, std::move(obj),
-                 "ROB entry seq " + std::to_string(di.seq) +
+                 "ROB entry seq " + std::to_string(seq) +
+
                      " references checkpoint " +
                      std::to_string(di.checkpointId) +
                      " which is free or owned by another instruction");
@@ -521,10 +551,12 @@ CoreChecker::predicationQuiescent() const
     if (core.fdp.active() || core.fdual.active)
         return false;
     for (std::uint32_t i = 0; i < core.robCount; ++i) {
-        const DynInst &di = core.robAt(i);
-        if (di.pred != kNoPred || di.kind != UopKind::Normal)
+        const std::uint32_t slot = core.robSlotAt(i);
+        if (core.robPred[slot] != kNoPred ||
+            core.rob[slot].kind != UopKind::Normal)
             return false;
     }
+
     for (const FetchedInst &fi : core.fetchQueue) {
         if (fi.pred != kNoPred || fi.episode != kNoEpisode ||
             fi.kind != UopKind::Normal) {
@@ -590,14 +622,16 @@ CoreChecker::checkLeaks()
             markMap(cp.altMap);
     }
     for (std::uint32_t i = 0; i < core.robCount; ++i) {
-        const DynInst &di = core.robAt(i);
+        const std::uint32_t slot = core.robSlotAt(i);
+        const DynInst &di = core.rob[slot];
         mark(di.src1);
         mark(di.src2);
-        mark(di.dest);
+        mark(core.robDest[slot]);
         mark(di.oldDest);
         mark(di.selTrue);
         mark(di.selFalse);
     }
+
     for (const Episode &ep : core.episodeTable) {
         if (ep.id == kNoEpisode || ep.dead)
             continue;
@@ -689,14 +723,15 @@ CoreChecker::checkEpisodesAndPredicates()
 // ---------------------------------------------------------------------
 
 void
-CoreChecker::lockstepCommit(const DynInst &di)
+CoreChecker::lockstepCommit(const DynInst &di, PredId pred)
 {
     if (di.kind != UopKind::Normal)
         return;
     // Predicated-FALSE instructions leave no architectural trace; the
     // oracle only ever executes the correct path.
-    if (di.pred != kNoPred && di.predResolved && !di.predValue)
+    if (pred != kNoPred && di.predResolved && !di.predValue)
         return;
+
 
     if (skipNextStep) {
         skipNextStep = false;
@@ -805,14 +840,17 @@ CoreChecker::tryInject()
         PhysReg freed = core.prf.freeView().back();
         std::int32_t victim = -1;
         for (std::uint32_t i = 0; i < core.robCount; ++i) {
-            const DynInst &di = core.robAt(i);
+            const std::uint32_t slot = core.robSlotAt(i);
+            const DynInst &di = core.rob[slot];
             if (di.checkpointId < 0)
                 continue;
-            if (di.pred != kNoPred && di.predResolved && !di.predValue)
+            if (core.robPred[slot] != kNoPred && di.predResolved &&
+                !di.predValue)
                 continue; // FALSE owners are exempt from map liveness
             victim = di.checkpointId;
             break;
         }
+
         if (victim < 0)
             return;
         core.cpPool.get(victim).map.map[5] = freed;
@@ -824,8 +862,9 @@ CoreChecker::tryInject()
         PredId unknown = 0x40000000u;
         while (core.preds.known(unknown))
             ++unknown;
-        DynInst &di = core.robAt(core.robCount - 1);
-        di.pred = unknown;
+        std::uint32_t slot = core.robSlotAt(core.robCount - 1);
+        core.robPred[slot] = unknown;
+        DynInst &di = core.rob[slot];
         di.predResolved = true;
         di.predValue = true;
         break;
@@ -833,9 +872,11 @@ CoreChecker::tryInject()
       case FaultKind::RobSeqSwap: {
         if (core.robCount < 2)
             return;
-        std::swap(core.robAt(0).seq, core.robAt(1).seq);
+        std::swap(core.robSeq[core.robSlotAt(0)],
+                  core.robSeq[core.robSlotAt(1)]);
         break;
       }
+
     }
     injected = true;
 }

@@ -163,8 +163,10 @@ class CoreChecker final : public core::SelfCheckSink
     std::uint64_t deepPasses() const { return nDeepPasses; }
 
     void onCycleEnd() override;
-    void onRetire(const core::DynInst &di) override;
+    void onRetire(const core::DynInst &di, std::uint64_t seq,
+                  PredId pred) override;
     void onFlush(std::uint64_t survive_seq, Addr redirect_pc) override;
+
     void onReset() override;
 
   private:
@@ -199,7 +201,8 @@ class CoreChecker final : public core::SelfCheckSink
     void checkLeaks();
     void checkEpisodesAndPredicates();
     void validateMap(const core::RenameMap &m, const std::string &object);
-    void lockstepCommit(const core::DynInst &di);
+    void lockstepCommit(const core::DynInst &di, PredId pred);
+
     void tryInject();
 
     core::Core &core;

@@ -48,6 +48,24 @@ class RingQueue
         ++count;
     }
 
+    /**
+     * Append a default-valued entry and return a reference to it, so
+     * the caller can fill it directly in the ring (one write instead
+     * of construct-then-copy). The reference is valid until the next
+     * push/emplace (growth reallocates).
+     */
+    T &
+    emplace_back()
+    {
+        if (count == slots.size()) [[unlikely]]
+            grow();
+        T &slot = slots[(head + count) & mask];
+        slot = T{};
+        ++count;
+        return slot;
+    }
+
+
     T &
     front() noexcept
     {

@@ -66,6 +66,25 @@ class AcctSink
     /** End of one Core::tick(), before the cycle counter advances. */
     virtual void onCycleEnd(const AcctCycleSample &s) = 0;
 
+    /**
+     * `span` consecutive cycles the core skipped because no stage had
+     * work, all sharing the same classification flags; `first` carries
+     * the flags and the index of the span's first cycle (retire counts
+     * are zero by construction). The default expands the span into
+     * per-cycle onCycleEnd calls so existing sinks observe exactly the
+     * sequence a non-skipping core would have produced; sinks with a
+     * cheaper bulk form (see CycleAccounting) override this.
+     */
+    virtual void
+    onIdleSpan(const AcctCycleSample &first, std::uint64_t span)
+    {
+        AcctCycleSample s = first;
+        for (std::uint64_t i = 0; i < span; ++i) {
+            s.cycle = first.cycle + i;
+            onCycleEnd(s);
+        }
+    }
+
     /** A dpred or dual-path episode entered at fetch. */
     virtual void onEpisodeStart(EpisodeId id, Addr diverge_pc,
                                 bool is_dual, Cycle now) = 0;

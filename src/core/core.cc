@@ -61,16 +61,23 @@ CoreStats::CoreStats()
                   "flushed insts after reconvergence");
     group.addStat("btb_misses", &btbMisses, "");
     group.addStat("low_conf_diverge_fetches", &lowConfDivergeFetches, "");
+    group.addStat("cycles_skipped", &cyclesSkipped,
+                  "quiescent cycles jumped over by the run loop");
 
     episodeLength.init(0, 255, 8);
     flushDepth.init(0, 255, 8);
     fetchToRetire.init(0, 511, 16);
+    stageActiveCycles.init(0, 7, 1);
+
     group.addDistribution("episode_length", &episodeLength,
                           "program insts fetched per dpred episode");
     group.addDistribution("flush_depth", &flushDepth,
                           "program insts squashed per pipeline flush");
     group.addDistribution("fetch_to_retire", &fetchToRetire,
                           "fetch-to-retire latency of retired insts");
+    group.addDistribution("stage_active_cycles", &stageActiveCycles,
+                          "pipeline stages that did work, per cycle");
+
 
     // Derived stats, evaluated at dump/export time. `this` is stable:
     // CoreStats is neither copyable nor movable (it owns a StatGroup).
@@ -175,12 +182,22 @@ Core::Core(const isa::Program &program, const CoreParams &params)
       cpPool(p.maxCheckpoints),
       sb(p.storeBufferSize),
       preds(p.predRegisters, episodeWindow(p) * 2),
-      rob(p.robSize)
+      rob(p.robSize),
+      robSeq(p.robSize, 0),
+      robState(p.robSize, 0),
+      robDeps(p.robSize, 0),
+      robDest(p.robSize, kNoPhysReg),
+      robCompleteAt(p.robSize, kNeverCycle),
+      robPred(p.robSize, kNoPred)
 {
+
+
     dmp_assert((p.memoryBytes & (p.memoryBytes - 1)) == 0,
                "memoryBytes must be a power of two");
     dmp_assert(p.cfmCamEntries <= kMaxCfmCamEntries,
                "cfmCamEntries exceeds the inline CFM CAM bound");
+    dmp_assert(p.robSize <= (1u << kReadySlotBits),
+               "robSize exceeds the ready-queue slot field");
     episodeTable.resize(episodeWindow(p));
     episodeMask = episodeTable.size() - 1;
     perceptron = p.predictor == PredictorKind::Perceptron
@@ -220,9 +237,14 @@ Core::reset()
     sb.clear();
     preds.reset();
 
-    for (auto &slot : rob)
-        slot.valid = false;
+    std::fill(robSeq.begin(), robSeq.end(), std::uint64_t(0));
+    std::fill(robState.begin(), robState.end(), std::uint8_t(0));
+    std::fill(robDeps.begin(), robDeps.end(), std::uint32_t(0));
+    std::fill(robDest.begin(), robDest.end(), kNoPhysReg);
+    std::fill(robCompleteAt.begin(), robCompleteAt.end(), kNeverCycle);
+    std::fill(robPred.begin(), robPred.end(), kNoPred);
     robHead = 0;
+
     robCount = 0;
     nextSeq = 1;
 
@@ -238,11 +260,13 @@ Core::reset()
     nextEpisodeId = 1;
 
     readyQueue = {};
-    events = {};
+    events.clear();
     stalledLoads.clear();
+
 
     now = 0;
     isHalted = prog.size() == 0;
+    lastTickIdle = false;
 
     // Recreate the prediction structures so reset() reproduces a fresh
     // machine bit-for-bit.
@@ -268,8 +292,10 @@ Core::tick()
 {
     if (isHalted)
         return false;
-    retireStage();
+    unsigned active = unsigned(retireStage());
     if (isHalted) {
+        st.stageActiveCycles.sample(active);
+        lastTickIdle = false;
         acNotifyCycleEnd();
         ++st.cycles;
         ++now;
@@ -277,10 +303,12 @@ Core::tick()
         scNotifyCycleEnd();
         return false;
     }
-    completeStage();
-    issueStage();
-    renameStage();
-    fetchStage();
+    active += unsigned(completeStage());
+    active += unsigned(issueStage());
+    active += unsigned(renameStage());
+    active += unsigned(fetchStage());
+    st.stageActiveCycles.sample(active);
+    lastTickIdle = active == 0;
     acNotifyCycleEnd();
     ++st.cycles;
     ++now;
@@ -296,9 +324,35 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
     std::uint64_t last_progress_cycle = now;
     std::uint64_t last_retired = st.retiredInsts.value() +
                                  st.retiredFalseInsts.value();
+    // Cycle skipping: after an idle tick the machine state is a fixed
+    // point until the next time-driven wake, so the clock can jump
+    // there directly. Disabled when a self-check sink is attached (the
+    // checker samples per real tick) or under DMP_FORCE_FULL_SCAN (the
+    // lockstep property tests compare the two modes). The skip length
+    // is capped so a bogus wake computation still trips the deadlock
+    // detector instead of spinning the clock forever.
+    const bool allow_skip =
+        selfCheck == nullptr &&
+        std::getenv("DMP_FORCE_FULL_SCAN") == nullptr;
+    constexpr std::uint64_t kMaxSkip = 100000;
     while (!isHalted && st.retiredInsts.value() - start < max_insts &&
            now - start_cycle < max_cycles) {
         tick();
+        if (allow_skip && lastTickIdle && !isHalted) {
+            Cycle wake = nextWakeCycle();
+            if (wake != kNeverCycle && wake > now) {
+                std::uint64_t k = wake - now;
+                k = std::min(k, max_cycles - (now - start_cycle));
+                k = std::min(k, kMaxSkip);
+                if (k > 0) {
+                    acNotifyIdleSpan(k);
+                    now += k;
+                    st.cycles += k;
+                    st.cyclesSkipped += k;
+                    st.stageActiveCycles.sample(0, k);
+                }
+            }
+        }
         std::uint64_t retired_now = st.retiredInsts.value() +
                                     st.retiredFalseInsts.value() +
                                     st.retiredExtraUops.value() +
@@ -327,20 +381,25 @@ Core::dumpDeadlockState()
                  (unsigned long long)fetchStallUntil,
                  (unsigned long long)fdp.episodeId, int(fdp.path),
                  (unsigned long long)fdp.chosenCfm, fdp.pathInstCount,
-                 int(fdual.active), readyQueue.size(), events.size(),
+                 int(fdual.active), readyQueue.size(),
+                 events.size(),
                  stalledLoads.size());
+
     for (std::uint32_t i = 0; i < std::min(robCount, 8u); ++i) {
-        DynInst &di = robAt(i);
+        std::uint32_t slot = robSlotAt(i);
+        DynInst &di = rob[slot];
+        std::uint8_t s = robState[slot];
         std::fprintf(
             stderr,
             "  rob[%u] seq=%llu kind=%d pc=0x%llx op=%s disp=%d "
             "issued=%d exec=%d deps=%u awaitPred=%d pred=%u pres=%d "
             "pval=%d\n",
-            i, (unsigned long long)di.seq, int(di.kind),
+            i, (unsigned long long)robSeq[slot], int(di.kind),
             (unsigned long long)di.pc, isa::opcodeName(di.si.op),
-            int(di.dispatched), int(di.issued), int(di.executed),
-            di.depsOutstanding, int(di.awaitingPredicate),
-            unsigned(di.pred), int(di.predResolved), int(di.predValue));
+            int((s & kRobDispatched) != 0), int((s & kRobIssued) != 0),
+            int((s & kRobExecuted) != 0), robDeps[slot],
+            int((s & kRobAwaitPred) != 0), unsigned(robPred[slot]),
+            int(di.predResolved), int(di.predValue));
         std::fprintf(stderr,
                      "         src1=%u(r%d rdy=%d) src2=%u(r%d rdy=%d) "
                      "dest=%u ep=%llu path=%d\n",
@@ -348,12 +407,13 @@ Core::dumpDeadlockState()
                      di.src1 != kNoPhysReg ? int(prf.ready(di.src1)) : -1,
                      unsigned(di.src2), int(di.si.rs2),
                      di.src2 != kNoPhysReg ? int(prf.ready(di.src2)) : -1,
-                     unsigned(di.dest), (unsigned long long)di.episode,
-                     int(di.path));
+                     unsigned(robDest[slot]),
+                     (unsigned long long)di.episode, int(di.path));
     }
     {
         // Which registers hold the head instruction's lost waiters?
-        InstRef head_ref{robHead, rob[robHead].seq};
+        InstRef head_ref{robHead, robSeq[robHead]};
+
         for (PhysReg r : prf.regsWaitedOnBy(head_ref)) {
             std::fprintf(stderr,
                          "  head waits on pr%u ready=%d value=%llu\n",
@@ -432,11 +492,12 @@ Core::classifyExit(Episode &ep, ExitCase c)
 }
 
 void
-Core::pipeViewEmit(const DynInst &di, bool squashed)
+Core::pipeViewEmit(const DynInst &di, std::uint64_t seq, bool squashed)
 {
     trace::PipeView::Record r;
-    r.seq = di.seq;
+    r.seq = seq;
     r.pc = di.pc;
+
     switch (di.kind) {
       case UopKind::Normal:
         r.disasm = isa::opcodeName(di.si.op);
@@ -485,10 +546,12 @@ Core::noteFlushForClassifier(std::uint64_t survive_seq)
         return;
     WrongPathRecord rec;
     for (std::uint32_t i = 0; i < robCount; ++i) {
-        DynInst &di = robAt(i);
-        if (di.seq > survive_seq && di.countsAsProgramInst())
+        std::uint32_t slot = robSlotAt(i);
+        const DynInst &di = rob[slot];
+        if (robSeq[slot] > survive_seq && di.countsAsProgramInst())
             rec.squashedPcs.push_back(di.pc);
     }
+
     for (const FetchedInst &fi : fetchQueue) {
         if (fi.kind == UopKind::Normal)
             rec.squashedPcs.push_back(fi.pc);

@@ -25,6 +25,7 @@
 #ifndef DMP_CORE_CORE_HH
 #define DMP_CORE_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -35,6 +36,7 @@
 #include "bpred/perceptron.hh"
 #include "bpred/predictor.hh"
 #include "bpred/target_predictors.hh"
+#include "common/event_queue.hh"
 #include "common/ring_queue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
@@ -94,10 +96,14 @@ struct CoreStats
     Counter btbMisses;
     Counter lowConfDivergeFetches;
 
+    Counter cyclesSkipped; ///< quiescent cycles jumped over by run()
+
     // Histograms (Figures 8/10/11 diagnostics).
     Distribution episodeLength;  ///< program insts fetched per episode
     Distribution flushDepth;     ///< program insts squashed per flush
     Distribution fetchToRetire;  ///< fetch-to-retire latency (retired)
+    Distribution stageActiveCycles; ///< pipeline stages active per cycle
+
 
     StatGroup group{"core"};
 
@@ -177,15 +183,55 @@ class Core
   private:
     friend class dmp::check::CoreChecker;
     // ---- Pipeline stages (called oldest-stage-first each cycle) ----
-    void retireStage();
-    void completeStage();
-    void issueStage();
-    void renameStage();
-    void fetchStage();
+    // Each returns true when it mutated machine state this cycle; an
+    // all-false cycle is provably idempotent until the next wake event
+    // (see nextWakeCycle), which is what lets run() skip the clock.
+    bool retireStage();
+    bool completeStage();
+    bool issueStage();
+    bool renameStage();
+    bool fetchStage();
+
+    /**
+     * Earliest future cycle at which an idle machine can do work again:
+     * the next scheduled completion event, the front of the fetch queue
+     * reaching the rename stage, or an instruction-fetch stall ending
+     * (only when fetch still has a live target). kNeverCycle when no
+     * time-driven wake exists (a genuinely wedged machine must keep
+     * ticking so the deadlock detector still fires).
+     */
+    Cycle
+    nextWakeCycle() const noexcept
+    {
+        // Called right after an idle tick, so `now` is the next cycle
+        // that has not been simulated yet: a wake time equal to `now`
+        // must be kept (it yields a zero-length skip), only wake times
+        // in the simulated past are excluded (a rename resource stall
+        // whose queue head is long since ready is woken by an event,
+        // not by time).
+        Cycle wake = events.nextEventCycle(now);
+        if (!fetchQueue.empty()) {
+
+            Cycle ready = fetchQueue.front().renameReadyAt;
+            if (ready >= now && ready < wake)
+                wake = ready;
+        }
+        if (fetchStallUntil >= now && fetchStallUntil < wake) {
+            bool fetch_live = fdual.active
+                                  ? (fdual.pc[0] != kNoAddr ||
+                                     fdual.pc[1] != kNoAddr)
+                                  : fetchPc != kNoAddr;
+            if (fetch_live)
+                wake = fetchStallUntil;
+        }
+        return wake;
+    }
+
 
     // ---- Fetch helpers ----
-    void fetchNormalCycle();
-    void fetchDualCycle();
+    bool fetchNormalCycle();
+    bool fetchDualCycle();
+
     /** Fetch one instruction at pc; returns false to end the cycle. */
     bool fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
                   unsigned &branches_this_cycle);
@@ -198,7 +244,8 @@ class Core
     void convertEpisode(Episode &ep, ConversionReason reason,
                         bool redirect_to_cfm);
     void enqueueMarker(UopKind kind, EpisodeId episode);
-    void pushFetched(FetchedInst &&fi);
+    void pushFetched(const FetchedInst &fi);
+
     unsigned effectiveEarlyExitThreshold(const Episode &ep) const;
 
     // ---- Rename helpers ----
@@ -209,19 +256,34 @@ class Core
     bool renameExitPred(const FetchedInst &fi);
     void renameRestoreMap(const FetchedInst &fi);
     void setupDependencies(InstRef ref);
+    /**
+     * Allocate the next ROB slot. With reset_entry false the DynInst
+     * record is left stale and the caller owns writing every byte
+     * (renameProgramInst covers the record with its prefix memcpy plus
+     * a blank-tail copy, so the default reset here would be a second
+     * full write of the hottest store stream in rename).
+     */
     InstRef
-    allocRob()
+    allocRob(bool reset_entry = true)
     {
         dmp_assert(!robFull(), "allocRob on full ROB");
         std::uint32_t slot = robHead + robCount;
         if (slot >= p.robSize)
             slot -= p.robSize;
         ++robCount;
-        rob[slot] = DynInst{};
-        rob[slot].valid = true;
-        rob[slot].seq = nextSeq++;
-        return InstRef{slot, rob[slot].seq};
+        if (reset_entry)
+            rob[slot] = DynInst{};
+
+        std::uint64_t seq = nextSeq++;
+        robSeq[slot] = seq;
+        robState[slot] = 0;
+        robDeps[slot] = 0;
+        robDest[slot] = kNoPhysReg;
+        robCompleteAt[slot] = kNeverCycle;
+        robPred[slot] = kNoPred;
+        return InstRef{slot, seq};
     }
+
     RenameMap &renameMapFor(PathId path, EpisodeId episode);
 
     // ---- Backend helpers ----
@@ -230,16 +292,24 @@ class Core
     void
     scheduleCompletion(InstRef ref, Cycle when)
     {
-        DynInst &di = *lookup(ref);
-        di.completeAt = when;
-        events.push(Event{when, ref});
+        // Completion runs before issue within a tick, so an event due
+        // "now" has always been observed one cycle later; making that
+        // explicit keeps every live ring event strictly in the future,
+        // which is what the calendar drain relies on.
+        if (when <= now)
+            when = now + 1;
+        robCompleteAt[ref.slot] = when;
+        events.schedule(now, when, ref);
     }
+
+
     void writeback(InstRef ref);
     void resolveControl(InstRef ref);
-    void resolveDivergeBranch(DynInst &di, Episode &ep);
+    void resolveDivergeBranch(InstRef ref, DynInst &di, Episode &ep);
     void resolveDualFork(DynInst &di, Episode &ep);
     void broadcastPredicate(PredId pred, bool value, bool assumed);
-    void wakeSelectUop(DynInst &di);
+    void wakeSelectUop(std::uint32_t slot, DynInst &di);
+
     void flushAfter(InstRef branch_ref, Addr redirect_pc);
     /** @return program instructions squashed (flush-depth histogram). */
     std::uint64_t squashYoungerThan(std::uint64_t survive_seq);
@@ -247,37 +317,56 @@ class Core
     void redirectFetch(Addr pc);
 
     // ---- Retire helpers ----
-    void commitInst(DynInst &di);
+    void commitInst(std::uint32_t slot, DynInst &di);
     void trainPredictors(DynInst &di);
 
     /** Emit one pipeview lifecycle record (pipeView must be non-null). */
-    void pipeViewEmit(const DynInst &di, bool squashed);
+    void pipeViewEmit(const DynInst &di, std::uint64_t seq, bool squashed);
+
 
     // ---- ROB plumbing ----
+    // Packed robState bits (lifecycle order: dispatched -> issued ->
+    // executed; awaiting-predicate gates select-uops out of the ready
+    // queue until their predicate broadcasts).
+    static constexpr std::uint8_t kRobDispatched = 1u << 0;
+    static constexpr std::uint8_t kRobIssued = 1u << 1;
+    static constexpr std::uint8_t kRobExecuted = 1u << 2;
+    static constexpr std::uint8_t kRobAwaitPred = 1u << 3;
+
     // Defined in-class: these run several times per simulated cycle
     // from every stage TU and must inline across them (the stage files
     // are separate TUs, so out-of-line definitions would be opaque
     // calls on the hottest paths of the simulator).
+
     DynInst *
     lookup(InstRef ref) noexcept
     {
-        DynInst &di = rob[ref.slot];
-        if (!di.valid || di.seq != ref.seq)
+        // A free slot holds robSeq == 0 and real refs carry seq >= 1,
+        // so one dense compare covers both the validity and identity
+        // tests the AoS layout needed two loads for.
+        if (robSeq[ref.slot] != ref.seq)
             return nullptr;
-        return &di;
+        return &rob[ref.slot];
     }
-    /** idx-th oldest (0 == head). */
-    DynInst &
-    robAt(std::uint32_t idx) noexcept
+    /** Slot index of the idx-th oldest entry (0 == head). */
+    std::uint32_t
+    robSlotAt(std::uint32_t idx) const noexcept
     {
-        dmp_assert(idx < robCount, "robAt out of range");
+        dmp_assert(idx < robCount, "robSlotAt out of range");
         // robHead + idx < 2 * robSize: one conditional subtract wraps
         // the ring without an integer divide.
         std::uint32_t slot = robHead + idx;
         if (slot >= p.robSize)
             slot -= p.robSize;
-        return rob[slot];
+        return slot;
     }
+    /** idx-th oldest (0 == head). */
+    DynInst &
+    robAt(std::uint32_t idx) noexcept
+    {
+        return rob[robSlotAt(idx)];
+    }
+
     std::uint32_t
     robTailSlot() const noexcept
     {
@@ -347,15 +436,18 @@ class Core
 #endif
     }
     void
-    scNotifyRetire(const DynInst &di)
+    scNotifyRetire(const DynInst &di, std::uint64_t seq, PredId pred)
     {
 #ifdef DMP_SELFCHECK_BUILD
         if (selfCheck)
-            selfCheck->onRetire(di);
+            selfCheck->onRetire(di, seq, pred);
 #else
         (void)di;
+        (void)seq;
+        (void)pred;
 #endif
     }
+
     void
     scNotifyFlush(std::uint64_t survive_seq, Addr redirect_pc)
     {
@@ -403,10 +495,10 @@ class Core
         acRenameBlocked = false;
     }
     void
-    acNotifyRetire(const DynInst &di)
+    acNotifyRetire(const DynInst &di, PredId pred)
     {
         if (DMP_TRACING_ON && acct) {
-            const bool is_false = di.pred != kNoPred && di.predResolved &&
+            const bool is_false = pred != kNoPred && di.predResolved &&
                                   !di.predValue;
             if (di.kind == UopKind::Normal) {
                 if (is_false)
@@ -460,6 +552,46 @@ class Core
         if (DMP_TRACING_ON && acct)
             acRenameBlocked = true;
     }
+    /**
+     * Charge `k` skipped cycles (now .. now + k - 1) to the accounting
+     * sink in bulk. Legal because every classification input is
+     * constant across an idle span: nothing retires, the ROB occupancy
+     * and front-end liveness cannot change without a stage doing work,
+     * and rename stays blocked (or not) for the same reason it was on
+     * the idle tick that preceded the span. The one flag that CAN flip
+     * mid-span is fetchStalled — the fetch-dead case is not clipped by
+     * nextWakeCycle — so the span is split at fetchStallUntil into at
+     * most two constant-flag segments.
+     */
+    void
+    acNotifyIdleSpan(std::uint64_t k)
+    {
+        if (DMP_TRACING_ON && acct && k > 0) {
+            AcctCycleSample s;
+            s.cycle = now;
+            s.robEmpty = robCount == 0;
+            s.frontendActive = !fetchQueue.empty() ||
+                               fetchPc != kNoAddr || fdual.active;
+            // An idle tick with a rename-ready queue front means
+            // renameOne failed on a backend resource; that resource
+            // cannot free while the span is idle.
+            s.renameBlocked = !fetchQueue.empty() &&
+                              fetchQueue.front().renameReadyAt <= now;
+            if (fetchStallUntil > now) {
+                const std::uint64_t stalled =
+                    std::min<std::uint64_t>(k, fetchStallUntil - now);
+                s.fetchStalled = true;
+                acct->onIdleSpan(s, stalled);
+                if (stalled == k)
+                    return;
+                s.cycle = now + stalled;
+                s.fetchStalled = false;
+                acct->onIdleSpan(s, k - stalled);
+            } else {
+                acct->onIdleSpan(s, k);
+            }
+        }
+    }
 
     // ---- Configuration & members ----
     const isa::Program &prog;
@@ -498,11 +630,29 @@ class Core
     StoreBuffer sb;
     PredicateFile preds;
 
-    // ROB: fixed slot array, FIFO via head/count.
+    // ROB: fixed slot array, FIFO via head/count. The per-entry state
+    // the scheduler scans every cycle lives beside it in parallel
+    // arrays (structure-of-arrays) so the commit check, wakeup
+    // network, completion drain, and predicate broadcast touch dense
+    // cache lines instead of striding through the full DynInst record:
+    //   robSeq        sequence number; 0 = slot free (seq 0 is never
+    //                 allocated, so one compare validates an InstRef)
+    //   robState      packed kRob* scheduling flags
+    //   robDeps       outstanding source operands
+    //   robDest       allocated destination physical register
+    //   robCompleteAt scheduled writeback cycle
+    //   robPred       predicate id guarding the entry
     std::vector<DynInst> rob;
+    std::vector<std::uint64_t> robSeq;
+    std::vector<std::uint8_t> robState;
+    std::vector<std::uint32_t> robDeps;
+    std::vector<PhysReg> robDest;
+    std::vector<Cycle> robCompleteAt;
+    std::vector<PredId> robPred;
     std::uint32_t robHead = 0;
     std::uint32_t robCount = 0;
     std::uint64_t nextSeq = 1;
+
 
     // Front end. Sized for the default fetch-queue capacity; grows
     // (rarely — marker uops can briefly exceed the nominal bound) by
@@ -544,38 +694,56 @@ class Core
     EpisodeId episodeMask = 0;
     EpisodeId nextEpisodeId = 1;
 
-    // Scheduler.
-    struct SeqOrder
+    // Scheduler. The ready queue keys each instruction as one word,
+    // seq in the high bits and ROB slot in the low bits, so the heap
+    // orders by age with a single integer compare and one-word moves
+    // during sifts. The slot field caps robSize at 2^16 (default 512;
+    // the constructor asserts the bound).
+    static constexpr std::uint32_t kReadySlotBits = 16;
+    static std::uint64_t
+    readyKey(InstRef ref) noexcept
+    {
+        return (ref.seq << kReadySlotBits) | ref.slot;
+    }
+    static InstRef
+    readyRef(std::uint64_t key) noexcept
+    {
+        return InstRef{std::uint32_t(key) & ((1u << kReadySlotBits) - 1),
+                       key >> kReadySlotBits};
+    }
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<>>
+        readyQueue; // min-heap by age
+
+
+    /** Heap tie-break for completion events landing on the same cycle. */
+    struct InstRefSeqLess
     {
         bool
         operator()(const InstRef &a, const InstRef &b) const
         {
-            return a.seq > b.seq; // min-heap by age
+            return a.seq < b.seq;
         }
     };
-    std::priority_queue<InstRef, std::vector<InstRef>, SeqOrder> readyQueue;
+    // Completion events live in a calendar queue (common/event_queue.hh):
+    // O(1) insert and drain instead of a heap's O(log n), paid once per
+    // executed uop. Nearly every completion lands within the ring
+    // horizon (the longest ALU/memory latency); the rare farther event
+    // waits in the spillover heap and is merged into its bucket when
+    // due. Squashed instructions are not removed — the drain rejects
+    // them with the same seq compare the heap version used.
+    CalendarQueue<InstRef, InstRefSeqLess, 9> events;
+    std::vector<InstRef> eventScratch; ///< completeStage drain buffer
 
-    struct Event
-    {
-        Cycle when;
-        InstRef ref;
-    };
-    struct EventOrder
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            return a.when != b.when ? a.when > b.when
-                                    : a.ref.seq > b.ref.seq;
-        }
-    };
-    std::priority_queue<Event, std::vector<Event>, EventOrder> events;
 
     std::vector<InstRef> stalledLoads;
 
     // Run state.
     Cycle now = 0;
     bool isHalted = false;
+    /** True when the previous tick() mutated no machine state. */
+    bool lastTickIdle = false;
+
 
     /** Optional Konata/O3-pipeview writer (non-owning). */
     trace::PipeView *pipeView = nullptr;

@@ -6,9 +6,12 @@
  * and misprediction recovery.
  */
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/core.hh"
+
 
 namespace dmp::core
 {
@@ -34,20 +37,25 @@ maskSpecAddr(Addr a, std::size_t mem_bytes)
 // Issue
 // ---------------------------------------------------------------------
 
-void
+bool
 Core::issueStage()
 {
     unsigned issued = 0;
+    bool did_work = false;
 
-    // Replay memory-ordering-stalled loads first (oldest first).
+    // Replay memory-ordering-stalled loads first (oldest first). A
+    // failed replay is pure (an idempotent address recompute plus a
+    // const store-buffer probe), so it does not count as work.
     for (std::size_t i = 0; i < stalledLoads.size() &&
                             issued < p.issueWidth;) {
-        DynInst *di = lookup(stalledLoads[i]);
-        if (!di || di->issued) {
+        const InstRef ref = stalledLoads[i];
+        if (robSeq[ref.slot] != ref.seq ||
+            (robState[ref.slot] & kRobIssued)) {
             stalledLoads.erase(stalledLoads.begin() + std::ptrdiff_t(i));
+            did_work = true;
             continue;
         }
-        if (tryIssueLoad(stalledLoads[i])) {
+        if (tryIssueLoad(ref)) {
             ++issued;
             stalledLoads.erase(stalledLoads.begin() + std::ptrdiff_t(i));
         } else {
@@ -56,14 +64,21 @@ Core::issueStage()
     }
 
     while (issued < p.issueWidth && !readyQueue.empty()) {
-        InstRef ref = readyQueue.top();
+        InstRef ref = readyRef(readyQueue.top());
         readyQueue.pop();
-        DynInst *di = lookup(ref);
-        if (!di || di->issued || di->depsOutstanding != 0 ||
-            di->awaitingPredicate) {
+
+        did_work = true; // even a stale pop mutates the queue
+        const std::uint32_t slot = ref.slot;
+        // One dense-array compare plus one flag test reject stale and
+        // re-queued entries without touching the DynInst record.
+        if (robSeq[slot] != ref.seq ||
+            (robState[slot] & (kRobIssued | kRobAwaitPred)) ||
+            robDeps[slot] != 0) {
             continue; // stale or re-queued entry
         }
+        DynInst *di = &rob[slot];
         if (di->isLoad()) {
+
             if (tryIssueLoad(ref))
                 ++issued;
             else
@@ -73,25 +88,29 @@ Core::issueStage()
         executeReady(ref);
         ++issued;
     }
+    return did_work || issued > 0;
 }
+
 
 bool
 Core::tryIssueLoad(InstRef ref)
 {
-    DynInst &di = *lookup(ref);
+    DynInst &di = rob[ref.slot];
     Word base = di.src1 != kNoPhysReg ? prf.value(di.src1) : 0;
     Addr addr = maskSpecAddr(base + Word(di.si.imm), p.memoryBytes);
     di.memAddr = addr;
 
     Word forwarded = 0;
-    ForwardResult fr = sb.probe(di.seq, addr, di.pred, forwarded);
+    ForwardResult fr = sb.probe(ref.seq, addr, robPred[ref.slot],
+                                forwarded);
     if (fr == ForwardResult::MustWait)
         return false;
 
-    di.issued = true;
+    robState[ref.slot] |= kRobIssued;
     di.issuedAt = std::uint32_t(now);
     ++st.executedInsts;
-    DMP_TRACE(Issue, now, di.seq, "core.issue", trace::hex(di.pc),
+    DMP_TRACE(Issue, now, ref.seq, "core.issue", trace::hex(di.pc),
+
               " load addr=", trace::hex(addr),
               fr == ForwardResult::Forward ? " (forwarded)" : "");
     if (fr == ForwardResult::Forward) {
@@ -108,11 +127,12 @@ Core::tryIssueLoad(InstRef ref)
 void
 Core::executeReady(InstRef ref)
 {
-    DynInst &di = *lookup(ref);
-    di.issued = true;
+    DynInst &di = rob[ref.slot];
+    robState[ref.slot] |= kRobIssued;
     di.issuedAt = std::uint32_t(now);
-    DMP_TRACE(Issue, now, di.seq, "core.issue", trace::hex(di.pc), " ",
+    DMP_TRACE(Issue, now, ref.seq, "core.issue", trace::hex(di.pc), " ",
               isa::opcodeName(di.si.op));
+
 
     Cycle latency = p.aluLatency;
     switch (di.kind) {
@@ -157,7 +177,8 @@ Core::executeReady(InstRef ref)
             Addr addr = maskSpecAddr(r.memAddr, p.memoryBytes);
             di.memAddr = addr;
             di.result = r.value;
-            sb.fill(di.seq, addr, r.value);
+            sb.fill(ref.seq, addr, r.value);
+
         } else if (di.isControl) {
             di.actualTaken = r.taken;
             di.actualNextPc =
@@ -179,41 +200,60 @@ Core::executeReady(InstRef ref)
 // Completion / writeback / resolution
 // ---------------------------------------------------------------------
 
-void
+bool
 Core::completeStage()
 {
-    while (!events.empty() && events.top().when <= now) {
-        Event ev = events.top();
-        events.pop();
-        DynInst *di = lookup(ev.ref);
-        if (!di || !di->issued || di->executed)
+    std::vector<InstRef> &due = eventScratch;
+    if (!events.drainDue(now, due))
+        return false;
+    // The heap this replaces popped (when, seq) ascending; within one
+    // cycle's bucket that is plain age order.
+    std::sort(due.begin(), due.end(),
+              [](const InstRef &a, const InstRef &b) {
+                  return a.seq < b.seq;
+              });
+    for (const InstRef &ref : due) {
+        const std::uint32_t slot = ref.slot;
+        if (robSeq[slot] != ref.seq ||
+            (robState[slot] & (kRobIssued | kRobExecuted)) != kRobIssued)
             continue; // squashed or stale
-        writeback(ev.ref);
+        writeback(ref);
     }
+    due.clear();
+    return true; // even an all-stale drain mutated the calendar
 }
+
 
 void
 Core::writeback(InstRef ref)
 {
-    DynInst &di = *lookup(ref);
-    di.executed = true;
+    DynInst &di = rob[ref.slot];
+    robState[ref.slot] |= kRobExecuted;
     di.completedAt = std::uint32_t(now);
-    DMP_TRACE(Complete, now, di.seq, "core.complete", trace::hex(di.pc),
+    DMP_TRACE(Complete, now, ref.seq, "core.complete", trace::hex(di.pc),
               " ", isa::opcodeName(di.si.op));
 
     if (di.hasDest) {
-        prf.setReady(di.dest, di.result);
-        std::vector<InstRef> &ws = prf.waitersOf(di.dest);
+        const PhysReg dest = robDest[ref.slot];
+        prf.setReady(dest, di.result);
+        std::vector<InstRef> &ws = prf.waitersOf(dest);
         for (InstRef w : ws) {
-            DynInst *c = lookup(w);
-            if (!c || !c->dispatched || c->issued)
+            // The wakeup network runs entirely on the SoA views: one
+            // seq compare, one flag byte, one counter.
+            const std::uint32_t ws_slot = w.slot;
+            if (robSeq[ws_slot] != w.seq)
                 continue;
-            dmp_assert(c->depsOutstanding > 0, "dependency underflow");
-            if (--c->depsOutstanding == 0 && !c->awaitingPredicate)
-                readyQueue.push(w);
+            const std::uint8_t s = robState[ws_slot];
+            if (!(s & kRobDispatched) || (s & kRobIssued))
+                continue;
+            dmp_assert(robDeps[ws_slot] > 0, "dependency underflow");
+            if (--robDeps[ws_slot] == 0 && !(s & kRobAwaitPred))
+                readyQueue.push(readyKey(w));
+
         }
         ws.clear();
     }
+
 
     if (di.kind == UopKind::Normal && di.isControl)
         resolveControl(ref);
@@ -222,7 +262,8 @@ Core::writeback(InstRef ref)
 void
 Core::resolveControl(InstRef ref)
 {
-    DynInst &di = *lookup(ref);
+    DynInst &di = rob[ref.slot];
+
 
     if (di.predNextPc == kNoAddr) {
         // Unpredicted indirect (ITC miss / empty RAS): the front end has
@@ -251,9 +292,10 @@ Core::resolveControl(InstRef ref)
                 return;
             }
             if (!ep->isConverted()) {
-                resolveDivergeBranch(di, *ep);
+                resolveDivergeBranch(ref, di, *ep);
                 return;
             }
+
             // Converted episode: the branch reverted to normal branch
             // prediction (sections 2.7.2/2.7.3). Re-broadcast the real
             // predicate values and classify as case 5/6.
@@ -274,8 +316,9 @@ Core::resolveControl(InstRef ref)
         return;
 
     // A resolved-FALSE predicated branch is a NOP; never flush for it.
-    if (di.pred != kNoPred && di.predResolved && !di.predValue)
+    if (robPred[ref.slot] != kNoPred && di.predResolved && !di.predValue)
         return;
+
 
     // Nested misprediction inside an unresolved dual-path episode: the
     // interleaved streams cannot be squashed independently, so flush
@@ -284,15 +327,15 @@ Core::resolveControl(InstRef ref)
     if (fdual.active) {
         Episode *fork_ep = episodeIfAlive(fdual.episodeId);
         if (fork_ep && !fork_ep->resolved &&
-            di.seq > fork_ep->divergeSeq) {
+            ref.seq > fork_ep->divergeSeq) {
             // Locate the fork instruction in the ROB.
             for (std::uint32_t i = 0; i < robCount; ++i) {
-                DynInst &fork = robAt(i);
-                if (fork.seq == fork_ep->divergeSeq) {
-                    InstRef fork_ref{
-                        std::uint32_t((robHead + i) % p.robSize),
-                        fork.seq};
+                std::uint32_t fork_slot = robSlotAt(i);
+                if (robSeq[fork_slot] == fork_ep->divergeSeq) {
+                    DynInst &fork = rob[fork_slot];
+                    InstRef fork_ref{fork_slot, fork_ep->divergeSeq};
                     Episode &ep = *fork_ep;
+
                     flushAfter(fork_ref, fork.predNextPc);
                     // Re-enter the dual episode from the fork point.
                     fdual.clear();
@@ -319,10 +362,11 @@ Core::resolveControl(InstRef ref)
 }
 
 void
-Core::resolveDivergeBranch(DynInst &di, Episode &ep)
+Core::resolveDivergeBranch(InstRef ref, DynInst &di, Episode &ep)
 {
     bool correct = !di.mispredicted;
-    DMP_TRACE(Dpred, now, di.seq, "core.backend", "EP", ep.id,
+    DMP_TRACE(Dpred, now, ref.seq, "core.backend", "EP", ep.id,
+
               " resolve correct=", int(correct),
               " fdpEp=", fdp.episodeId, " fdpPath=", int(fdp.path));
     ep.resolved = true;
@@ -343,18 +387,9 @@ Core::resolveDivergeBranch(DynInst &di, Episode &ep)
                 // Case 6: conventional flush.
                 classifyExit(ep, ExitCase::Case6);
                 ++st.condBranchFlushes;
-                // Find this branch's ref for the flush.
-                for (std::uint32_t i = 0; i < robCount; ++i) {
-                    DynInst &b = robAt(i);
-                    if (b.seq == di.seq) {
-                        flushAfter(InstRef{std::uint32_t(
-                                               (robHead + i) % p.robSize),
-                                           b.seq},
-                                   di.actualNextPc);
-                        return;
-                    }
-                }
-                dmp_panic("diverge branch missing at case-6 flush");
+                flushAfter(ref, di.actualNextPc);
+                return;
+
             }
         } else { // Alternate path
             ep.fetchDone = true;
@@ -413,31 +448,35 @@ Core::broadcastPredicate(PredId pred, bool value, bool assumed)
     preds.resolve(pred, value, assumed);
     sb.resolvePredicate(pred, value);
 
+    // The broadcast scan filters on the dense predicate-id array and
+    // only dereferences the DynInst record on a tag match.
     for (std::uint32_t i = 0; i < robCount; ++i) {
-        DynInst &di = robAt(i);
-        if (di.pred != pred)
+        std::uint32_t slot = robSlotAt(i);
+        if (robPred[slot] != pred)
             continue;
+        DynInst &di = rob[slot];
         di.predResolved = true;
         di.predValue = value;
-        if (di.kind == UopKind::Select && di.awaitingPredicate)
-            wakeSelectUop(di);
+        if (di.kind == UopKind::Select && (robState[slot] & kRobAwaitPred))
+            wakeSelectUop(slot, di);
     }
 }
 
 void
-Core::wakeSelectUop(DynInst &di)
+Core::wakeSelectUop(std::uint32_t slot, DynInst &di)
 {
     dmp_assert(di.predResolved, "waking select without predicate");
-    di.awaitingPredicate = false;
-    InstRef ref{std::uint32_t(&di - rob.data()), di.seq};
+    robState[slot] &= std::uint8_t(~kRobAwaitPred);
+    InstRef ref{slot, robSeq[slot]};
     PhysReg src = di.predValue ? di.selTrue : di.selFalse;
     if (src != kNoPhysReg && !prf.ready(src)) {
         prf.addWaiter(src, ref);
-        ++di.depsOutstanding;
+        ++robDeps[slot];
     }
-    if (di.depsOutstanding == 0)
-        readyQueue.push(ref);
+    if (robDeps[slot] == 0)
+        readyQueue.push(readyKey(ref));
 }
+
 
 // ---------------------------------------------------------------------
 // Recovery
@@ -446,19 +485,21 @@ Core::wakeSelectUop(DynInst &di)
 void
 Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
 {
-    DynInst &b = *lookup(branch_ref);
+    DynInst &b = rob[branch_ref.slot];
+    const std::uint64_t b_seq = branch_ref.seq;
     dmp_assert(b.checkpointId >= 0, "flush without a checkpoint");
-    DMP_TRACE(Flush, now, b.seq, "core.backend", "pc=", trace::hex(b.pc),
-              " path=", int(b.path), " pred=", unsigned(b.pred),
+    DMP_TRACE(Flush, now, b_seq, "core.backend", "pc=", trace::hex(b.pc),
+              " path=", int(b.path),
+              " pred=", unsigned(robPred[branch_ref.slot]),
               " cpEp=", cpPool.get(b.checkpointId).episode,
               " redirect=", trace::hex(redirect_pc));
 
     ++st.pipelineFlushes;
-    noteFlushForClassifier(b.seq);
-    std::uint64_t squashed = squashYoungerThan(b.seq);
+    noteFlushForClassifier(b_seq);
+    std::uint64_t squashed = squashYoungerThan(b_seq);
     st.flushDepth.sample(squashed);
     acNotifyFlush(b.pc, squashed);
-    sb.squashYoungerThan(b.seq);
+    sb.squashYoungerThan(b_seq);
     clearFetchQueue();
 
     Checkpoint &cp = cpPool.get(b.checkpointId);
@@ -487,8 +528,9 @@ Core::flushAfter(InstRef branch_ref, Addr redirect_pc)
 
     dualAltMapValid = false;
     redirectFetch(redirect_pc);
-    scNotifyFlush(b.seq, redirect_pc);
+    scNotifyFlush(b_seq, redirect_pc);
 }
+
 
 std::uint64_t
 Core::squashYoungerThan(std::uint64_t survive_seq)
@@ -497,18 +539,20 @@ Core::squashYoungerThan(std::uint64_t survive_seq)
     while (robCount > 0) {
         std::uint32_t slot = robTailSlot();
         DynInst &di = rob[slot];
-        if (di.seq <= survive_seq)
+        const std::uint64_t seq = robSeq[slot];
+        if (seq <= survive_seq)
             break;
         if (di.kind == UopKind::Normal) {
             ++st.flushedInsts;
             ++squashed;
         }
         if (pipeView)
-            pipeViewEmit(di, true);
+            pipeViewEmit(di, seq, true);
         if (di.hasDest)
-            prf.free(di.dest, 1, di.seq); // squash
+            prf.free(robDest[slot], 1, seq); // squash
         if (di.checkpointId >= 0)
-            cpPool.release(di.checkpointId, di.seq);
+            cpPool.release(di.checkpointId, seq);
+
         if (di.isDivergeStarter) {
             Episode *ep = episodeIfAlive(di.episode);
             if (ep)
@@ -525,10 +569,11 @@ Core::squashYoungerThan(std::uint64_t survive_seq)
                 ep->p2 = kNoPred;
             }
         }
-        di.valid = false;
+        robSeq[slot] = 0;
         --robCount;
     }
     return squashed;
+
 }
 
 void

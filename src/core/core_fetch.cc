@@ -19,33 +19,34 @@ using isa::Inst;
 using isa::kInstBytes;
 using isa::Opcode;
 
-void
+bool
 Core::fetchStage()
 {
     if (now < fetchStallUntil)
-        return;
+        return false;
     if (fetchQueue.size() + p.fetchWidth >
         p.effectiveFetchQueueCapacity()) {
-        return;
+        return false;
     }
     if (fdual.active)
-        fetchDualCycle();
-    else
-        fetchNormalCycle();
+        return fetchDualCycle();
+    return fetchNormalCycle();
 }
 
-void
+bool
 Core::fetchNormalCycle()
 {
     if (fetchPc == kNoAddr)
-        return;
+        return false;
 
     // One I-cache access per cycle; a miss stalls the front end.
+    // Reaching the cache always counts as work: the access updates LRU
+    // state even on a hit.
     Cycle done = caches.fetchAccess(fetchPc, now);
     Cycle hit_done = now + caches.l1i().params().hitLatency;
     if (done > hit_done) {
         fetchStallUntil = done;
-        return;
+        return true;
     }
 
     const Addr line = caches.l1i().lineOf(fetchPc);
@@ -58,25 +59,30 @@ Core::fetchNormalCycle()
         if (!fetchOne(fetchPc, ghr, PathId::None, branches))
             break;
     }
+    return true;
 }
 
-void
+bool
 Core::fetchDualCycle()
 {
-    // Round-robin between the two streams, skipping dead ones.
+    // Round-robin between the two streams, skipping dead ones. The
+    // toggle flips even when both streams are dead (matching the
+    // pre-skip scheduler exactly), so a dual fetch cycle is never
+    // idle: the flip itself is state the resume interleave depends on.
     int s = fdual.toggle;
     fdual.toggle ^= 1;
     if (fdual.pc[s] == kNoAddr)
         s ^= 1;
     if (fdual.pc[s] == kNoAddr)
-        return;
+        return true;
 
     Cycle done = caches.fetchAccess(fdual.pc[s], now);
     Cycle hit_done = now + caches.l1i().params().hitLatency;
     if (done > hit_done) {
         fetchStallUntil = done;
-        return;
+        return true;
     }
+
 
     const Addr line = caches.l1i().lineOf(fdual.pc[s]);
     unsigned branches = 0;
@@ -92,7 +98,9 @@ Core::fetchDualCycle()
         if (!fetchOne(fdual.pc[s], fdual.ghr[s], path, branches))
             break;
     }
+    return true;
 }
+
 
 unsigned
 Core::effectiveEarlyExitThreshold(const Episode &ep) const
@@ -151,29 +159,35 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         return false;
     }
 
-    FetchedInst fi;
+    // Build the entry directly in the fetch queue: nothing between here
+    // and the end of this function enqueues (markers around episode
+    // entry/exit are pushed either before this point or after fetchOne
+    // returns), so in-place construction preserves queue order and
+    // saves the construct-then-move copy on every fetched instruction.
+    FetchedInst &fi = fetchQueue.emplace_back();
     fi.pc = pc;
     fi.si = inst;
     fi.renameReadyAt = now + p.frontendDepth;
     fi.fetchedAt = now;
 
-    // Snapshot of fetch state before this instruction's own effects
-    // (consumed by the rename-time checkpoint).
-    fi.ghrAtFetch = ghr_ref;
-    fi.rasAtFetch = ras.checkpoint();
-    fi.cpEpisode = fdp.episodeId;
-    fi.cpPath = fdp.path;
-    fi.cpChosenCfm = fdp.chosenCfm;
-    fi.cpPathCount = fdp.pathInstCount;
-
     Addr next = pc + kInstBytes;
     if (inst.op == Opcode::HALT) {
         next = kNoAddr;
     } else if (isa::isControl(inst.op)) {
+        // Snapshot of fetch state before this instruction's own effects.
+        // Control instructions are the only consumers (the rename-time
+        // checkpoint and episode entry), so plain instructions skip it.
+        fi.ghrAtFetch = ghr_ref;
+        fi.rasAtFetch = ras.checkpoint();
+        fi.cpEpisode = fdp.episodeId;
+        fi.cpPath = fdp.path;
+        fi.cpChosenCfm = fdp.chosenCfm;
+        fi.cpPathCount = fdp.pathInstCount;
         if (isa::isCondBranch(inst.op))
             ++branches_this_cycle;
         predictControl(fi, next, ghr_ref, dual_path);
     }
+
 
     // Oracle tracking (stream B of a dual episode is never the stream
     // the oracle follows through a fork, so it is not reported).
@@ -198,9 +212,10 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         if (p.mode == CoreMode::DualPath && fi.lowConfidence &&
             fi.predNextPc != kNoAddr) {
             if (tryStartDualEpisode(fi)) {
-                pushFetched(std::move(fi));
+                pushFetched(fi);
                 return false; // streams start next cycle
             }
+
         } else if (mark_ok && fi.lowConfidence && preds.canAllocate()) {
             ++st.lowConfDivergeFetches;
             bool can_enter = !fdp.active();
@@ -239,7 +254,10 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         ++ep.fetchedInsts;
     }
 
-    pushFetched(std::move(fi));
+    pushFetched(fi);
+    // fi is dead past this point: the marker push below may grow the
+    // ring and relocate the entry.
+    const bool took_transfer = fi.isControl && next != fi.pc + kInstBytes;
     if (started_episode)
         enqueueMarker(UopKind::EnterPred, fdp.episodeId);
 
@@ -253,9 +271,7 @@ Core::fetchOne(Addr &pc, std::uint64_t &ghr_ref, PathId dual_path,
         return false; // unpredicted indirect: stall until resolution
 
     // Fetch ends at the first taken control transfer.
-    if (fi.isControl && next != fi.pc + kInstBytes)
-        return false;
-    return true;
+    return !took_transfer;
 }
 
 void
@@ -499,8 +515,9 @@ Core::enqueueMarker(UopKind kind, EpisodeId id)
     fetchQueue.push_back(m);
 }
 
+/** Fetch bookkeeping for an entry already sitting in the fetch queue. */
 void
-Core::pushFetched(FetchedInst &&fi)
+Core::pushFetched(const FetchedInst &fi)
 {
     if (fi.kind == UopKind::Normal) {
         ++st.fetchedInsts;
@@ -511,8 +528,8 @@ Core::pushFetched(FetchedInst &&fi)
                   isa::opcodeName(fi.si.op),
                   fi.oracleWrongPath ? " wrong-path" : "");
     }
-    fetchQueue.push_back(std::move(fi));
 }
+
 
 void
 Core::redirectFetch(Addr pc)

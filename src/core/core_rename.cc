@@ -6,9 +6,12 @@
  * M bits of the two register alias tables.
  */
 
+#include <cstring>
+
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/core.hh"
+
 
 namespace dmp::core
 {
@@ -17,7 +20,7 @@ using isa::Inst;
 using isa::kInstBytes;
 using isa::Opcode;
 
-void
+bool
 Core::renameStage()
 {
     unsigned renamed = 0;
@@ -27,11 +30,12 @@ Core::renameStage()
             break;
         if (!renameOne(fi)) {
             acNoteRenameBlocked();
-            break; // resource stall
+            break; // resource stall (side-effect-free failure)
         }
         fetchQueue.pop_front();
         ++renamed;
     }
+    return renamed > 0;
 }
 
 RenameMap &
@@ -123,27 +127,26 @@ Core::renameOne(FetchedInst &fi)
 void
 Core::renameProgramInst(FetchedInst &fi)
 {
-    InstRef ref = allocRob();
+    InstRef ref = allocRob(/*reset_entry=*/false);
     DynInst &di = rob[ref.slot];
 
-    di.pc = fi.pc;
-    di.si = fi.si;
-    di.kind = UopKind::Normal;
+    // The whole shared front-context prefix (identity, prediction
+    // context, predication tags) transfers in one bounded copy; layout
+    // equality is enforced by the static_asserts in dyn_inst.hh. The
+    // rest of the record is stamped from a default-constructed blank,
+    // so together the two copies write every byte of the (skipped)
+    // allocRob reset exactly once.
+    static const DynInst kBlank{};
+    std::memcpy(&di, &fi, kFrontCtxBytes);
+    std::memcpy(reinterpret_cast<char *>(&di) + kFrontCtxBytes,
+                reinterpret_cast<const char *>(&kBlank) + kFrontCtxBytes,
+                sizeof(DynInst) - kFrontCtxBytes);
     di.fetchedAt = std::uint32_t(fi.fetchedAt);
     di.renamedAt = std::uint32_t(now);
-    di.isCondBranch = fi.isCondBranch;
-    di.isControl = fi.isControl;
-    di.predTaken = fi.predTaken;
-    di.predNextPc = fi.predNextPc;
-    di.predInfo = fi.predInfo;
-    di.confIndex = fi.confIndex;
-    di.lowConfidence = fi.lowConfidence;
-    di.episode = fi.episode;
-    di.path = fi.path;
-    di.isDivergeStarter = fi.isDivergeStarter;
-    di.oracleWrongPath = fi.oracleWrongPath;
+
 
     RenameMap &map = renameMapFor(fi.path, fi.episode);
+
 
     if (isa::readsSrc1(fi.si))
         di.src1 = map.lookup(fi.si.rs1);
@@ -154,14 +157,15 @@ Core::renameProgramInst(FetchedInst &fi)
         di.hasDest = true;
         di.archDest = fi.si.op == Opcode::CALL ? isa::kLinkReg : fi.si.rd;
         di.oldDest = map.lookup(di.archDest);
-        di.dest = prf.alloc();
-        prf.noteAlloc(di.dest, di.seq);
-        map.write(di.archDest, di.dest);
+        PhysReg dest = prf.alloc();
+        robDest[ref.slot] = dest;
+        prf.noteAlloc(dest, ref.seq);
+        map.write(di.archDest, dest);
     }
 
     // Predication tag.
     if (fi.pred != kNoPred) {
-        di.pred = fi.pred;
+        robPred[ref.slot] = fi.pred;
         const PredState &ps = preds.get(fi.pred);
         if (ps.resolved) {
             di.predResolved = true;
@@ -170,12 +174,13 @@ Core::renameProgramInst(FetchedInst &fi)
     }
 
     if (di.isStore()) {
-        sb.allocate(di.seq, di.pred, di.predResolved, di.predValue);
+        sb.allocate(ref.seq, fi.pred, di.predResolved, di.predValue);
         di.sbIndex = 0; // entries are found by seq
     }
 
     if (di.isControl) {
-        di.checkpointId = cpPool.alloc(di.seq);
+        di.checkpointId = cpPool.alloc(ref.seq);
+
         Checkpoint &cp = cpPool.get(di.checkpointId);
         cp.map = map;
         cp.ghr = fi.ghrAtFetch;
@@ -190,7 +195,8 @@ Core::renameProgramInst(FetchedInst &fi)
     if (fi.isDivergeStarter && fi.episode != kNoEpisode) {
         Episode *ep = episodeIfAlive(fi.episode);
         if (ep) {
-            ep->divergeSeq = di.seq;
+            ep->divergeSeq = ref.seq;
+
             if (ep->isDualPath) {
                 ep->atBranchMap = map;
                 ep->atBranchMapValid = true;
@@ -198,10 +204,11 @@ Core::renameProgramInst(FetchedInst &fi)
         }
     }
 
-    DMP_TRACE(Rename, now, di.seq, "core.rename", trace::hex(di.pc), " ",
+    DMP_TRACE(Rename, now, ref.seq, "core.rename", trace::hex(di.pc), " ",
               isa::opcodeName(di.si.op),
-              di.pred != kNoPred ? " predicated" : "");
+              fi.pred != kNoPred ? " predicated" : "");
     setupDependencies(ref);
+
 }
 
 void
@@ -311,17 +318,19 @@ Core::renameExitPred(const FetchedInst &fi)
         sel.hasDest = true;
         sel.selTrue = ep->endPredMap.map[r];
         sel.selFalse = activeMap.map[r];
-        sel.dest = prf.alloc();
-        prf.noteAlloc(sel.dest, sel.seq);
-        sel.pred = ep->p1;
+        PhysReg dest = prf.alloc();
+        robDest[ref.slot] = dest;
+        prf.noteAlloc(dest, ref.seq);
+        robPred[ref.slot] = ep->p1;
         const PredState &ps = preds.get(ep->p1);
         if (ps.resolved) {
             sel.predResolved = true;
             sel.predValue = ps.value;
         }
-        activeMap.map[r] = sel.dest;
+        activeMap.map[r] = dest;
         activeMap.mBits.reset(r);
         setupDependencies(ref);
+
     }
     return true;
 }
@@ -344,13 +353,14 @@ Core::renameRestoreMap(const FetchedInst &fi)
 void
 Core::setupDependencies(InstRef ref)
 {
-    DynInst &di = rob[ref.slot];
-    di.dispatched = true;
+    const std::uint32_t slot = ref.slot;
+    DynInst &di = rob[slot];
+    robState[slot] |= kRobDispatched;
 
     auto depend = [&](PhysReg r) {
         if (r != kNoPhysReg && !prf.ready(r)) {
             prf.addWaiter(r, ref);
-            ++di.depsOutstanding;
+            ++robDeps[slot];
         }
     };
 
@@ -358,10 +368,11 @@ Core::setupDependencies(InstRef ref)
         if (di.predResolved) {
             depend(di.predValue ? di.selTrue : di.selFalse);
         } else {
-            di.awaitingPredicate = true;
+            robState[slot] |= kRobAwaitPred;
         }
-    } else if (di.kind == UopKind::Normal && di.pred != kNoPred &&
+    } else if (di.kind == UopKind::Normal && robPred[slot] != kNoPred &&
                di.predResolved && !di.predValue) {
+
         // Renamed on a path already known to be predicated-FALSE (the
         // predicate resolved while this instruction was still in the
         // front end). Its source mappings may reference physical
@@ -375,8 +386,10 @@ Core::setupDependencies(InstRef ref)
         depend(di.src2);
     }
 
-    if (!di.awaitingPredicate && di.depsOutstanding == 0)
-        readyQueue.push(ref);
+    if (!(robState[slot] & kRobAwaitPred) && robDeps[slot] == 0)
+        readyQueue.push(readyKey(ref));
+
 }
+
 
 } // namespace dmp::core

@@ -17,29 +17,33 @@ namespace dmp::core
 using isa::kInstBytes;
 using isa::Opcode;
 
-void
+bool
 Core::retireStage()
 {
+    unsigned retired = 0;
     for (unsigned w = 0; w < p.retireWidth && robCount > 0; ++w) {
-        DynInst &di = rob[robHead];
-        if (!di.executed)
+        const std::uint32_t slot = robHead;
+        DynInst &di = rob[slot];
+        if (!(robState[slot] & kRobExecuted))
             break;
-        dmp_assert(di.pred == kNoPred || di.predResolved,
+        ++retired;
+        const std::uint64_t seq = robSeq[slot];
+        dmp_assert(robPred[slot] == kNoPred || di.predResolved,
                    "unresolved predicate at retirement");
 
-        commitInst(di);
-        scNotifyRetire(di);
-        acNotifyRetire(di);
+        commitInst(slot, di);
+        scNotifyRetire(di, seq, robPred[slot]);
+        acNotifyRetire(di, robPred[slot]);
         if (di.kind == UopKind::Normal)
             st.fetchToRetire.sample(std::uint32_t(now) - di.fetchedAt);
         if (pipeView)
-            pipeViewEmit(di, false);
+            pipeViewEmit(di, seq, false);
 
         bool halt = di.kind == UopKind::Normal &&
                     di.si.op == Opcode::HALT &&
                     !(di.predResolved && !di.predValue);
 
-        di.valid = false;
+        robSeq[slot] = 0;
         robHead = (robHead + 1) % p.robSize;
         --robCount;
 
@@ -48,19 +52,22 @@ Core::retireStage()
             retiredArch.pc = di.pc + kInstBytes;
             // Discard everything younger than the committed HALT
             // (wrong-path or false-path leftovers past program end).
-            squashYoungerThan(di.seq);
-            sb.squashYoungerThan(di.seq);
+            squashYoungerThan(seq);
+            sb.squashYoungerThan(seq);
             clearFetchQueue();
             break;
         }
     }
+    return retired > 0;
 }
 
+
 void
-Core::commitInst(DynInst &di)
+Core::commitInst(std::uint32_t slot, DynInst &di)
 {
+    const std::uint64_t seq = robSeq[slot];
     const bool is_false =
-        di.pred != kNoPred && di.predResolved && !di.predValue;
+        robPred[slot] != kNoPred && di.predResolved && !di.predValue;
 
     switch (di.kind) {
       case UopKind::Select: {
@@ -68,8 +75,9 @@ Core::commitInst(DynInst &di)
         // selected source mapping (the non-selected one is freed by its
         // own predicated-FALSE producer).
         retiredArch.write(di.archDest, di.result);
-        prf.free(di.predValue ? di.selTrue : di.selFalse, 4, di.seq);
+        prf.free(di.predValue ? di.selTrue : di.selFalse, 4, seq);
         ++st.retiredSelectUops;
+
         break;
       }
       case UopKind::EnterPred:
@@ -83,19 +91,20 @@ Core::commitInst(DynInst &di)
             // it allocated itself and leaves no architectural trace.
             ++st.retiredFalseInsts;
             if (di.hasDest)
-                prf.free(di.dest, 3, di.seq); // false-path self free
+                prf.free(robDest[slot], 3, seq); // false-path self free
             if (di.isStore())
-                sb.retireHead(di.seq); // dropped, not sent to memory
+                sb.retireHead(seq); // dropped, not sent to memory
             break;
         }
 
         if (di.hasDest) {
             retiredArch.write(di.archDest, di.result);
             if (di.oldDest != kNoPhysReg)
-                prf.free(di.oldDest, 2, di.seq); // superseded mapping
+                prf.free(di.oldDest, 2, seq); // superseded mapping
         }
         if (di.isStore()) {
-            SbEntry e = sb.retireHead(di.seq);
+            SbEntry e = sb.retireHead(seq);
+
             dmp_assert(e.addrKnown, "retiring store without address");
             if (!e.dead) {
                 memory->store(e.addr, e.data);
@@ -103,14 +112,15 @@ Core::commitInst(DynInst &di)
             }
         }
         ++st.retiredInsts;
-        DMP_TRACE(Commit, now, di.seq, "core.retire", trace::hex(di.pc),
+        DMP_TRACE(Commit, now, seq, "core.retire", trace::hex(di.pc),
                   " ", isa::opcodeName(di.si.op));
 
         if (di.isCondBranch) {
             ++st.retiredCondBranches;
             if (di.actualNextPc != di.predNextPc) {
                 ++st.retiredMispredCondBranches;
-                DMP_TRACE(Commit, now, di.seq, "core.retire",
+                DMP_TRACE(Commit, now, seq, "core.retire",
+
                           "mispredict pc=", trace::hex(di.pc),
                           " starter=", int(di.isDivergeStarter),
                           " mark=", int(prog.mark(di.pc) != nullptr),
@@ -132,8 +142,9 @@ Core::commitInst(DynInst &di)
     }
 
     if (di.checkpointId >= 0)
-        cpPool.release(di.checkpointId, di.seq);
+        cpPool.release(di.checkpointId, seq);
 }
+
 
 void
 Core::trainPredictors(DynInst &di)

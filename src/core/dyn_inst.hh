@@ -7,9 +7,12 @@
 #ifndef DMP_CORE_DYN_INST_HH
 #define DMP_CORE_DYN_INST_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "bpred/predictor.hh"
+
 #include "bpred/target_predictors.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
@@ -56,37 +59,47 @@ enum class PathId : std::uint8_t
 using EpisodeId = std::uint64_t;
 constexpr EpisodeId kNoEpisode = ~0ULL;
 
+/**
+ * The fields rename transfers verbatim from a fetch-queue entry into
+ * the ROB record. FetchedInst and DynInst both lay this block out
+ * byte-identically at offset 0 (enforced by the static_asserts below),
+ * so renameProgramInst moves it with one bounded memcpy instead of a
+ * field-by-field copy — this runs once per renamed instruction. Do not
+ * reorder one struct's block without the other.
+ */
+#define DMP_FRONT_CTX_FIELDS \
+    UopKind kind = UopKind::Normal; \
+    PathId path = PathId::None; \
+    bool isCondBranch = false; \
+    bool isControl = false; \
+    bool predTaken = false; \
+    bool lowConfidence = false; \
+    /** This conditional branch started the episode. */ \
+    bool isDivergeStarter = false; \
+    /** Fetched while the front-end was (transitively) on a wrong path \
+     *  according to the oracle tracker; measurement only. */ \
+    bool oracleWrongPath = false; \
+    Addr pc = 0; \
+    isa::Inst si; \
+    Addr predNextPc = 0; \
+    bpred::PredictionInfo predInfo; \
+    EpisodeId episode = kNoEpisode; \
+    std::uint32_t confIndex = 0;
+
 /** A fetched, not-yet-renamed entry in the front-end pipeline. */
 struct FetchedInst
 {
-    UopKind kind = UopKind::Normal;
-    Addr pc = 0;
-    isa::Inst si;
+    DMP_FRONT_CTX_FIELDS
+
     /** Cycle this entry reaches the rename stage. */
     Cycle renameReadyAt = 0;
     /** Cycle this entry was fetched (trace/pipeview lifecycle). */
     Cycle fetchedAt = 0;
 
-    // Branch prediction context (conditional + indirect control).
-    bool isCondBranch = false;
-    bool isControl = false;
-    bool predTaken = false;
-    Addr predNextPc = 0;
-    bpred::PredictionInfo predInfo;
-    std::uint32_t confIndex = 0;
-    bool lowConfidence = false;
     bool usedOracleDirection = false;
 
     // Dynamic predication context.
-    EpisodeId episode = kNoEpisode;
-    PathId path = PathId::None;
     PredId pred = kNoPred;
-    /** This conditional branch started the episode. */
-    bool isDivergeStarter = false;
-
-    /** Fetched while the front-end was (transitively) on a wrong path
-     *  according to the oracle tracker; measurement only. */
-    bool oracleWrongPath = false;
 
     // Fetch-state snapshot carried to rename for checkpointing (control
     // instructions only): state *before* this instruction's own effects.
@@ -98,20 +111,30 @@ struct FetchedInst
     std::uint32_t cpPathCount = 0;
 };
 
-/** Scheduler/ROB state of one in-flight instruction. */
+
+/**
+ * Scheduler/ROB state of one in-flight instruction.
+ *
+ * The fields the scheduler and checker touch on every-cycle scans —
+ * sequence number / slot validity, the dispatched/issued/executed/
+ * awaiting-predicate flags, the outstanding-dependency count, the
+ * destination physical register, the scheduled completion cycle, and
+ * the predicate id — do NOT live here: they sit in parallel arrays
+ * owned by Core (robSeq/robState/robDeps/robDest/robCompleteAt/
+ * robPred), indexed by ROB slot, so the commit scan, wakeup network,
+ * and predicate broadcast walk dense cache lines instead of striding
+ * through this record.
+ */
 struct DynInst
 {
-    // Identity.
-    std::uint64_t seq = 0;
-    Addr pc = 0;
-    isa::Inst si;
-    UopKind kind = UopKind::Normal;
-    bool valid = false; ///< slot occupied
+    // Shared prefix (see DMP_FRONT_CTX_FIELDS): identity, branch
+    // prediction context, and dynamic-predication tags, byte-identical
+    // to the front of FetchedInst.
+    DMP_FRONT_CTX_FIELDS
 
-    // Renaming.
+    // Renaming. (The allocated destination lives in Core::robDest.)
     PhysReg src1 = kNoPhysReg;
     PhysReg src2 = kNoPhysReg;
-    PhysReg dest = kNoPhysReg;
     PhysReg oldDest = kNoPhysReg;
     ArchReg archDest = 0;
     bool hasDest = false;
@@ -120,34 +143,18 @@ struct DynInst
     PhysReg selTrue = kNoPhysReg;
     PhysReg selFalse = kNoPhysReg;
 
-    // Predication.
-    PredId pred = kNoPred;
+    // Predication. (The predicate id lives in Core::robPred.)
     /** Lifecycle stamp (see note above struct end): fetch cycle. */
     std::uint32_t fetchedAt = 0;
-    EpisodeId episode = kNoEpisode;
-    PathId path = PathId::None;
     bool predResolved = false;
     bool predValue = true;
-    bool isDivergeStarter = false;
     /** Early-exit / mdb conversion turned this diverge branch back into a
      *  normal branch: mispredict now flushes. */
     bool revertedToNormal = false;
 
-    // Scheduling.
-    std::uint32_t depsOutstanding = 0;
-    bool dispatched = false;  ///< entered the wakeup network
-    bool issued = false;
-    bool executed = false;
-    bool awaitingPredicate = false; ///< select-uop waiting for predicate
-    Cycle completeAt = kNeverCycle;
-
     // Branch state.
-    bool isCondBranch = false;
-    bool isControl = false;
-    bool predTaken = false;
     /** Lifecycle stamp: rename cycle. */
     std::uint32_t renamedAt = 0;
-    Addr predNextPc = 0;
     bool actualTaken = false;
     /** Lifecycle stamp: issue cycle. */
     std::uint32_t issuedAt = 0;
@@ -155,18 +162,12 @@ struct DynInst
     bool mispredicted = false;
     /** Lifecycle stamp: writeback cycle. */
     std::uint32_t completedAt = 0;
-    bpred::PredictionInfo predInfo;
-    std::uint32_t confIndex = 0;
-    bool lowConfidence = false;
     std::int32_t checkpointId = -1;
 
     // Memory state.
     std::int32_t sbIndex = -1; ///< store-buffer slot for stores
     Addr memAddr = kNoAddr;
     Word result = 0; ///< dataflow result (dest value / store data)
-
-    // Measurement.
-    bool oracleWrongPath = false;
 
     // Note on the fetchedAt/renamedAt/issuedAt/completedAt lifecycle
     // stamps interleaved above: they are truncated to 32 bits and
@@ -185,12 +186,51 @@ struct DynInst
     }
 };
 
+/**
+ * Byte span of the shared front-context prefix: everything up to and
+ * including confIndex, the last DMP_FRONT_CTX_FIELDS member. The
+ * offset checks below pin each member to the same position in both
+ * structs, so renameProgramInst's prefix memcpy is exact.
+ */
+inline constexpr std::size_t kFrontCtxBytes =
+    offsetof(DynInst, confIndex) + sizeof(std::uint32_t);
+
+static_assert(std::is_trivially_copyable_v<FetchedInst>);
+static_assert(std::is_trivially_copyable_v<DynInst>);
+static_assert(offsetof(FetchedInst, kind) == offsetof(DynInst, kind));
+static_assert(offsetof(FetchedInst, path) == offsetof(DynInst, path));
+static_assert(offsetof(FetchedInst, isCondBranch) ==
+              offsetof(DynInst, isCondBranch));
+static_assert(offsetof(FetchedInst, isControl) ==
+              offsetof(DynInst, isControl));
+static_assert(offsetof(FetchedInst, predTaken) ==
+              offsetof(DynInst, predTaken));
+static_assert(offsetof(FetchedInst, lowConfidence) ==
+              offsetof(DynInst, lowConfidence));
+static_assert(offsetof(FetchedInst, isDivergeStarter) ==
+              offsetof(DynInst, isDivergeStarter));
+static_assert(offsetof(FetchedInst, oracleWrongPath) ==
+              offsetof(DynInst, oracleWrongPath));
+static_assert(offsetof(FetchedInst, pc) == offsetof(DynInst, pc));
+static_assert(offsetof(FetchedInst, si) == offsetof(DynInst, si));
+static_assert(offsetof(FetchedInst, predNextPc) ==
+              offsetof(DynInst, predNextPc));
+static_assert(offsetof(FetchedInst, predInfo) ==
+              offsetof(DynInst, predInfo));
+static_assert(offsetof(FetchedInst, episode) ==
+              offsetof(DynInst, episode));
+static_assert(offsetof(FetchedInst, confIndex) ==
+              offsetof(DynInst, confIndex));
+static_assert(offsetof(FetchedInst, confIndex) + sizeof(std::uint32_t) ==
+              kFrontCtxBytes);
+
 /** Stable reference into the ROB slot array. */
 struct InstRef
 {
     std::uint32_t slot = 0;
     std::uint64_t seq = 0;
 };
+
 
 } // namespace dmp::core
 

@@ -40,8 +40,12 @@ class SelfCheckSink
     /**
      * One entry retired: called right after commitInst applied its
      * architectural effects, while `di` is still valid in the ROB.
+     * `seq` and `pred` are the entry's SoA-resident sequence number
+     * and predicate id (no longer stored inside DynInst).
      */
-    virtual void onRetire(const DynInst &di) = 0;
+    virtual void onRetire(const DynInst &di, std::uint64_t seq,
+                          PredId pred) = 0;
+
 
     /**
      * A pipeline flush completed: everything younger than `survive_seq`

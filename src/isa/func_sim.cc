@@ -5,10 +5,80 @@
 namespace dmp::isa
 {
 
+namespace
+{
+
+/** Minimum straight-line run length worth entering as a superblock. */
+constexpr std::uint16_t kFuseMin = 4;
+
+/** True when the dispatch id is a straight-line simple ALU op. */
+constexpr bool
+isSimpleExec(std::uint8_t exec) noexcept
+{
+    return exec == std::uint8_t(Opcode::NOP) ||
+           (exec >= std::uint8_t(Opcode::ADD) &&
+            exec <= std::uint8_t(Opcode::FDIV));
+}
+
+} // namespace
+
 FuncSim::FuncSim(const Program &program, MemoryImage &mem)
-    : prog(program), memory(mem)
+    : prog(program), memory(mem), ops(buildFastOps(program))
 {
     reset();
+}
+
+std::shared_ptr<const std::vector<FastOp>>
+FuncSim::buildFastOps(const Program &program)
+{
+    const std::size_t sz = program.size();
+    auto table = std::make_shared<std::vector<FastOp>>(sz);
+    std::vector<FastOp> &ops = *table;
+
+    for (std::size_t i = 0; i < sz; ++i) {
+        const Inst &inst = program.instAt(i);
+        const PreDecode &dec = program.preDecodedAt(i);
+        FastOp &f = ops[i];
+        f.rd = inst.rd;
+        f.rs1 = inst.rs1;
+        f.rs2 = inst.rs2;
+        f.imm = inst.imm;
+
+        std::uint8_t exec = std::uint8_t(inst.op);
+        if (dec.load()) {
+            // A load whose destination is r0 must still access memory
+            // (bounds fault) but never write the register file.
+            if (!(dec.flags & kDecWritesDest))
+                exec = kFhLoadDead;
+        } else if (!dec.control() && !dec.store() &&
+                   inst.op != Opcode::HALT &&
+                   !(dec.flags & kDecWritesDest)) {
+            // An ALU op with a dead destination has no architectural
+            // effect at all: execute it as a NOP so the write handlers
+            // can store unconditionally (keeping regs[r0] == 0).
+            exec = std::uint8_t(Opcode::NOP);
+        }
+        f.exec = exec;
+        f.op = exec;
+
+        // Pre-resolve direct control targets to instruction indices.
+        if (dec.condBranch() || (dec.flags & kDecDirectJump)) {
+            f.targetIdx = program.contains(inst.target)
+                              ? std::uint32_t(program.indexOf(inst.target))
+                              : FastOp::kBadTarget;
+        }
+    }
+
+    // Straight-line run lengths (reverse pass), then promote heads of
+    // long-enough runs to the fused superblock handler.
+    std::uint32_t run = 0;
+    for (std::size_t i = sz; i-- > 0;) {
+        run = isSimpleExec(ops[i].exec) ? run + 1 : 0;
+        ops[i].run = std::uint16_t(run > 0xffff ? 0xffff : run);
+        if (ops[i].run >= kFuseMin)
+            ops[i].op = kFhFused;
+    }
+    return table;
 }
 
 void
@@ -31,58 +101,24 @@ FuncSim::step()
         info.pc = arch.pc;
         return info;
     }
-
-    if (!prog.contains(arch.pc)) [[unlikely]]
-        (void)prog.fetch(arch.pc); // fatal with the standard message
-    const std::size_t idx = prog.indexOf(arch.pc);
-    const Inst &inst = prog.instAt(idx);
-    const PreDecode &dec = prog.preDecodedAt(idx);
-    info.pc = arch.pc;
-    info.inst = inst;
-    info.isCondBranch = dec.condBranch();
-
-    Word s1 = arch.read(inst.rs1);
-    Word s2 = arch.read(inst.rs2);
-    ExecResult r = evaluate(inst, arch.pc, s1, s2);
-
-    Addr next_pc = arch.pc + kInstBytes;
-    switch (inst.op) {
-      case Opcode::HALT:
-        isHalted = true;
-        info.halted = true;
-        break;
-      case Opcode::LD:
-        info.memAddr = r.memAddr;
-        arch.write(inst.rd, memory.load(r.memAddr));
-        break;
-      case Opcode::ST:
-        info.memAddr = r.memAddr;
-        memory.store(r.memAddr, r.value);
-        break;
-      default:
-        if (r.taken)
-            next_pc = r.target;
-        if (dec.flags & kDecWritesDest)
-            arch.write(inst.rd, r.value);
-        break;
-    }
-
-    info.taken = r.taken;
-    info.nextPc = next_pc;
-    arch.pc = next_pc;
-    ++retired;
+    visitRun(1, [&](Addr pc, const Inst &inst, bool is_cond_branch,
+                    bool taken, Addr next_pc, Addr mem_addr) {
+        info.pc = pc;
+        info.inst = inst;
+        info.isCondBranch = is_cond_branch;
+        info.taken = taken;
+        info.nextPc = next_pc;
+        info.memAddr = mem_addr;
+        info.halted = inst.op == Opcode::HALT;
+    });
     return info;
 }
 
 std::uint64_t
 FuncSim::run(std::uint64_t max_insts)
 {
-    std::uint64_t n = 0;
-    while (n < max_insts && !isHalted) {
-        step();
-        ++n;
-    }
-    return n;
+    return visitRun(max_insts,
+                    [](Addr, const Inst &, bool, bool, Addr, Addr) {});
 }
 
 } // namespace dmp::isa

@@ -6,6 +6,18 @@
  * only. It is the ground truth the timing core is validated against, the
  * engine behind the profiler's "train run", and the oracle used by
  * perfect-branch-prediction / perfect-confidence configurations.
+ *
+ * The interpreter is a predecoded threaded-dispatch loop: construction
+ * lowers the Program's instructions into a dense FastOp table (operands,
+ * immediates, pre-resolved branch-target indices), and visitRun()
+ * dispatches over it with computed goto on GNU compilers (a switch on
+ * the rest). Straight-line runs of simple ALU ops are additionally fused
+ * into superblocks executed with the per-instruction budget and bounds
+ * checks hoisted out of the loop. All three consumers — the profiler's
+ * whole-train pass, the oracle tracker, and the selfcheck lockstep
+ * oracle — share this one dispatch engine, and its semantics are pinned
+ * to isa::evaluate() by the lockstep checker and the func_sim unit
+ * tests.
  */
 
 #ifndef DMP_ISA_FUNC_SIM_HH
@@ -13,6 +25,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/isa.hh"
@@ -54,6 +68,52 @@ struct StepInfo
     bool halted = false;
 };
 
+/**
+ * One predecoded interpreter op: the instruction's operands plus the
+ * dispatch id its handler is selected by. Direct control transfers
+ * carry their target as a static-instruction index so taken branches
+ * are a single table jump with no address translation.
+ */
+struct FastOp
+{
+    /** Target not inside the program image (fault on use). */
+    static constexpr std::uint32_t kBadTarget = ~std::uint32_t(0);
+
+    std::int64_t imm = 0;
+    std::uint32_t targetIdx = kBadTarget;
+    /**
+     * Straight-line simple-ALU run length starting here (this op
+     * included); 0 for ops that end a run (control/memory/HALT).
+     */
+    std::uint16_t run = 0;
+    /** Dispatch id (a FastHandler value). */
+    std::uint8_t op = 0;
+    /**
+     * Underlying per-instruction handler: identical to `op` except for
+     * fused-run heads, which dispatch to kFhFused but execute as
+     * `exec` when the run cannot be entered (instruction budget).
+     * Superblock inner loops always dispatch on `exec`.
+     */
+    std::uint8_t exec = 0;
+    ArchReg rd = 0;
+    ArchReg rs1 = 0;
+    ArchReg rs2 = 0;
+};
+
+/**
+ * Dispatch ids. Values 0..NUM_OPCODES-1 mirror Opcode; the extra ids
+ * are interpreter-internal specializations chosen at table-build time.
+ */
+enum FastHandler : std::uint8_t
+{
+    /** Load whose architectural write is dead (rd == r0): the access
+     *  (and its bounds fault) still happens, the write does not. */
+    kFhLoadDead = std::uint8_t(Opcode::NUM_OPCODES),
+    /** Head of a fusable straight-line run (superblock entry). */
+    kFhFused,
+    kNumFastHandlers
+};
+
 /** In-order architectural interpreter for one Program. */
 class FuncSim
 {
@@ -74,18 +134,461 @@ class FuncSim
     /** Run up to max_insts instructions or until HALT. @return count. */
     std::uint64_t run(std::uint64_t max_insts);
 
+    /**
+     * Run up to max_insts instructions (or until HALT), invoking
+     * `fn(pc, inst, isCondBranch, taken, nextPc, memAddr)` after each
+     * one. The visitor inlines into every dispatch handler, so an
+     * empty functor compiles to the plain run() loop. @return count.
+     */
+    template <class Fn>
+    std::uint64_t visitRun(std::uint64_t max_insts, Fn &&fn);
+
     bool halted() const { return isHalted; }
     const ArchState &state() const { return arch; }
     ArchState &state() { return arch; }
     std::uint64_t retiredInsts() const { return retired; }
 
   private:
+    /** Lower a program into its FastOp table (shared across copies). */
+    static std::shared_ptr<const std::vector<FastOp>>
+    buildFastOps(const Program &program);
+
     const Program &prog;
     MemoryImage &memory;
+    /** Predecoded dispatch table, parallel to the program's insts. */
+    std::shared_ptr<const std::vector<FastOp>> ops;
     ArchState arch;
     bool isHalted = false;
     std::uint64_t retired = 0;
 };
+
+/*
+ * The dispatch loop. GNU compilers get computed goto (one indirect
+ * jump per handler, so the host branch predictor sees per-opcode jump
+ * history); everything else gets a dense switch inside a loop. The
+ * handler bodies are shared between both forms through DMP_FS_OP /
+ * DMP_FS_NEXT, and between all visitors through the template.
+ */
+#if defined(__GNUC__)
+#define DMP_FS_THREADED 1
+#define DMP_FS_OP(name) fs_##name:
+#define DMP_FS_NEXT()                                                   \
+    do {                                                                \
+        if (n >= max_insts)                                             \
+            goto fs_done;                                               \
+        if (idx >= sz) [[unlikely]]                                     \
+            (void)prog.fetch(basePc + (Addr(idx) << Program::kInstShift)); \
+        goto *kFsLabels[opv[idx].op];                                   \
+    } while (0)
+#else
+#define DMP_FS_THREADED 0
+#define DMP_FS_OP(name) case std::uint8_t(FastHandler_helper_##name):
+#define DMP_FS_NEXT() goto fs_redispatch
+#endif
+
+template <class Fn>
+std::uint64_t
+FuncSim::visitRun(std::uint64_t max_insts, Fn &&fn)
+{
+    if (isHalted || max_insts == 0)
+        return 0;
+
+    const FastOp *const opv = ops->data();
+    const std::size_t sz = ops->size();
+    const Addr basePc = prog.baseAddr();
+    Word *const regs = arch.regs.data();
+
+    if (!prog.contains(arch.pc)) [[unlikely]]
+        (void)prog.fetch(arch.pc); // fatal with the standard message
+    std::size_t idx = prog.indexOf(arch.pc);
+    std::uint64_t n = 0;
+
+    // Current pc; only materialized where a handler needs it.
+#define DMP_FS_PC() (basePc + (Addr(idx) << Program::kInstShift))
+    // Visit + advance for a straight-line (non-control, non-mem) op.
+#define DMP_FS_STEP_SIMPLE()                                            \
+    do {                                                                \
+        const Addr pc_ = DMP_FS_PC();                                   \
+        fn(pc_, prog.instAt(idx), false, false, pc_ + kInstBytes,       \
+           kNoAddr);                                                    \
+        ++n;                                                            \
+        ++idx;                                                          \
+        DMP_FS_NEXT();                                                  \
+    } while (0)
+
+#if DMP_FS_THREADED
+    static const void *const kFsLabels[kNumFastHandlers] = {
+        &&fs_NOP, &&fs_HALT,
+        &&fs_ADD, &&fs_SUB, &&fs_MUL, &&fs_DIVQ,
+        &&fs_AND, &&fs_OR, &&fs_XOR,
+        &&fs_SHL, &&fs_SHR, &&fs_SRA,
+        &&fs_SLT, &&fs_SLTU, &&fs_SEQ,
+        &&fs_ADDI, &&fs_MULI, &&fs_ANDI, &&fs_ORI, &&fs_XORI,
+        &&fs_SHLI, &&fs_SHRI, &&fs_SLTI, &&fs_SEQI,
+        &&fs_LI,
+        &&fs_FADD, &&fs_FMUL, &&fs_FDIV,
+        &&fs_LD, &&fs_ST,
+        &&fs_BEQ, &&fs_BNE, &&fs_BLT, &&fs_BGE, &&fs_BLTU, &&fs_BGEU,
+        &&fs_JMP, &&fs_JR, &&fs_CALL, &&fs_RET,
+        &&fs_LOAD_DEAD, &&fs_FUSED,
+    };
+    DMP_FS_NEXT();
+#else
+    std::uint8_t dispatchOp;
+    // Mirror the label names onto FastHandler values for DMP_FS_OP.
+    enum
+    {
+        FastHandler_helper_NOP = int(Opcode::NOP),
+        FastHandler_helper_HALT = int(Opcode::HALT),
+        FastHandler_helper_ADD = int(Opcode::ADD),
+        FastHandler_helper_SUB = int(Opcode::SUB),
+        FastHandler_helper_MUL = int(Opcode::MUL),
+        FastHandler_helper_DIVQ = int(Opcode::DIVQ),
+        FastHandler_helper_AND = int(Opcode::AND),
+        FastHandler_helper_OR = int(Opcode::OR),
+        FastHandler_helper_XOR = int(Opcode::XOR),
+        FastHandler_helper_SHL = int(Opcode::SHL),
+        FastHandler_helper_SHR = int(Opcode::SHR),
+        FastHandler_helper_SRA = int(Opcode::SRA),
+        FastHandler_helper_SLT = int(Opcode::SLT),
+        FastHandler_helper_SLTU = int(Opcode::SLTU),
+        FastHandler_helper_SEQ = int(Opcode::SEQ),
+        FastHandler_helper_ADDI = int(Opcode::ADDI),
+        FastHandler_helper_MULI = int(Opcode::MULI),
+        FastHandler_helper_ANDI = int(Opcode::ANDI),
+        FastHandler_helper_ORI = int(Opcode::ORI),
+        FastHandler_helper_XORI = int(Opcode::XORI),
+        FastHandler_helper_SHLI = int(Opcode::SHLI),
+        FastHandler_helper_SHRI = int(Opcode::SHRI),
+        FastHandler_helper_SLTI = int(Opcode::SLTI),
+        FastHandler_helper_SEQI = int(Opcode::SEQI),
+        FastHandler_helper_LI = int(Opcode::LI),
+        FastHandler_helper_FADD = int(Opcode::FADD),
+        FastHandler_helper_FMUL = int(Opcode::FMUL),
+        FastHandler_helper_FDIV = int(Opcode::FDIV),
+        FastHandler_helper_LD = int(Opcode::LD),
+        FastHandler_helper_ST = int(Opcode::ST),
+        FastHandler_helper_BEQ = int(Opcode::BEQ),
+        FastHandler_helper_BNE = int(Opcode::BNE),
+        FastHandler_helper_BLT = int(Opcode::BLT),
+        FastHandler_helper_BGE = int(Opcode::BGE),
+        FastHandler_helper_BLTU = int(Opcode::BLTU),
+        FastHandler_helper_BGEU = int(Opcode::BGEU),
+        FastHandler_helper_JMP = int(Opcode::JMP),
+        FastHandler_helper_JR = int(Opcode::JR),
+        FastHandler_helper_CALL = int(Opcode::CALL),
+        FastHandler_helper_RET = int(Opcode::RET),
+        FastHandler_helper_LOAD_DEAD = int(kFhLoadDead),
+        FastHandler_helper_FUSED = int(kFhFused),
+    };
+fs_redispatch:
+    if (n >= max_insts)
+        goto fs_done;
+    if (idx >= sz) [[unlikely]]
+        (void)prog.fetch(basePc + (Addr(idx) << Program::kInstShift));
+    dispatchOp = opv[idx].op;
+fs_dispatch_as:
+    switch (dispatchOp) {
+#endif
+
+    DMP_FS_OP(NOP) { DMP_FS_STEP_SIMPLE(); }
+    DMP_FS_OP(HALT)
+    {
+        const Addr pc_ = DMP_FS_PC();
+        isHalted = true;
+        fn(pc_, prog.instAt(idx), false, false, pc_ + kInstBytes,
+           kNoAddr);
+        ++n;
+        ++idx; // arch.pc ends one past HALT, matching the timing core
+        goto fs_done;
+    }
+
+    // Register-register ALU. Table build guarantees rd != r0 here
+    // (dead-write instances dispatch as NOP), so regs[0] stays zero
+    // and source reads need no zero-register guard.
+#define DMP_FS_ALU_RR(name, expr)                                       \
+    DMP_FS_OP(name)                                                     \
+    {                                                                   \
+        const FastOp &f = opv[idx];                                     \
+        const Word s1 = regs[f.rs1];                                    \
+        const Word s2 = regs[f.rs2];                                    \
+        (void)s1;                                                       \
+        (void)s2;                                                       \
+        regs[f.rd] = (expr);                                            \
+        DMP_FS_STEP_SIMPLE();                                           \
+    }
+#define DMP_FS_ALU_RI(name, expr)                                       \
+    DMP_FS_OP(name)                                                     \
+    {                                                                   \
+        const FastOp &f = opv[idx];                                     \
+        const Word s1 = regs[f.rs1];                                    \
+        (void)s1;                                                       \
+        regs[f.rd] = (expr);                                            \
+        DMP_FS_STEP_SIMPLE();                                           \
+    }
+
+    DMP_FS_ALU_RR(ADD, s1 + s2)
+    DMP_FS_ALU_RR(SUB, s1 - s2)
+    DMP_FS_ALU_RR(MUL, s1 *s2)
+    DMP_FS_ALU_RR(DIVQ, s2 ? s1 / s2 : ~0ULL)
+    DMP_FS_ALU_RR(AND, s1 &s2)
+    DMP_FS_ALU_RR(OR, s1 | s2)
+    DMP_FS_ALU_RR(XOR, s1 ^ s2)
+    DMP_FS_ALU_RR(SHL, s1 << (s2 & 63))
+    DMP_FS_ALU_RR(SHR, s1 >> (s2 & 63))
+    DMP_FS_ALU_RR(SRA,
+                  static_cast<Word>(static_cast<SWord>(s1) >> (s2 & 63)))
+    DMP_FS_ALU_RR(SLT,
+                  static_cast<SWord>(s1) < static_cast<SWord>(s2))
+    DMP_FS_ALU_RR(SLTU, s1 < s2)
+    DMP_FS_ALU_RR(SEQ, s1 == s2)
+
+    DMP_FS_ALU_RI(ADDI, s1 + static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(MULI, s1 *static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(ANDI, s1 &static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(ORI, s1 | static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(XORI, s1 ^ static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(SHLI, s1 << (f.imm & 63))
+    DMP_FS_ALU_RI(SHRI, s1 >> (f.imm & 63))
+    DMP_FS_ALU_RI(SLTI, static_cast<SWord>(s1) < f.imm)
+    DMP_FS_ALU_RI(SEQI, s1 == static_cast<Word>(f.imm))
+    DMP_FS_ALU_RI(LI, static_cast<Word>(f.imm))
+
+    DMP_FS_ALU_RR(FADD, s1 + s2)
+    DMP_FS_ALU_RR(FMUL, s1 *s2)
+    DMP_FS_ALU_RR(FDIV, s2 ? s1 / s2 : ~0ULL)
+
+#undef DMP_FS_ALU_RR
+#undef DMP_FS_ALU_RI
+
+    DMP_FS_OP(LD)
+    {
+        const FastOp &f = opv[idx];
+        const Addr a = regs[f.rs1] + static_cast<Word>(f.imm);
+        regs[f.rd] = memory.load(a);
+        const Addr pc_ = DMP_FS_PC();
+        fn(pc_, prog.instAt(idx), false, false, pc_ + kInstBytes, a);
+        ++n;
+        ++idx;
+        DMP_FS_NEXT();
+    }
+    DMP_FS_OP(LOAD_DEAD)
+    {
+        const FastOp &f = opv[idx];
+        const Addr a = regs[f.rs1] + static_cast<Word>(f.imm);
+        (void)memory.load(a); // keep the bounds fault, drop the write
+        const Addr pc_ = DMP_FS_PC();
+        fn(pc_, prog.instAt(idx), false, false, pc_ + kInstBytes, a);
+        ++n;
+        ++idx;
+        DMP_FS_NEXT();
+    }
+    DMP_FS_OP(ST)
+    {
+        const FastOp &f = opv[idx];
+        const Addr a = regs[f.rs1] + static_cast<Word>(f.imm);
+        memory.store(a, regs[f.rs2]);
+        const Addr pc_ = DMP_FS_PC();
+        fn(pc_, prog.instAt(idx), false, false, pc_ + kInstBytes, a);
+        ++n;
+        ++idx;
+        DMP_FS_NEXT();
+    }
+
+    // Conditional branches. Taken targets use the pre-resolved index;
+    // an out-of-image target lands on the resync path so the fault
+    // fires on the *next* dispatch, exactly like the per-step
+    // interpreter this replaces.
+#define DMP_FS_BRANCH(name, cond)                                       \
+    DMP_FS_OP(name)                                                     \
+    {                                                                   \
+        const FastOp &f = opv[idx];                                     \
+        const Word s1 = regs[f.rs1];                                    \
+        const Word s2 = regs[f.rs2];                                    \
+        (void)s1;                                                       \
+        (void)s2;                                                       \
+        const bool taken = (cond);                                      \
+        const Addr pc_ = DMP_FS_PC();                                   \
+        const Addr next_pc =                                            \
+            taken ? prog.instAt(idx).target : pc_ + kInstBytes;         \
+        fn(pc_, prog.instAt(idx), true, taken, next_pc, kNoAddr);       \
+        ++n;                                                            \
+        if (taken && f.targetIdx == FastOp::kBadTarget) [[unlikely]] {  \
+            arch.pc = next_pc;                                          \
+            goto fs_resync;                                             \
+        }                                                               \
+        idx = taken ? f.targetIdx : idx + 1;                            \
+        DMP_FS_NEXT();                                                  \
+    }
+
+    DMP_FS_BRANCH(BEQ, s1 == s2)
+    DMP_FS_BRANCH(BNE, s1 != s2)
+    DMP_FS_BRANCH(BLT, static_cast<SWord>(s1) < static_cast<SWord>(s2))
+    DMP_FS_BRANCH(BGE, static_cast<SWord>(s1) >= static_cast<SWord>(s2))
+    DMP_FS_BRANCH(BLTU, s1 < s2)
+    DMP_FS_BRANCH(BGEU, s1 >= s2)
+
+#undef DMP_FS_BRANCH
+
+    DMP_FS_OP(JMP)
+    {
+        const FastOp &f = opv[idx];
+        const Addr pc_ = DMP_FS_PC();
+        const Addr next_pc = prog.instAt(idx).target;
+        fn(pc_, prog.instAt(idx), false, true, next_pc, kNoAddr);
+        ++n;
+        if (f.targetIdx == FastOp::kBadTarget) [[unlikely]] {
+            arch.pc = next_pc;
+            goto fs_resync;
+        }
+        idx = f.targetIdx;
+        DMP_FS_NEXT();
+    }
+    DMP_FS_OP(CALL)
+    {
+        const FastOp &f = opv[idx];
+        const Addr pc_ = DMP_FS_PC();
+        const Addr next_pc = prog.instAt(idx).target;
+        if (f.rd != kZeroReg)
+            regs[f.rd] = pc_ + kInstBytes; // link value
+        fn(pc_, prog.instAt(idx), false, true, next_pc, kNoAddr);
+        ++n;
+        if (f.targetIdx == FastOp::kBadTarget) [[unlikely]] {
+            arch.pc = next_pc;
+            goto fs_resync;
+        }
+        idx = f.targetIdx;
+        DMP_FS_NEXT();
+    }
+    DMP_FS_OP(JR)
+    DMP_FS_OP(RET)
+    {
+        const FastOp &f = opv[idx];
+        const Addr pc_ = DMP_FS_PC();
+        const Addr next_pc = regs[f.rs1];
+        fn(pc_, prog.instAt(idx), false, true, next_pc, kNoAddr);
+        ++n;
+        if (!prog.contains(next_pc)) [[unlikely]] {
+            arch.pc = next_pc;
+            goto fs_resync;
+        }
+        idx = prog.indexOf(next_pc);
+        DMP_FS_NEXT();
+    }
+
+    DMP_FS_OP(FUSED)
+    {
+        const FastOp &head = opv[idx];
+        const std::uint64_t len = head.run;
+        if (len > max_insts - n) {
+            // Not enough budget for the whole superblock: execute this
+            // op alone through its underlying handler.
+#if DMP_FS_THREADED
+            goto *kFsLabels[head.exec];
+#else
+            dispatchOp = head.exec;
+            goto fs_dispatch_as;
+#endif
+        }
+        // The whole run is straight-line simple ALU: no control, no
+        // memory, no HALT — budget and bounds checks hoisted here.
+        Addr pc_ = DMP_FS_PC();
+        const FastOp *f = &opv[idx];
+        const FastOp *const e = f + len;
+        std::size_t j = idx;
+        for (; f != e; ++f, ++j, pc_ += kInstBytes) {
+            const Word s1 = regs[f->rs1];
+            const Word s2 = regs[f->rs2];
+            Word v = 0;
+            switch (Opcode(f->exec)) {
+              case Opcode::NOP:
+                goto fs_fused_visit; // dead write: skip the store
+              case Opcode::ADD: v = s1 + s2; break;
+              case Opcode::SUB: v = s1 - s2; break;
+              case Opcode::MUL: v = s1 * s2; break;
+              case Opcode::DIVQ: v = s2 ? s1 / s2 : ~0ULL; break;
+              case Opcode::AND: v = s1 & s2; break;
+              case Opcode::OR: v = s1 | s2; break;
+              case Opcode::XOR: v = s1 ^ s2; break;
+              case Opcode::SHL: v = s1 << (s2 & 63); break;
+              case Opcode::SHR: v = s1 >> (s2 & 63); break;
+              case Opcode::SRA:
+                v = static_cast<Word>(static_cast<SWord>(s1) >>
+                                      (s2 & 63));
+                break;
+              case Opcode::SLT:
+                v = static_cast<SWord>(s1) < static_cast<SWord>(s2);
+                break;
+              case Opcode::SLTU: v = s1 < s2; break;
+              case Opcode::SEQ: v = s1 == s2; break;
+              case Opcode::ADDI:
+                v = s1 + static_cast<Word>(f->imm);
+                break;
+              case Opcode::MULI:
+                v = s1 * static_cast<Word>(f->imm);
+                break;
+              case Opcode::ANDI:
+                v = s1 & static_cast<Word>(f->imm);
+                break;
+              case Opcode::ORI:
+                v = s1 | static_cast<Word>(f->imm);
+                break;
+              case Opcode::XORI:
+                v = s1 ^ static_cast<Word>(f->imm);
+                break;
+              case Opcode::SHLI: v = s1 << (f->imm & 63); break;
+              case Opcode::SHRI: v = s1 >> (f->imm & 63); break;
+              case Opcode::SLTI:
+                v = static_cast<SWord>(s1) < f->imm;
+                break;
+              case Opcode::SEQI:
+                v = s1 == static_cast<Word>(f->imm);
+                break;
+              case Opcode::LI: v = static_cast<Word>(f->imm); break;
+              case Opcode::FADD: v = s1 + s2; break;
+              case Opcode::FMUL: v = s1 * s2; break;
+              case Opcode::FDIV: v = s2 ? s1 / s2 : ~0ULL; break;
+              default:
+                dmp_panic("fused run contains non-simple op ",
+                          int(f->exec));
+            }
+            regs[f->rd] = v;
+          fs_fused_visit:
+            fn(pc_, prog.instAt(j), false, false, pc_ + kInstBytes,
+               kNoAddr);
+        }
+        n += len;
+        idx += len;
+        DMP_FS_NEXT();
+    }
+
+#if !DMP_FS_THREADED
+      default:
+        dmp_panic("visitRun: bad dispatch id");
+    } // switch
+#endif
+
+fs_resync:
+    // arch.pc was redirected outside the program image. Stop cleanly
+    // if the budget is spent; otherwise fault with the standard
+    // message, exactly as a per-step interpreter would on its next
+    // fetch.
+    if (n < max_insts)
+        (void)prog.fetch(arch.pc);
+    retired += n;
+    return n;
+
+fs_done:
+    arch.pc = basePc + (Addr(idx) << Program::kInstShift);
+    retired += n;
+    return n;
+
+#undef DMP_FS_PC
+#undef DMP_FS_STEP_SIMPLE
+}
+
+#undef DMP_FS_OP
+#undef DMP_FS_NEXT
 
 } // namespace dmp::isa
 

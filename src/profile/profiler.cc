@@ -29,27 +29,29 @@ profileBranches(const isa::Program &program, std::size_t mem_bytes,
     bpred::PerceptronPredictor predictor;
     std::uint64_t ghr = 0;
 
-    while (!sim.halted() && out.totalInsts < max_insts) {
-        isa::StepInfo info = sim.step();
+    // One threaded-dispatch pass over the whole train input; the
+    // visitor only does real work on conditional branches.
+    sim.visitRun(max_insts, [&](Addr pc, const isa::Inst &inst,
+                                bool is_cond_branch, bool taken, Addr,
+                                Addr) {
         ++out.totalInsts;
-        if (!info.isCondBranch)
-            continue;
+        if (!is_cond_branch)
+            return;
         ++out.totalCondBranches;
 
         bpred::PredictionInfo pi;
-        bool pred = predictor.predict(info.pc, ghr, pi);
-        bool mispred = pred != info.taken;
-        predictor.train(info.pc, info.taken, pi);
-        ghr = (ghr << 1) | (info.taken ? 1 : 0);
+        bool pred = predictor.predict(pc, ghr, pi);
+        bool mispred = pred != taken;
+        predictor.train(pc, taken, pi);
+        ghr = (ghr << 1) | (taken ? 1 : 0);
 
-        BranchStats &bs = out.branches[info.pc];
+        BranchStats &bs = out.branches[pc];
         ++bs.execs;
-        bs.taken += info.taken;
+        bs.taken += taken;
         bs.mispredicts += mispred;
-        bs.isBackward = info.inst.target != kNoAddr &&
-                        info.inst.target <= info.pc;
+        bs.isBackward = inst.target != kNoAddr && inst.target <= pc;
         out.totalMispredicts += mispred;
-    }
+    });
     return out;
 }
 
@@ -132,11 +134,9 @@ runWindowPass(const isa::Program &program, std::size_t mem_bytes,
         }
     };
 
-    std::uint64_t insts = 0;
-    while (!sim.halted() && insts < max_insts) {
-        isa::StepInfo info = sim.step();
-        ++insts;
-
+    sim.visitRun(max_insts, [&](Addr pc, const isa::Inst &,
+                                bool is_cond_branch, bool taken,
+                                Addr next_pc, Addr) {
         // Feed open windows with the address of the *next* instruction
         // (reconvergence is about reaching a control-independent point
         // after the branch). A window ends when its own branch executes
@@ -146,13 +146,13 @@ runWindowPass(const isa::Program &program, std::size_t mem_bytes,
         // merge point for both sides.
         for (std::size_t i = 0; i < windows.size();) {
             Window &w = windows[i];
-            if (info.pc == w.branchPc) {
+            if (pc == w.branchPc) {
                 close_window(w);
                 windows[i] = std::move(windows.back());
                 windows.pop_back();
                 continue;
             }
-            w.trace.emplace_back(info.nextPc,
+            w.trace.emplace_back(next_pc,
                                  unsigned(w.trace.size() + 1));
             if (--w.remaining == 0) {
                 close_window(w);
@@ -163,21 +163,21 @@ runWindowPass(const isa::Program &program, std::size_t mem_bytes,
             }
         }
 
-        if (info.isCondBranch && candidate_set.count(info.pc)) {
-            unsigned &ctr = sample_counter[info.pc];
+        if (is_cond_branch && candidate_set.count(pc)) {
+            unsigned &ctr = sample_counter[pc];
             if (ctr++ % cfg.cfmSampleRate == 0) {
                 Window w;
-                w.branchPc = info.pc;
-                w.taken = info.taken;
+                w.branchPc = pc;
+                w.taken = taken;
                 w.remaining = cfg.maxCfmDistance;
                 w.trace.reserve(cfg.maxCfmDistance);
                 // The first post-branch address (the branch's own
                 // successor) is part of the searched region.
-                w.trace.emplace_back(info.nextPc, 1u);
+                w.trace.emplace_back(next_pc, 1u);
                 windows.push_back(std::move(w));
             }
         }
-    }
+    });
     for (Window &w : windows)
         close_window(w);
 }

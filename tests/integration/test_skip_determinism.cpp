@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Full-sweep determinism gate for event-driven cycle skipping: every
+ * paper workload in every machine mode runs twice — clock skipping
+ * enabled (the default) and forced full scan (DMP_FORCE_FULL_SCAN) —
+ * and the two SimResults must be identical in every simulated-
+ * performance field (cycles, IPC, all counters, all distributions).
+ * When the accounting probes are compiled in, both runs also attach
+ * the top-down accounting sink and must satisfy the bucket-sum ==
+ * total-cycles invariant (the bulk idle-span charge path is exercised
+ * by the skipping run, the per-cycle path by the full scan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/trace.hh"
+#include "core/params.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace dmp
+{
+namespace
+{
+
+/** Scoped DMP_FORCE_FULL_SCAN=1 (run() reads the variable per call). */
+struct ForceFullScanGuard
+{
+    ForceFullScanGuard() { ::setenv("DMP_FORCE_FULL_SCAN", "1", 1); }
+    ~ForceFullScanGuard() { ::unsetenv("DMP_FORCE_FULL_SCAN"); }
+};
+
+const char *const kBuckets[] = {
+    "acct_cycles_retire_useful", "acct_cycles_retire_false_path",
+    "acct_cycles_flush_recovery", "acct_cycles_backend_stall",
+    "acct_cycles_fetch_stall",    "acct_cycles_frontend_starved",
+    "acct_cycles_idle",
+};
+
+sim::SimConfig
+sweepConfig(const std::string &workload, const core::CoreParams &core)
+{
+    sim::SimConfig cfg;
+    cfg.workload = workload;
+    cfg.core = core;
+    // Short inputs keep the 15 x 5 x 2 sweep inside a ctest budget;
+    // every workload still crosses its skip-eligible regions (memory
+    // misses, terminal drain) many times at this length.
+    cfg.train.iterations = 40;
+    cfg.ref.iterations = 40;
+    cfg.marker.profileInsts = 40000;
+    cfg.accounting = trace::tracingCompiledIn();
+    return cfg;
+}
+
+void
+expectBucketInvariant(const sim::SimResult &r, const std::string &what)
+{
+    if (!r.hasAccounting)
+        return;
+    std::uint64_t sum = 0;
+    for (const char *b : kBuckets)
+        sum += r.require(b);
+    EXPECT_EQ(sum, r.cycles)
+        << what << ": accounting buckets must sum to the cycle count";
+}
+
+void
+expectSkipDeterminism(const std::string &workload,
+                      const core::CoreParams &core, const std::string &what)
+{
+    ::unsetenv("DMP_FORCE_FULL_SCAN"); // defensive: guard hygiene
+    sim::SimResult fast = sim::runSim(sweepConfig(workload, core));
+    sim::SimResult slow;
+    {
+        ForceFullScanGuard guard;
+        slow = sim::runSim(sweepConfig(workload, core));
+    }
+
+    EXPECT_EQ(slow.get("cycles_skipped"), 0u)
+        << what << ": full-scan run must not skip";
+    EXPECT_EQ(fast.cycles, slow.cycles) << what;
+    EXPECT_EQ(fast.retiredInsts, slow.retiredInsts) << what;
+    EXPECT_EQ(fast.ipc, slow.ipc) << what;
+
+    // Every counter but the skip diagnostic itself must match. An
+    // ordered map makes the first divergence deterministic to report.
+    std::map<std::string, std::uint64_t> a(fast.counters.begin(),
+                                           fast.counters.end());
+    std::map<std::string, std::uint64_t> b(slow.counters.begin(),
+                                           slow.counters.end());
+    a.erase("cycles_skipped");
+    b.erase("cycles_skipped");
+    ASSERT_EQ(a.size(), b.size()) << what << ": counter sets differ";
+    for (auto ita = a.begin(), itb = b.begin(); ita != a.end();
+         ++ita, ++itb) {
+        ASSERT_EQ(ita->first, itb->first) << what;
+        EXPECT_EQ(ita->second, itb->second)
+            << what << ": counter " << ita->first;
+    }
+
+    ASSERT_EQ(fast.distributions.size(), slow.distributions.size())
+        << what;
+    for (const auto &[name, da] : fast.distributions) {
+        auto it = slow.distributions.find(name);
+        ASSERT_NE(it, slow.distributions.end())
+            << what << ": distribution " << name;
+        const DistSnapshot &db = it->second;
+        EXPECT_EQ(da.samples, db.samples) << what << ": " << name;
+        EXPECT_EQ(da.sum, db.sum) << what << ": " << name;
+        EXPECT_EQ(da.underflow, db.underflow) << what << ": " << name;
+        EXPECT_EQ(da.overflow, db.overflow) << what << ": " << name;
+        EXPECT_EQ(da.buckets, db.buckets) << what << ": " << name;
+    }
+
+    expectBucketInvariant(fast, what + "/skip");
+    expectBucketInvariant(slow, what + "/full-scan");
+}
+
+/** One machine mode swept over all 15 paper workloads. */
+class SkipDeterminismSweep
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static core::CoreParams
+    paramsFor(const std::string &mode)
+    {
+        core::CoreParams p;
+        if (mode == "dhp") {
+            p.predication = core::PredicationScope::SimpleHammock;
+        } else if (mode == "dmp") {
+            p.predication = core::PredicationScope::Diverge;
+        } else if (mode == "enh") {
+            p.predication = core::PredicationScope::Diverge;
+            p.enhMultiCfm = true;
+            p.enhEarlyExit = true;
+            p.enhMultiDiverge = true;
+        } else if (mode == "dual") {
+            p.mode = core::CoreMode::DualPath;
+        }
+        return p;
+    }
+};
+
+TEST_P(SkipDeterminismSweep, AllWorkloadsMatchFullScan)
+{
+    const std::string mode = GetParam();
+    const core::CoreParams params = paramsFor(mode);
+    for (const auto &info : workloads::workloadList()) {
+        expectSkipDeterminism(info.name, params, mode + "/" + info.name);
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SkipDeterminismSweep,
+                         ::testing::Values("base", "dhp", "dmp", "enh",
+                                           "dual"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace dmp
