@@ -16,17 +16,17 @@ namespace
 {
 
 void
-cfgAlwaysLow(core::CoreParams &c)
+cfgAlwaysLow(sim::SimConfig &c)
 {
     cfgDmpEnhanced(c);
-    c.alwaysLowConfidence = true;
+    c.core.alwaysLowConfidence = true;
 }
 
 void
-cfgPerfect(core::CoreParams &c)
+cfgPerfect(sim::SimConfig &c)
 {
     cfgDmpEnhanced(c);
-    c.perfectConfidence = true;
+    c.core.perfectConfidence = true;
 }
 
 } // namespace

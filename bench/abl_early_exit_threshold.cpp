@@ -17,26 +17,26 @@ namespace
 {
 
 void
-cfgNoEexit(core::CoreParams &c)
+cfgNoEexit(sim::SimConfig &c)
 {
     cfgDmpBasic(c);
-    c.enhMultiCfm = true;
+    c.core.enhMultiCfm = true;
 }
 
 void
-cfgCompilerN(core::CoreParams &c)
+cfgCompilerN(sim::SimConfig &c)
 {
     cfgNoEexit(c);
-    c.enhEarlyExit = true;
+    c.core.enhEarlyExit = true;
 }
 
 ConfigFn
 cfgStaticN(unsigned n)
 {
-    return [n](core::CoreParams &c) {
+    return [n](sim::SimConfig &c) {
         cfgCompilerN(c);
-        c.forceStaticEarlyExit = true;
-        c.staticEarlyExitThreshold = n;
+        c.core.forceStaticEarlyExit = true;
+        c.core.staticEarlyExitThreshold = n;
     };
 }
 

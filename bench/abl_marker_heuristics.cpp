@@ -24,7 +24,7 @@ runMarked(const std::string &wl, unsigned max_dist, double reconv)
     cfg.ref.iterations = benchIterations();
     cfg.marker.maxCfmDistance = max_dist;
     cfg.marker.reconvergeFraction = reconv;
-    cfgDmpEnhanced(cfg.core);
+    cfgDmpEnhanced(cfg);
     return sim::runSim(cfg);
 }
 

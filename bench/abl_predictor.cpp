@@ -17,10 +17,10 @@ namespace
 ConfigFn
 withPredictor(core::PredictorKind kind, bool dmp)
 {
-    return [kind, dmp](core::CoreParams &c) {
+    return [kind, dmp](sim::SimConfig &c) {
         if (dmp)
             cfgDmpEnhanced(c);
-        c.predictor = kind;
+        c.core.predictor = kind;
     };
 }
 

@@ -82,8 +82,12 @@ benchWorkloads()
     return out.empty() ? all : out;
 }
 
-/** Mutator applied to the Table 2 default core configuration. */
-using ConfigFn = std::function<void(core::CoreParams &)>;
+/**
+ * Mutator applied to the bench-default SimConfig. Most configurations
+ * only touch `cfg.core` (the Table 2 machine); the marking-source axis
+ * (cfgDmpStatic) also sets `cfg.markMode`.
+ */
+using ConfigFn = std::function<void(sim::SimConfig &)>;
 
 /**
  * Memoizing runner facade over the shared sim::BatchRunner pool: each
@@ -103,7 +107,7 @@ class RunCache
         return rc;
     }
 
-    /** The bench-default SimConfig with `fn` applied to the core. */
+    /** The bench-default SimConfig with `fn` applied. */
     static sim::SimConfig
     makeConfig(const std::string &workload, const ConfigFn &fn)
     {
@@ -115,7 +119,7 @@ class RunCache
             acct && *acct)
             cfg.accounting = true;
         if (fn)
-            fn(cfg.core);
+            fn(cfg);
         return cfg;
     }
 
@@ -173,67 +177,75 @@ class RunCache
 
 /** Canonical configurations used across figures. */
 inline void
-cfgBaseline(core::CoreParams &)
+cfgBaseline(sim::SimConfig &)
 {
 }
 
 inline void
-cfgDhp(core::CoreParams &c)
+cfgDhp(sim::SimConfig &c)
 {
-    c.predication = core::PredicationScope::SimpleHammock;
+    c.core.predication = core::PredicationScope::SimpleHammock;
 }
 
 inline void
-cfgDhpPerfConf(core::CoreParams &c)
+cfgDhpPerfConf(sim::SimConfig &c)
 {
     cfgDhp(c);
-    c.perfectConfidence = true;
+    c.core.perfectConfidence = true;
 }
 
 inline void
-cfgDmpBasic(core::CoreParams &c)
+cfgDmpBasic(sim::SimConfig &c)
 {
-    c.predication = core::PredicationScope::Diverge;
+    c.core.predication = core::PredicationScope::Diverge;
 }
 
 inline void
-cfgDmpPerfConf(core::CoreParams &c)
-{
-    cfgDmpBasic(c);
-    c.perfectConfidence = true;
-}
-
-inline void
-cfgPerfectCbp(core::CoreParams &c)
-{
-    c.perfectCondPredictor = true;
-}
-
-inline void
-cfgDmpMcfm(core::CoreParams &c)
+cfgDmpPerfConf(sim::SimConfig &c)
 {
     cfgDmpBasic(c);
-    c.enhMultiCfm = true;
+    c.core.perfectConfidence = true;
 }
 
 inline void
-cfgDmpMcfmEexit(core::CoreParams &c)
+cfgPerfectCbp(sim::SimConfig &c)
+{
+    c.core.perfectCondPredictor = true;
+}
+
+inline void
+cfgDmpMcfm(sim::SimConfig &c)
+{
+    cfgDmpBasic(c);
+    c.core.enhMultiCfm = true;
+}
+
+inline void
+cfgDmpMcfmEexit(sim::SimConfig &c)
 {
     cfgDmpMcfm(c);
-    c.enhEarlyExit = true;
+    c.core.enhEarlyExit = true;
 }
 
 inline void
-cfgDmpEnhanced(core::CoreParams &c)
+cfgDmpEnhanced(sim::SimConfig &c)
 {
     cfgDmpMcfmEexit(c);
-    c.enhMultiDiverge = true;
+    c.core.enhMultiDiverge = true;
+}
+
+/** Enhanced DMP fed by static marking synthesis instead of the profiler. */
+inline void
+cfgDmpStatic(sim::SimConfig &c)
+{
+    cfgDmpEnhanced(c);
+    c.markMode = sim::MarkMode::Static;
 }
 
 inline void
-cfgDualPath(core::CoreParams &c)
+cfgDualPath(sim::SimConfig &c)
 {
-    c.mode = core::CoreMode::DualPath;
+    c.core.mode = core::CoreMode::DualPath;
 }
 
 /**

@@ -15,17 +15,17 @@ namespace
 {
 
 void
-cfgLoopExt(core::CoreParams &c)
+cfgLoopExt(sim::SimConfig &c)
 {
     cfgDmpEnhanced(c);
-    c.extLoopBranches = true;
+    c.core.extLoopBranches = true;
 }
 
 void
-cfgSelectiveUpdate(core::CoreParams &c)
+cfgSelectiveUpdate(sim::SimConfig &c)
 {
     cfgDmpEnhanced(c);
-    c.extSelectiveUpdate = true;
+    c.core.extSelectiveUpdate = true;
 }
 
 /** Marker config with loop-branch marking enabled. */
@@ -45,7 +45,7 @@ runLoopMarked(const std::string &wl, const std::string &label,
     cfg.train.iterations = benchIterations();
     cfg.ref.iterations = benchIterations();
     cfg.marker.markLoopBranches = true;
-    fn(cfg.core);
+    fn(cfg);
     return cache.emplace(key, sim::runSim(cfg)).first->second;
 }
 

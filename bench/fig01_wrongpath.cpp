@@ -18,9 +18,9 @@ namespace
 {
 
 void
-cfgClassify(core::CoreParams &c)
+cfgClassify(sim::SimConfig &c)
 {
-    c.classifyWrongPath = true;
+    c.core.classifyWrongPath = true;
 }
 
 } // namespace

@@ -24,25 +24,28 @@ main(int argc, char **argv)
         {"mcfm", cfgDmpMcfm},
         {"mcfm_eexit", cfgDmpMcfmEexit},
         {"mcfm_eexit_mdb", cfgDmpEnhanced},
+        {"dmp_static", cfgDmpStatic},
     };
     registerSimBenchmarks(configs);
     benchmark::RunSpecifiedBenchmarks();
 
     std::printf("\n=== Figure 9: %%IPC over baseline, enhanced DMP "
-                "(cumulative) ===\n");
-    std::printf("%-10s | %10s %10s %12s %15s\n", "bench", "basic",
-                "+mcfm", "+mcfm+eexit", "+mcfm+eexit+mdb");
-    std::vector<double> sums(4, 0);
+                "(cumulative; dmp_static = enhanced machine with "
+                "profile-free marks) ===\n");
+    std::printf("%-10s | %10s %10s %12s %15s %10s\n", "bench", "basic",
+                "+mcfm", "+mcfm+eexit", "+mcfm+eexit+mdb",
+                "static");
+    std::vector<double> sums(5, 0);
     unsigned n = 0;
-    const char *labels[4] = {"basic", "mcfm", "mcfm_eexit",
-                             "mcfm_eexit_mdb"};
-    ConfigFn fns[4] = {cfgDmpBasic, cfgDmpMcfm, cfgDmpMcfmEexit,
-                       cfgDmpEnhanced};
+    const char *labels[5] = {"basic", "mcfm", "mcfm_eexit",
+                             "mcfm_eexit_mdb", "dmp_static"};
+    ConfigFn fns[5] = {cfgDmpBasic, cfgDmpMcfm, cfgDmpMcfmEexit,
+                       cfgDmpEnhanced, cfgDmpStatic};
     for (const std::string &wl : benchWorkloads()) {
         double base =
             RunCache::instance().get(wl, "base", cfgBaseline).ipc;
         std::printf("%-10s |", wl.c_str());
-        for (unsigned i = 0; i < 4; ++i) {
+        for (unsigned i = 0; i < 5; ++i) {
             double d = sim::pctDelta(
                 RunCache::instance().get(wl, labels[i], fns[i]).ipc,
                 base);
@@ -53,7 +56,7 @@ main(int argc, char **argv)
         ++n;
     }
     std::printf("%-10s |", "average");
-    for (unsigned i = 0; i < 4; ++i)
+    for (unsigned i = 0; i < 5; ++i)
         std::printf("   %+7.1f%%", sums[i] / n);
     std::printf("\n(paper average for the full enhanced machine: "
                 "+10.8%%)\n");

@@ -20,10 +20,10 @@ namespace
 ConfigFn
 withMachine(unsigned rob, unsigned depth, ConfigFn inner)
 {
-    return [rob, depth, inner](core::CoreParams &c) {
+    return [rob, depth, inner](sim::SimConfig &c) {
         inner(c);
-        c.robSize = rob;
-        c.frontendDepth = depth;
+        c.core.robSize = rob;
+        c.core.frontendDepth = depth;
     };
 }
 

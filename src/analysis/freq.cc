@@ -1,0 +1,324 @@
+#include "analysis/freq.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dmp::analysis
+{
+
+namespace
+{
+
+using cfg::BasicBlock;
+using cfg::BlockId;
+using cfg::Cfg;
+using cfg::kNoBlock;
+using isa::Inst;
+using isa::Opcode;
+
+// Taken-probabilities assigned by each heuristic (Wu-Larus table,
+// adapted to this ISA). Values are evidence, not measurements: what
+// matters downstream is the ranking they induce, and that a branch with
+// several agreeing hints scores stronger than one with a single hint.
+constexpr double kLoopBackProb = 0.88;  ///< loop iterates ~8 times
+constexpr double kLoopExitProb = 0.20;  ///< exit edge of a loop
+constexpr double kHaltSideProb = 0.12;  ///< path into HALT
+constexpr double kReturnSideProb = 0.28; ///< path into RET/JR
+constexpr double kGuardNullProb = 0.25;  ///< null side of a guard
+constexpr double kCallSideProb = 0.42;   ///< side that calls
+constexpr double kEqualityProb = 0.36;   ///< BEQ taken (== rarely true)
+
+// Frequency propagation bounds. Gauss-Seidel in reverse post-order
+// converges geometrically (cyclic probability <= kLoopBackProb per
+// loop); the fixed iteration count keeps the result deterministic and
+// the clamp keeps irreducible or exit-free regions finite.
+constexpr int kPropagationSweeps = 100;
+constexpr double kMaxBlockFreq = 1e12;
+
+/** Dempster-Shafer combination of two taken-probability evidences. */
+double
+combine(double a, double b)
+{
+    double num = a * b;
+    double den = num + (1.0 - a) * (1.0 - b);
+    return den > 0 ? num / den : 0.5;
+}
+
+/** One address-interval natural loop [headStart, latchEnd). */
+struct LoopInterval
+{
+    Addr begin = 0;
+    Addr end = 0;
+
+    bool contains(Addr a) const { return a >= begin && a < end; }
+};
+
+/**
+ * Approximate natural loops as address intervals spanned by back
+ * edges. Workload code lays loops out contiguously (the builder emits
+ * backward branches to the header), so the interval of a back edge
+ * u -> v is exactly the loop body.
+ */
+std::vector<LoopInterval>
+loopIntervals(const Cfg &cfg)
+{
+    std::vector<LoopInterval> loops;
+    for (BlockId u = 0; u < BlockId(cfg.size()); ++u) {
+        const BasicBlock &ub = cfg.block(u);
+        for (BlockId v : ub.succs) {
+            const BasicBlock &vb = cfg.block(v);
+            if (vb.start <= ub.start)
+                loops.push_back({vb.start, ub.end});
+        }
+    }
+    return loops;
+}
+
+/**
+ * Follow up to `hops` single-successor hops from `id` and report
+ * whether the walk ends in HALT / an indirect return. Calls and
+ * conditional branches stop the walk: past them the outcome is no
+ * longer a property of this side.
+ */
+struct SideFate
+{
+    bool halts = false;
+    bool returns = false;
+    bool calls = false;
+};
+
+SideFate
+sideFate(const Cfg &cfg, BlockId id, int hops = 2)
+{
+    SideFate fate;
+    BlockId cur = id;
+    for (int i = 0; i <= hops && cur != kNoBlock; ++i) {
+        const BasicBlock &bb = cfg.block(cur);
+        if (bb.hasCall)
+            fate.calls = true;
+        if (bb.endsInHalt) {
+            fate.halts = true;
+            return fate;
+        }
+        if (bb.endsInIndirect) {
+            fate.returns = true;
+            return fate;
+        }
+        if (bb.endsInCondBranch || bb.succs.size() != 1)
+            return fate;
+        cur = bb.succs[0];
+    }
+    return fate;
+}
+
+/** True when the side block dereferences `reg` as a load/store base. */
+bool
+sideDereferences(const isa::Program &program, const Cfg &cfg, BlockId id,
+                 ArchReg reg)
+{
+    if (id == kNoBlock || reg == isa::kZeroReg)
+        return false;
+    const BasicBlock &bb = cfg.block(id);
+    for (Addr pc = bb.start; pc < bb.end; pc += isa::kInstBytes) {
+        const Inst &inst = program.fetch(pc);
+        if ((inst.op == Opcode::LD || inst.op == Opcode::ST) &&
+            inst.rs1 == reg)
+            return true;
+        // A write to the register ends its guard relationship. Stores
+        // and branches write no register; everything else writes rd.
+        if (inst.op != Opcode::ST && !isa::isCondBranch(inst.op) &&
+            inst.rd == reg)
+            return false;
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+probHeuristicName(ProbHeuristic h)
+{
+    switch (h) {
+    case ProbHeuristic::None:     return "none";
+    case ProbHeuristic::LoopBack: return "loop-back";
+    case ProbHeuristic::LoopExit: return "loop-exit";
+    case ProbHeuristic::HaltExit: return "halt-exit";
+    case ProbHeuristic::Return:   return "return";
+    case ProbHeuristic::Guard:    return "guard";
+    case ProbHeuristic::Call:     return "call";
+    case ProbHeuristic::Opcode:   return "opcode";
+    }
+    return "none";
+}
+
+double
+FreqEstimate::freqAt(const cfg::Cfg &cfg, Addr pc) const
+{
+    BlockId b = cfg.blockContaining(pc);
+    return b == kNoBlock ? 0.0 : blockFreq[b];
+}
+
+FreqEstimate
+estimateFrequencies(const isa::Program &program, const cfg::Cfg &cfg)
+{
+    const std::size_t n = cfg.size();
+    FreqEstimate est;
+    est.blockFreq.assign(n, 0.0);
+    est.takenProb.assign(n, 0.5);
+    est.heuristic.assign(n, ProbHeuristic::None);
+    est.loopDepth.assign(n, 0);
+    if (n == 0)
+        return est;
+
+    const std::vector<LoopInterval> loops = loopIntervals(cfg);
+    for (BlockId b = 0; b < BlockId(n); ++b) {
+        unsigned depth = 0;
+        for (const LoopInterval &l : loops)
+            if (l.contains(cfg.block(b).start))
+                ++depth;
+        est.loopDepth[b] = depth;
+    }
+
+    // Pass 1: per-branch taken probability by evidence combination.
+    for (BlockId b = 0; b < BlockId(n); ++b) {
+        const BasicBlock &bb = cfg.block(b);
+        if (!bb.endsInCondBranch)
+            continue;
+        const Addr pc = bb.lastInstPc();
+        const Inst &inst = program.fetch(pc);
+        const BlockId taken = program.contains(inst.target)
+                                  ? cfg.blockStartingAt(inst.target)
+                                  : kNoBlock;
+        const BlockId fall = program.contains(bb.end)
+                                 ? cfg.blockStartingAt(bb.end)
+                                 : kNoBlock;
+
+        double p = 0.5;
+        double strongest = 0.0;
+        ProbHeuristic primary = ProbHeuristic::None;
+        auto apply = [&](ProbHeuristic h, double evidence) {
+            p = combine(p, evidence);
+            if (std::abs(evidence - 0.5) > strongest) {
+                strongest = std::abs(evidence - 0.5);
+                primary = h;
+            }
+        };
+
+        const bool backward =
+            inst.target != kNoAddr && inst.target <= pc;
+        if (backward) {
+            apply(ProbHeuristic::LoopBack, kLoopBackProb);
+        } else {
+            // Loop-exit: taken leaves the innermost loop around the
+            // branch while the fall-through stays inside it.
+            const LoopInterval *innermost = nullptr;
+            for (const LoopInterval &l : loops) {
+                if (!l.contains(pc))
+                    continue;
+                if (!innermost ||
+                    l.end - l.begin < innermost->end - innermost->begin)
+                    innermost = &l;
+            }
+            if (innermost && inst.target != kNoAddr &&
+                !innermost->contains(inst.target) &&
+                innermost->contains(bb.end))
+                apply(ProbHeuristic::LoopExit, kLoopExitProb);
+
+            const SideFate takenFate = sideFate(cfg, taken);
+            const SideFate fallFate = sideFate(cfg, fall);
+            if (takenFate.halts != fallFate.halts)
+                apply(ProbHeuristic::HaltExit, takenFate.halts
+                                                   ? kHaltSideProb
+                                                   : 1.0 - kHaltSideProb);
+            if (takenFate.returns != fallFate.returns)
+                apply(ProbHeuristic::Return,
+                      takenFate.returns ? kReturnSideProb
+                                        : 1.0 - kReturnSideProb);
+            if (takenFate.calls != fallFate.calls)
+                apply(ProbHeuristic::Call, takenFate.calls
+                                               ? kCallSideProb
+                                               : 1.0 - kCallSideProb);
+
+            // Pointer-guard: `beq r, r0, skip` over a block that
+            // dereferences r means the null (taken) side is rare; the
+            // mirrored bne form makes the dereferencing taken side
+            // likely.
+            if (inst.op == Opcode::BEQ && inst.rs2 == isa::kZeroReg &&
+                sideDereferences(program, cfg, fall, inst.rs1))
+                apply(ProbHeuristic::Guard, kGuardNullProb);
+            else if (inst.op == Opcode::BNE &&
+                     inst.rs2 == isa::kZeroReg &&
+                     sideDereferences(program, cfg, taken, inst.rs1))
+                apply(ProbHeuristic::Guard, 1.0 - kGuardNullProb);
+            else if (inst.op == Opcode::BEQ)
+                apply(ProbHeuristic::Opcode, kEqualityProb);
+            else if (inst.op == Opcode::BNE)
+                apply(ProbHeuristic::Opcode, 1.0 - kEqualityProb);
+        }
+
+        est.takenProb[b] = std::clamp(p, 0.01, 0.99);
+        est.heuristic[b] = primary;
+    }
+
+    // Pass 2: collect interprocedural call edges. CALL does not end a
+    // basic block (the Cfg is intra-procedural), so callee bodies hang
+    // off the graph with no predecessors; the call edges below seed
+    // them with their callers' frequencies.
+    std::vector<std::vector<BlockId>> callEdges(n); // callee -> callers
+    for (BlockId b = 0; b < BlockId(n); ++b) {
+        const BasicBlock &bb = cfg.block(b);
+        if (!bb.hasCall)
+            continue;
+        for (Addr pc = bb.start; pc < bb.end; pc += isa::kInstBytes) {
+            const Inst &inst = program.fetch(pc);
+            if (!isa::isCall(inst.op) || !program.contains(inst.target))
+                continue;
+            BlockId callee = cfg.blockStartingAt(inst.target);
+            if (callee != kNoBlock)
+                callEdges[callee].push_back(b);
+        }
+    }
+
+    // Pass 3: frequency propagation. freq(b) is the sum over incoming
+    // edges of edge probability times source frequency, plus 1.0 into
+    // the entry and the call-edge inflow. Gauss-Seidel sweeps in block
+    // (address) order — predecessors of forward edges update first, so
+    // acyclic stretches converge in one sweep and each extra sweep
+    // feeds loop back-edges once more.
+    auto edgeProb = [&](BlockId from, BlockId to) {
+        const BasicBlock &fb = cfg.block(from);
+        if (!fb.endsInCondBranch)
+            return 1.0;
+        const Inst &inst = program.fetch(fb.lastInstPc());
+        const BlockId taken = program.contains(inst.target)
+                                  ? cfg.blockStartingAt(inst.target)
+                                  : kNoBlock;
+        const BlockId fall = program.contains(fb.end)
+                                 ? cfg.blockStartingAt(fb.end)
+                                 : kNoBlock;
+        if (taken == fall)
+            return 1.0;
+        if (to == taken)
+            return est.takenProb[from];
+        if (to == fall)
+            return 1.0 - est.takenProb[from];
+        return 0.0;
+    };
+
+    for (int sweep = 0; sweep < kPropagationSweeps; ++sweep) {
+        for (BlockId b = 0; b < BlockId(n); ++b) {
+            double f = (b == cfg.entry()) ? 1.0 : 0.0;
+            for (BlockId p : cfg.block(b).preds)
+                f += edgeProb(p, b) * est.blockFreq[p];
+            for (BlockId caller : callEdges[b])
+                f += est.blockFreq[caller];
+            est.blockFreq[b] = std::min(f, kMaxBlockFreq);
+        }
+    }
+
+    return est;
+}
+
+} // namespace dmp::analysis

@@ -1,0 +1,443 @@
+#include "analysis/markgen.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/flowgraph.hh"
+#include "analysis/lint.hh"
+#include "analysis/report.hh"
+#include "cfg/cfg.hh"
+#include "cfg/dominators.hh"
+#include "cfg/hammock.hh"
+#include "common/logging.hh"
+
+namespace dmp::analysis
+{
+
+namespace
+{
+
+using cfg::BasicBlock;
+using cfg::BlockId;
+using cfg::Cfg;
+using cfg::kNoBlock;
+using isa::kInstBytes;
+
+/** Deterministic short rendering of a report number. */
+std::string
+fnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+hex(Addr a)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+/**
+ * Successor relation of the frequent-path CFG: per-block successors
+ * with edges of probability below `prune` removed. A block never loses
+ * its last successor (a node with no out-edges would read as an exit
+ * to the post-dominator pass).
+ */
+std::vector<std::vector<BlockId>>
+prunedSuccs(const isa::Program &program, const Cfg &graph,
+            const FreqEstimate &freq, double prune)
+{
+    std::vector<std::vector<BlockId>> succs(graph.size());
+    for (BlockId b = 0; b < BlockId(graph.size()); ++b) {
+        const BasicBlock &bb = graph.block(b);
+        if (!bb.endsInCondBranch || bb.succs.size() < 2) {
+            succs[b] = bb.succs;
+            continue;
+        }
+        const isa::Inst &inst = program.fetch(bb.lastInstPc());
+        const BlockId taken = program.contains(inst.target)
+                                  ? graph.blockStartingAt(inst.target)
+                                  : kNoBlock;
+        const double p = freq.takenProb[b];
+        for (BlockId s : bb.succs) {
+            const double ep = (s == taken) ? p : 1.0 - p;
+            if (ep >= prune)
+                succs[b].push_back(s);
+        }
+        if (succs[b].empty())
+            succs[b] = bb.succs;
+    }
+    return succs;
+}
+
+/** The agreement block as JSON members (no braces). */
+std::string
+agreementJson(const MarkAgreement &a)
+{
+    std::ostringstream os;
+    os << "\"static_diverge\":" << a.staticDiverge
+       << ",\"profile_diverge\":" << a.profileDiverge
+       << ",\"common_diverge\":" << a.commonDiverge
+       << ",\"precision\":" << fnum(a.divergePrecision)
+       << ",\"recall\":" << fnum(a.divergeRecall)
+       << ",\"cfm_comparable\":" << a.cfmComparable
+       << ",\"cfm_any_match\":" << a.cfmAnyMatch
+       << ",\"cfm_primary_match\":" << a.cfmPrimaryMatch
+       << ",\"cfm_match_rate\":" << fnum(a.cfmMatchRate);
+    return os.str();
+}
+
+} // namespace
+
+MarkGenReport
+synthesizeMarks(isa::Program &program, const MarkGenConfig &cfg)
+{
+    MarkGenReport report;
+    const Cfg graph = Cfg::build(program);
+    if (graph.size() == 0)
+        return report;
+    const FreqEstimate freq = estimateFrequencies(program, graph);
+    const cfg::PostDomTree pdom(graph);
+    const FlowGraph flow(program);
+    const std::vector<BlockId> fpIpdom = cfg::computeIpdoms(
+        prunedSuccs(program, graph, freq, cfg.pruneProbability));
+
+    program.clearMarks();
+
+    // Simple-hammock marks (the DHP baseline) exactly as the profiled
+    // marker writes them: purely structural, so both markers agree on
+    // this set by construction.
+    std::map<Addr, Addr> hammockJoins;
+    if (cfg.markHammocks) {
+        for (BlockId b = 0; b < BlockId(graph.size()); ++b) {
+            const BasicBlock &bb = graph.block(b);
+            if (!bb.endsInCondBranch)
+                continue;
+            cfg::HammockInfo h = cfg::classifyHammock(graph, program, b);
+            if (h.isSimpleHammock)
+                hammockJoins[bb.lastInstPc()] = h.joinAddr;
+        }
+        for (const auto &[pc, join] : hammockJoins) {
+            isa::DivergeMark mark;
+            mark.isSimpleHammock = true;
+            mark.cfmPoints.push_back(join);
+            program.setMark(pc, mark);
+            ++report.markedSimpleHammock;
+        }
+    }
+
+    // Examine every conditional branch in address order.
+    for (BlockId b = 0; b < BlockId(graph.size()); ++b) {
+        const BasicBlock &bb = graph.block(b);
+        if (!bb.endsInCondBranch)
+            continue;
+        const Addr pc = bb.lastInstPc();
+        const isa::Inst &inst = program.fetch(pc);
+
+        MarkCandidate cand;
+        cand.pc = pc;
+        cand.takenProb = freq.takenProb[b];
+        cand.heuristic = freq.heuristic[b];
+        cand.blockFreq = freq.blockFreq[b];
+        cand.mispredictEstimate =
+            std::min(cand.takenProb, 1.0 - cand.takenProb);
+        cand.isLoop = inst.target != kNoAddr && inst.target <= pc;
+
+        const auto finish = [&](std::string reason) {
+            cand.reason = std::move(reason);
+            report.candidates.push_back(cand);
+        };
+
+        if (cand.isLoop && !cfg.marker.markLoopBranches) {
+            finish("backward");
+            continue;
+        }
+        if (cand.mispredictEstimate < cfg.marker.minMispredictRate) {
+            finish("predictable");
+            continue;
+        }
+        if (!program.contains(pc + kInstBytes)) {
+            // A branch ending the image has no fall-through side (and a
+            // loop branch there has no exit to merge at).
+            finish("at-image-end");
+            continue;
+        }
+
+        // Candidate CFM points: the frequent-path ipdom chain first
+        // (the static analogue of "merge point of the frequently
+        // executed paths"), then the full-CFG ipdom chain as backstop.
+        // Every entry must be a forward merge reachable from BOTH
+        // branch outcomes within the distance bound — the exact
+        // invariants the legality linter enforces.
+        const FlowGraph::Reach takenReach =
+            program.contains(inst.target)
+                ? flow.reach(program.indexOf(inst.target))
+                : FlowGraph::Reach{};
+        const FlowGraph::Reach fallReach =
+            flow.reach(program.indexOf(pc + kInstBytes));
+        const bool takenValid = !takenReach.dist.empty();
+
+        auto tryCfm = [&](Addr addr) {
+            if (cand.cfmPoints.size() >= cfg.marker.maxCfmPoints)
+                return;
+            if (addr == kNoAddr || addr <= pc || !takenValid ||
+                !program.contains(addr))
+                return;
+            if (std::find(cand.cfmPoints.begin(), cand.cfmPoints.end(),
+                          addr) != cand.cfmPoints.end())
+                return;
+            const std::size_t ci = program.indexOf(addr);
+            if (!takenReach.reached(ci) || !fallReach.reached(ci))
+                return;
+            const double dTaken = 1.0 + takenReach.dist[ci];
+            const double dFall = 1.0 + fallReach.dist[ci];
+            if (std::min(dTaken, dFall) > cfg.marker.maxCfmDistance)
+                return;
+            if (cand.cfmPoints.empty()) {
+                cand.meanDistance = (dTaken + dFall) / 2.0;
+                // False path: the side the branch does NOT go. Taken
+                // with probability p leaves the fall side predicated.
+                cand.predicatedWork = cand.takenProb * dFall +
+                                      (1.0 - cand.takenProb) * dTaken;
+            }
+            cand.cfmPoints.push_back(addr);
+        };
+
+        if (cand.isLoop) {
+            // Loop diverge branch: merge at the fall-through loop exit
+            // (section 2.7.4), as the profiled marker does.
+            tryCfm(pc + kInstBytes);
+        } else {
+            if (auto it = hammockJoins.find(pc); it != hammockJoins.end())
+                tryCfm(it->second);
+            for (BlockId c = fpIpdom[b], hops = 0;
+                 c != kNoBlock && hops < 8; c = fpIpdom[c], ++hops)
+                tryCfm(graph.block(c).start);
+            for (BlockId c = pdom.ipdom(b), hops = 0;
+                 c != kNoBlock && hops < 8; c = pdom.ipdom(c), ++hops)
+                tryCfm(graph.block(c).start);
+        }
+
+        if (cand.cfmPoints.empty()) {
+            finish("no-cfm");
+            continue;
+        }
+
+        // Cost model: expected flush cycles saved per execution against
+        // predicated-work overhead per execution, weighted by the
+        // estimated execution frequency. This is the static mirror of
+        // the dynamic per-branch net-cycle estimate
+        // (flushes-avoided x frontendDepth - false-path insts / retire
+        // width) the accounting sink reports.
+        const double episodes =
+            std::min(1.0, cfg.episodesPerMispredict *
+                              cand.mispredictEstimate);
+        cand.flushSavings = cand.mispredictEstimate *
+                            cfg.confidenceCoverage * cfg.flushPenalty;
+        const double overhead =
+            episodes * cand.predicatedWork / cfg.retireWidth;
+        cand.netBenefit =
+            cand.blockFreq * (cand.flushSavings - overhead);
+        if (cand.netBenefit <= cfg.minNetBenefit) {
+            finish("cost");
+            continue;
+        }
+
+        isa::DivergeMark mark;
+        if (const isa::DivergeMark *existing = program.mark(pc))
+            mark = *existing;
+        mark.isDiverge = true;
+        mark.isLoopBranch = cand.isLoop;
+        mark.cfmPoints = cand.cfmPoints;
+        const unsigned n =
+            unsigned(cfg.marker.earlyExitScale * cand.meanDistance);
+        mark.earlyExitThreshold =
+            std::clamp(n, cfg.marker.earlyExitMin, cfg.marker.earlyExitMax);
+        program.setMark(pc, mark);
+        if (cand.isLoop)
+            ++report.markedLoop;
+        else
+            ++report.markedDiverge;
+        cand.selected = true;
+        finish("selected");
+    }
+
+    // Legalize: the candidates above were validated against the same
+    // flow-graph ground truth the linter uses, so this pass should find
+    // nothing — but the linter is the oracle, so give it the last word
+    // and drop any diverge mark it rejects.
+    LintOptions lo;
+    lo.marker = cfg.marker;
+    lo.maxPredicateDepth = cfg.maxPredicateDepth;
+    for (int pass = 0; pass < 4; ++pass) {
+        Report lint;
+        lintMarkings(program, graph, pdom, flow, lo, lint);
+        report.lintErrors = lint.errors();
+        report.lintWarnings = lint.warnings();
+        report.lintInfos = lint.infos();
+        std::set<Addr> drop;
+        for (const Finding &f : lint.findings()) {
+            if (f.severity == Severity::Error && f.pc != kNoAddr)
+                drop.insert(f.pc);
+        }
+        if (drop.empty())
+            break;
+        std::map<Addr, isa::DivergeMark> keep = program.allMarks();
+        for (Addr pc : drop) {
+            keep.erase(pc);
+            ++report.droppedIllegal;
+            for (MarkCandidate &c : report.candidates) {
+                if (c.pc == pc && c.selected) {
+                    c.selected = false;
+                    c.reason = "lint-rejected";
+                    if (c.isLoop)
+                        --report.markedLoop;
+                    else
+                        --report.markedDiverge;
+                }
+            }
+        }
+        program.clearMarks();
+        for (const auto &[pc, mark] : keep)
+            program.setMark(pc, mark);
+    }
+
+    return report;
+}
+
+MarkAgreement
+compareMarkings(const isa::Program &statically_marked,
+                const isa::Program &profiled)
+{
+    MarkAgreement a;
+    std::map<Addr, const isa::DivergeMark *> sdiv, pdiv;
+    for (const auto &[pc, m] : statically_marked.allMarks())
+        if (m.isDiverge)
+            sdiv[pc] = &m;
+    for (const auto &[pc, m] : profiled.allMarks())
+        if (m.isDiverge)
+            pdiv[pc] = &m;
+    a.staticDiverge = sdiv.size();
+    a.profileDiverge = pdiv.size();
+
+    for (const auto &[pc, sm] : sdiv) {
+        auto it = pdiv.find(pc);
+        if (it == pdiv.end())
+            continue;
+        ++a.commonDiverge;
+        const isa::DivergeMark *pm = it->second;
+        if (sm->cfmPoints.empty() || pm->cfmPoints.empty())
+            continue;
+        ++a.cfmComparable;
+        if (sm->cfmPoints.front() == pm->cfmPoints.front())
+            ++a.cfmPrimaryMatch;
+        for (Addr c : sm->cfmPoints) {
+            if (std::find(pm->cfmPoints.begin(), pm->cfmPoints.end(),
+                          c) != pm->cfmPoints.end()) {
+                ++a.cfmAnyMatch;
+                break;
+            }
+        }
+    }
+    if (a.staticDiverge)
+        a.divergePrecision = double(a.commonDiverge) / a.staticDiverge;
+    if (a.profileDiverge)
+        a.divergeRecall = double(a.commonDiverge) / a.profileDiverge;
+    if (a.cfmComparable)
+        a.cfmMatchRate = double(a.cfmAnyMatch) / a.cfmComparable;
+    return a;
+}
+
+std::string
+markGenTargetJson(const std::string &target, const MarkGenReport &report,
+                  const MarkAgreement *agreement)
+{
+    std::ostringstream os;
+    os << "{\"target\":\"" << jsonEscape(target) << "\""
+       << ",\"marks\":{\"diverge\":" << report.markedDiverge
+       << ",\"hammock\":" << report.markedSimpleHammock
+       << ",\"loop\":" << report.markedLoop
+       << ",\"dropped\":" << report.droppedIllegal << "}"
+       << ",\"lint\":{\"errors\":" << report.lintErrors
+       << ",\"warnings\":" << report.lintWarnings
+       << ",\"infos\":" << report.lintInfos << "}";
+    if (agreement)
+        os << ",\"agreement\":{" << agreementJson(*agreement) << "}";
+    os << ",\"candidates\":[";
+    bool first = true;
+    for (const MarkCandidate &c : report.candidates) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"pc\":\"" << hex(c.pc) << "\""
+           << ",\"taken_prob\":" << fnum(c.takenProb)
+           << ",\"heuristic\":\"" << probHeuristicName(c.heuristic)
+           << "\",\"freq\":" << fnum(c.blockFreq)
+           << ",\"mispred_est\":" << fnum(c.mispredictEstimate)
+           << ",\"cfm\":[";
+        for (std::size_t i = 0; i < c.cfmPoints.size(); ++i)
+            os << (i ? "," : "") << "\"" << hex(c.cfmPoints[i]) << "\"";
+        os << "],\"mean_dist\":" << fnum(c.meanDistance)
+           << ",\"work\":" << fnum(c.predicatedWork)
+           << ",\"savings\":" << fnum(c.flushSavings)
+           << ",\"net\":" << fnum(c.netBenefit)
+           << ",\"loop\":" << (c.isLoop ? "true" : "false")
+           << ",\"selected\":" << (c.selected ? "true" : "false")
+           << ",\"reason\":\"" << jsonEscape(c.reason) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+markGenText(const std::string &target, const MarkGenReport &report,
+            const MarkAgreement *agreement, bool show_candidates)
+{
+    std::ostringstream os;
+    os << "== " << target << " ==\n";
+    os << "  marks: diverge=" << report.markedDiverge
+       << " hammock=" << report.markedSimpleHammock
+       << " loop=" << report.markedLoop
+       << " dropped=" << report.droppedIllegal << "\n";
+    os << "  lint:  errors=" << report.lintErrors
+       << " warnings=" << report.lintWarnings
+       << " infos=" << report.lintInfos << "\n";
+    if (agreement) {
+        os << "  vs profile: static=" << agreement->staticDiverge
+           << " profiled=" << agreement->profileDiverge
+           << " common=" << agreement->commonDiverge
+           << " precision=" << fnum(agreement->divergePrecision)
+           << " recall=" << fnum(agreement->divergeRecall)
+           << " cfm_match=" << fnum(agreement->cfmMatchRate) << " ("
+           << agreement->cfmAnyMatch << "/" << agreement->cfmComparable
+           << ", primary " << agreement->cfmPrimaryMatch << ")\n";
+    }
+    if (show_candidates) {
+        os << "  pc          p(tk)  heuristic  freq        mispred "
+              "dist   work   save   net         verdict\n";
+        for (const MarkCandidate &c : report.candidates) {
+            char line[160];
+            std::snprintf(
+                line, sizeof(line),
+                "  %-11s %-6.3f %-10s %-11.5g %-7.3f %-6.3g %-6.3g "
+                "%-6.3g %-11.5g %s%s\n",
+                hex(c.pc).c_str(), c.takenProb,
+                probHeuristicName(c.heuristic), c.blockFreq,
+                c.mispredictEstimate, c.meanDistance, c.predicatedWork,
+                c.flushSavings, c.netBenefit,
+                c.selected ? "MARK" : c.reason.c_str(),
+                c.isLoop && c.selected ? " (loop)" : "");
+            os << line;
+        }
+    }
+    return os.str();
+}
+
+} // namespace dmp::analysis

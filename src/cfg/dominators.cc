@@ -11,14 +11,17 @@ namespace
 {
 
 /**
- * Reverse post-order of the reverse CFG (i.e., order from exits inward),
- * with a virtual exit node of index n.
+ * Reverse post-order of the reverse graph (i.e., order from exits
+ * inward), with a virtual exit node of index n. `preds` is the forward
+ * predecessor relation of the input graph.
  */
 void
-reversePostOrderFromExit(const Cfg &cfg, std::vector<BlockId> &order,
+reversePostOrderFromExit(const std::vector<std::vector<BlockId>> &succs,
+                         const std::vector<std::vector<BlockId>> &preds,
+                         std::vector<BlockId> &order,
                          std::vector<int> &rpo_num)
 {
-    const int n = int(cfg.size());
+    const int n = int(succs.size());
     std::vector<char> visited(n + 1, 0);
     order.clear();
     order.reserve(n + 1);
@@ -31,18 +34,18 @@ reversePostOrderFromExit(const Cfg &cfg, std::vector<BlockId> &order,
         if (b == n) {
             std::vector<BlockId> exits;
             for (BlockId i = 0; i < n; ++i) {
-                if (cfg.block(i).succs.empty())
+                if (succs[i].empty())
                     exits.push_back(i);
             }
             return exits;
         }
-        return cfg.block(b).preds;
+        return preds[b];
     };
 
     stack.emplace_back(n, 0);
     visited[n] = 1;
     std::vector<BlockId> post;
-    // Classic iterative post-order: expand children (here: CFG preds)
+    // Classic iterative post-order: expand children (here: graph preds)
     // before emitting the node.
     std::vector<std::vector<BlockId>> memo(n + 1);
     memo[n] = rpreds(n);
@@ -69,17 +72,26 @@ reversePostOrderFromExit(const Cfg &cfg, std::vector<BlockId> &order,
 
 } // namespace
 
-PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
+std::vector<BlockId>
+computeIpdoms(const std::vector<std::vector<BlockId>> &succs)
 {
-    const int n = int(cfg.size());
+    const int n = int(succs.size());
     const BlockId virtual_exit = n;
-    idom.assign(n + 1, kNoBlock);
+    std::vector<BlockId> idom(n + 1, kNoBlock);
     if (n == 0)
-        return;
+        return {};
+
+    std::vector<std::vector<BlockId>> preds(n);
+    for (BlockId b = 0; b < n; ++b) {
+        for (BlockId s : succs[b]) {
+            dmp_assert(s >= 0 && s < n, "successor out of range");
+            preds[s].push_back(b);
+        }
+    }
 
     std::vector<BlockId> order;
     std::vector<int> rpo;
-    reversePostOrderFromExit(cfg, order, rpo);
+    reversePostOrderFromExit(succs, preds, order, rpo);
 
     // Cooper-Harvey-Kennedy on the reverse graph.
     std::vector<BlockId> doms(n + 1, kNoBlock); // kNoBlock == undefined
@@ -101,7 +113,7 @@ PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
         for (BlockId node : order) {
             if (node == virtual_exit)
                 continue;
-            // "Predecessors" in the reverse graph == CFG successors;
+            // "Predecessors" in the reverse graph == graph successors;
             // successor-less blocks flow to the virtual exit.
             BlockId new_idom = kNoBlock;
             auto consider = [&](BlockId s) {
@@ -110,11 +122,10 @@ PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
                 new_idom = (new_idom == kNoBlock) ? s
                                                   : intersect(s, new_idom);
             };
-            const auto &succs = cfg.block(node).succs;
-            if (succs.empty()) {
+            if (succs[node].empty()) {
                 consider(virtual_exit);
             } else {
-                for (BlockId s : succs)
+                for (BlockId s : succs[node])
                     consider(s);
             }
             if (new_idom != kNoBlock && doms[node] != new_idom) {
@@ -124,11 +135,21 @@ PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
         }
     }
 
+    std::vector<BlockId> out(n, kNoBlock);
     for (BlockId b = 0; b < n; ++b)
-        idom[b] = (doms[b] == virtual_exit || doms[b] == kNoBlock)
-                      ? kNoBlock
-                      : doms[b];
-    idom[virtual_exit] = kNoBlock;
+        out[b] = (doms[b] == virtual_exit || doms[b] == kNoBlock)
+                     ? kNoBlock
+                     : doms[b];
+    return out;
+}
+
+PostDomTree::PostDomTree(const Cfg &cfg) : graph(cfg)
+{
+    const int n = int(cfg.size());
+    std::vector<std::vector<BlockId>> succs(n);
+    for (BlockId b = 0; b < n; ++b)
+        succs[b] = cfg.block(b).succs;
+    idom = computeIpdoms(succs);
 }
 
 BlockId

@@ -21,6 +21,23 @@ namespace dmp::cfg
 {
 
 /**
+ * Immediate post-dominators of an arbitrary successor relation over
+ * nodes [0, succs.size()), computed with the Cooper-Harvey-Kennedy
+ * iterative algorithm on the reverse graph with a virtual exit node
+ * collecting successor-less nodes.
+ *
+ * The relation need not be a Cfg's: the static marker (src/analysis/
+ * markgen.cc) feeds it edge-filtered graphs where low-probability
+ * successors are pruned, yielding the "frequently executed path"
+ * post-dominators the paper's CFM points approximate.
+ *
+ * @return ipdom per node; kNoBlock when the only post-dominator is the
+ *         virtual exit (or the node never reaches an exit).
+ */
+std::vector<BlockId>
+computeIpdoms(const std::vector<std::vector<BlockId>> &succs);
+
+/**
  * Immediate post-dominator tree of a Cfg, computed with the
  * Cooper-Harvey-Kennedy iterative algorithm on the reverse graph with a
  * virtual exit node collecting HALT/indirect/successor-less blocks.

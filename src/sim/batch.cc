@@ -86,6 +86,10 @@ configFingerprint(const SimConfig &cfg)
     // bench artifacts, golden files) keep their exact byte form.
     if (cfg.accounting)
         os << "|acct=1";
+    // Same append-only rule: Profile is the default mode, so profiled
+    // configurations keep their pre-MarkMode fingerprints byte-exact.
+    if (cfg.markMode != MarkMode::Profile)
+        os << "|mark=" << markModeName(cfg.markMode);
     if (cfg.faultPlan) {
         os << "|fault=" << check::faultKindName(cfg.faultPlan->kind)
            << "@" << cfg.faultPlan->notBefore;
@@ -102,6 +106,8 @@ profileFingerprint(const SimConfig &cfg)
     os << "wl:" << cfg.workload << "|train:" << workloadFp(cfg.train)
        << "|marker:" << markerFp(cfg.marker)
        << "|mem=" << cfg.core.memoryBytes;
+    if (cfg.markMode != MarkMode::Profile)
+        os << "|mark=" << markModeName(cfg.markMode);
     return os.str();
 }
 
@@ -183,8 +189,7 @@ BatchRunner::preparedProgram(const SimConfig &cfg)
         try {
             auto e = std::make_shared<TrainEntry>();
             e->train = workloads::buildWorkload(cfg.workload, cfg.train);
-            e->report = profile::profileAndMark(
-                e->train, cfg.core.memoryBytes, cfg.marker);
+            e->report = markTrainProgram(e->train, cfg);
             // Pre-flight: lint the freshly marked program once per
             // cache entry. An illegal marking throws here, before any
             // simulation consumes it, and every waiter of this entry

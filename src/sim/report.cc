@@ -435,4 +435,79 @@ flushReductionPct(std::uint64_t base, std::uint64_t enh)
                 : 0.0;
 }
 
+bool
+loadMarkingsTable(const std::string &path, ReportTable &out,
+                  std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    json::Value doc;
+    if (!json::parse(text.str(), doc, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    const json::Value *targets = doc.get("targets");
+    if (!doc.isObject() || !targets || !targets->isArray()) {
+        err = path + ": not a dmp-mark JSON report "
+              "(missing \"targets\" array)";
+        return false;
+    }
+
+    out = ReportTable{};
+    out.title = "static markings (dmp-mark vs profiled marker)";
+    out.header = {"workload", "diverge", "hammock", "loop",
+                  "dropped",  "lint E",  "lint W",  "profiled",
+                  "common",   "prec",    "recall",  "cfm match"};
+    double prec_sum = 0, recall_sum = 0, cfm_sum = 0;
+    unsigned agreed = 0;
+    for (const json::Value &t : targets->array) {
+        if (!t.isObject())
+            continue;
+        const json::Value *name = t.get("target");
+        std::vector<std::string> row;
+        row.push_back(name && name->isString() ? name->string : "?");
+        for (const char *k : {"diverge", "hammock", "loop", "dropped"}) {
+            const json::Value *v = t.get("marks", k);
+            row.push_back(fmtU64(v ? v->asU64() : 0));
+        }
+        for (const char *k : {"errors", "warnings"}) {
+            const json::Value *v = t.get("lint", k);
+            row.push_back(fmtU64(v ? v->asU64() : 0));
+        }
+        if (const json::Value *a = t.get("agreement"); a && a->isObject()) {
+            row.push_back(fmtU64(memberU64(*a, "profile_diverge")));
+            row.push_back(fmtU64(memberU64(*a, "common_diverge")));
+            const json::Value *p = a->get("precision");
+            const json::Value *r = a->get("recall");
+            const json::Value *c = a->get("cfm_match_rate");
+            double prec = p ? p->asDouble() : 0;
+            double recall = r ? r->asDouble() : 0;
+            double cfm = c ? c->asDouble() : 0;
+            row.push_back(fmtDouble(prec, "%.2f"));
+            row.push_back(fmtDouble(recall, "%.2f"));
+            row.push_back(fmtDouble(cfm, "%.2f"));
+            prec_sum += prec;
+            recall_sum += recall;
+            cfm_sum += cfm;
+            ++agreed;
+        } else {
+            for (int i = 0; i < 5; ++i)
+                row.push_back("-");
+        }
+        out.rows.push_back(std::move(row));
+    }
+    if (agreed) {
+        out.rows.push_back({"mean", "-", "-", "-", "-", "-", "-", "-",
+                            "-", fmtDouble(prec_sum / agreed, "%.2f"),
+                            fmtDouble(recall_sum / agreed, "%.2f"),
+                            fmtDouble(cfm_sum / agreed, "%.2f")});
+    }
+    return true;
+}
+
 } // namespace dmp::sim

@@ -145,6 +145,18 @@ ReportTable flushReductionTable(const std::vector<StatsRecord> &records,
 /** 100 * (base - enh) / base; 0 when base is 0 (as bench/fig11). */
 double flushReductionPct(std::uint64_t base, std::uint64_t enh);
 
+/**
+ * Static-marking agreement section: parse a dmp-mark --json report
+ * (markgen schema 1, not a stats JSONL) and build one row per target —
+ * mark counts, lint totals, and, for reports produced with the
+ * comparison pass on, diverge precision/recall and CFM match rate
+ * against the profiled marker, with a closing mean row. Feeds
+ * dmp-report --markings and the CI release-job step summary.
+ * @return true on success; on failure `err` says what was wrong.
+ */
+bool loadMarkingsTable(const std::string &path, ReportTable &out,
+                       std::string &err);
+
 } // namespace dmp::sim
 
 #endif // DMP_SIM_REPORT_HH

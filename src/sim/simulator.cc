@@ -7,10 +7,37 @@
 #include <vector>
 
 #include "analysis/accounting.hh"
+#include "analysis/markgen.hh"
 #include "common/logging.hh"
 
 namespace dmp::sim
 {
+
+const char *
+markModeName(MarkMode m)
+{
+    switch (m) {
+    case MarkMode::Profile: return "profile";
+    case MarkMode::Static:  return "static";
+    case MarkMode::None:    return "none";
+    }
+    return "profile";
+}
+
+bool
+parseMarkMode(const std::string &name, MarkMode &out)
+{
+    if (name == "profile") {
+        out = MarkMode::Profile;
+    } else if (name == "static") {
+        out = MarkMode::Static;
+    } else if (name == "none") {
+        out = MarkMode::None;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 std::uint64_t
 SimResult::get(const std::string &name) const
@@ -136,13 +163,41 @@ simResultJson(const SimResult &r, const std::string &label,
     return os.str();
 }
 
+profile::MarkingReport
+markTrainProgram(isa::Program &train, const SimConfig &cfg)
+{
+    switch (cfg.markMode) {
+    case MarkMode::Profile:
+        return profile::profileAndMark(train, cfg.core.memoryBytes,
+                                       cfg.marker);
+    case MarkMode::Static: {
+        // No training run: synthesize from the program text. The cost
+        // model deliberately uses fixed Table 2 constants rather than
+        // cfg.core — the marking must not vary across core sweeps
+        // (profileFingerprint excludes core knobs).
+        analysis::MarkGenConfig mg;
+        mg.marker = cfg.marker;
+        analysis::MarkGenReport mr = analysis::synthesizeMarks(train, mg);
+        profile::MarkingReport report;
+        report.candidateBranches = mr.candidates.size();
+        report.markedDiverge = mr.markedDiverge;
+        report.markedSimpleHammock = mr.markedSimpleHammock;
+        report.markedLoop = mr.markedLoop;
+        return report;
+    }
+    case MarkMode::None:
+        train.clearMarks();
+        return {};
+    }
+    dmp_fatal("unknown mark mode");
+}
+
 std::pair<isa::Program, profile::MarkingReport>
 prepareMarkedProgram(const SimConfig &cfg)
 {
     isa::Program train =
         workloads::buildWorkload(cfg.workload, cfg.train);
-    profile::MarkingReport report = profile::profileAndMark(
-        train, cfg.core.memoryBytes, cfg.marker);
+    profile::MarkingReport report = markTrainProgram(train, cfg);
 
     isa::Program ref = workloads::buildWorkload(cfg.workload, cfg.ref);
     profile::transferMarks(train, ref);

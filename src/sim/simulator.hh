@@ -23,6 +23,23 @@
 namespace dmp::sim
 {
 
+/** How the ref program obtains its diverge/CFM markings. */
+enum class MarkMode : std::uint8_t
+{
+    /** Profile the train input and transfer the marks (the paper). */
+    Profile,
+    /** Synthesize marks statically (analysis::synthesizeMarks). */
+    Static,
+    /** Run unmarked (hammock/diverge predication finds nothing). */
+    None,
+};
+
+/** "profile" / "static" / "none". */
+const char *markModeName(MarkMode m);
+
+/** Parse a markModeName spelling (false on anything else). */
+bool parseMarkMode(const std::string &name, MarkMode &out);
+
 /**
  * One experiment's configuration.
  *
@@ -37,6 +54,12 @@ struct SimConfig
     profile::MarkerConfig marker;      ///< section 3.2 heuristics
     workloads::WorkloadParams train;   ///< profile ("train") input
     workloads::WorkloadParams ref;     ///< measurement ("ref") input
+    /**
+     * Marking source for the ref program. Profile reproduces the
+     * paper's train-run flow; Static needs no training run at all
+     * (ROADMAP "unmarked programs" axis); None leaves the image bare.
+     */
+    MarkMode markMode = MarkMode::Profile;
     /** Timing-run instruction budget (0 = to completion). */
     std::uint64_t maxInsts = 0;
     /** Timing-run cycle budget (0 = unlimited). */
@@ -147,6 +170,14 @@ SimResult runSim(const SimConfig &cfg);
 SimResult runSimOnProgram(const isa::Program &ref,
                           const profile::MarkingReport &report,
                           const SimConfig &cfg);
+
+/**
+ * Mark `train` in place according to cfg.markMode: profile-and-mark
+ * (Profile), static synthesis (Static), or clear (None). Shared by
+ * prepareMarkedProgram and the batch profile cache.
+ */
+profile::MarkingReport markTrainProgram(isa::Program &train,
+                                        const SimConfig &cfg);
 
 /**
  * Profile-and-mark only: returns the marked ref program and the

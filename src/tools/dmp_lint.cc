@@ -214,7 +214,13 @@ runMain(int argc, char **argv)
     }
 
     if (o.json) {
-        json << "\n]}\n";
+        // Aggregate summary so automation sees warning/info totals
+        // (the exit status only reflects errors, which used to make
+        // expected Warns — twolf/fma3d diverge-overlap — invisible).
+        json << "\n],\"summary\":{\"targets\":" << targets.size()
+             << ",\"errors\":" << total_errors
+             << ",\"warnings\":" << total_warnings
+             << ",\"infos\":" << total_infos << "}}\n";
         if (o.jsonPath.empty()) {
             std::fputs(json.str().c_str(), stdout);
         } else {

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * dmp-mark — profile-free static marking synthesis report.
+ *
+ * Builds (or assembles) a guest program, synthesizes diverge/CFM
+ * markings from static analysis alone (analysis/markgen.hh), lints
+ * them, and — unless told otherwise — runs the profiled marker on a
+ * second copy of the same image to report how closely the static
+ * marking agrees with the paper's profile-driven one.
+ *
+ *   dmp-mark [options] <workload-name | file.s | all>
+ *
+ *   --iters=N       workload loop iterations (default 2000)
+ *   --seed=N        data seed of the built image (default: dmp-run's
+ *                   train seed, so the comparison profiles the same
+ *                   program dmp-run trains on)
+ *   --loop-ext      mark loop diverge branches (section 2.7.4)
+ *   --no-hammock    skip the simple-hammock (DHP) marks
+ *   --prune=P       frequent-path edge-pruning threshold (default 0.1)
+ *   --no-compare    skip the profiled-marker agreement pass
+ *   --mem=N         data-memory bytes for the comparison train run
+ *                   (default: CoreParams::memoryBytes)
+ *   --json[=PATH]   machine-readable report (stdout or PATH); schema
+ *                   in EXPERIMENTS.md. Byte-deterministic per target.
+ *   --quiet         suppress the per-candidate cost table
+ *
+ * Exit status: 0 when every synthesized marking is linter-clean,
+ * 1 when any target has error findings, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/markgen.hh"
+#include "common/logging.hh"
+#include "core/params.hh"
+#include "isa/assembler.hh"
+#include "profile/profiler.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmp;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> targets;
+    std::uint64_t iters = 2000;
+    std::uint64_t seed = 0x7e41a;
+    bool loopExt = false;
+    bool noHammock = false;
+    bool compare = true;
+    bool quiet = false;
+    double prune = -1;   // <0: MarkGenConfig default
+    std::size_t mem = 0; // 0: CoreParams::memoryBytes
+    bool json = false;
+    std::string jsonPath; // empty with json=true: stdout
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dmp-mark [options] <workload|file.s|all>\n"
+                 "see the file header or README for options\n");
+    std::exit(2);
+}
+
+bool
+flagValue(const char *arg, const char *name, std::string &out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char *a = argv[i];
+        if (flagValue(a, "--iters", v))
+            o.iters = std::strtoull(v.c_str(), nullptr, 0);
+        else if (flagValue(a, "--seed", v))
+            o.seed = std::strtoull(v.c_str(), nullptr, 0);
+        else if (std::strcmp(a, "--loop-ext") == 0)
+            o.loopExt = true;
+        else if (std::strcmp(a, "--no-hammock") == 0)
+            o.noHammock = true;
+        else if (std::strcmp(a, "--no-compare") == 0)
+            o.compare = false;
+        else if (std::strcmp(a, "--quiet") == 0)
+            o.quiet = true;
+        else if (flagValue(a, "--prune", v))
+            o.prune = std::strtod(v.c_str(), nullptr);
+        else if (flagValue(a, "--mem", v))
+            o.mem = std::strtoull(v.c_str(), nullptr, 0);
+        else if (std::strcmp(a, "--json") == 0)
+            o.json = true;
+        else if (flagValue(a, "--json", v)) {
+            o.json = true;
+            o.jsonPath = v;
+        }
+        else if (a[0] == '-')
+            usage();
+        else
+            o.targets.push_back(a);
+    }
+    if (o.targets.empty())
+        usage();
+    return o;
+}
+
+bool
+isWorkload(const std::string &name)
+{
+    for (const auto &info : workloads::workloadList())
+        if (info.name == name)
+            return true;
+    return false;
+}
+
+isa::Program
+loadTarget(const std::string &target, const Options &o)
+{
+    if (isWorkload(target)) {
+        workloads::WorkloadParams p;
+        p.iterations = o.iters;
+        p.seed = o.seed;
+        return workloads::buildWorkload(target, p);
+    }
+    std::ifstream in(target);
+    if (!in)
+        dmp_fatal("cannot open ", target);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return isa::assemble(text.str());
+}
+
+int
+runMain(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    std::vector<std::string> targets;
+    for (const std::string &t : o.targets) {
+        if (t == "all") {
+            for (const auto &info : workloads::workloadList())
+                targets.push_back(info.name);
+        } else {
+            targets.push_back(t);
+        }
+    }
+
+    const core::CoreParams defaults;
+    analysis::MarkGenConfig mg;
+    mg.marker.markLoopBranches = o.loopExt;
+    mg.markHammocks = !o.noHammock;
+    mg.maxPredicateDepth = defaults.predRegisters;
+    if (o.prune >= 0)
+        mg.pruneProbability = o.prune;
+    const std::size_t mem = o.mem ? o.mem : defaults.memoryBytes;
+
+    std::ostringstream json;
+    json << "{\"schema\":" << analysis::kMarkGenSchemaVersion
+         << ",\"targets\":[";
+
+    std::size_t total_errors = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const std::string &target = targets[i];
+        isa::Program prog = loadTarget(target, o);
+        analysis::MarkGenReport report =
+            analysis::synthesizeMarks(prog, mg);
+        total_errors += report.lintErrors;
+
+        analysis::MarkAgreement agreement;
+        bool haveAgreement = false;
+        if (o.compare) {
+            isa::Program profiled = loadTarget(target, o);
+            profile::profileAndMark(profiled, mem, mg.marker);
+            agreement = analysis::compareMarkings(prog, profiled);
+            haveAgreement = true;
+        }
+
+        std::fputs(
+            analysis::markGenText(target, report,
+                                  haveAgreement ? &agreement : nullptr,
+                                  !o.quiet)
+                .c_str(),
+            stdout);
+
+        if (o.json) {
+            if (i)
+                json << ",";
+            json << "\n"
+                 << analysis::markGenTargetJson(
+                        target, report,
+                        haveAgreement ? &agreement : nullptr);
+        }
+    }
+
+    if (o.json) {
+        json << "\n]}\n";
+        if (o.jsonPath.empty()) {
+            std::fputs(json.str().c_str(), stdout);
+        } else {
+            std::ofstream out(o.jsonPath);
+            if (!out)
+                dmp_fatal("--json: cannot open ", o.jsonPath);
+            out << json.str();
+        }
+    }
+
+    if (targets.size() > 1)
+        std::printf("total: %zu lint error(s) across %zu target(s)\n",
+                    total_errors, targets.size());
+    return total_errors ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dmp-mark: %s\n", e.what());
+        return 1;
+    }
+}

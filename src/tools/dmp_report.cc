@@ -16,6 +16,13 @@
  *   --flush-reduction=BASE,ENH
  *                        Figure 11: % reduction in pipeline flushes of
  *                        label ENH relative to label BASE
+ *   --markings=PATH      static-marking agreement table from a
+ *                        dmp-mark --json report (per workload: mark
+ *                        counts, lint totals, diverge precision /
+ *                        recall and CFM match rate vs the profiler).
+ *                        PATH is a dmp-mark report, not a stats JSONL;
+ *                        with only this section, no JSONL inputs are
+ *                        needed
  *   --format=text|json|md  output rendering (default text)
  *
  * Passing any section flag suppresses the default summary; several
@@ -73,8 +80,10 @@ splitPair(const std::string &v, const char *flag, std::string &a,
 
 struct Section
 {
-    enum Kind { Summary, Topdown, Diff, Branches, FlushReduction } kind;
-    std::string a, b;     // Diff / FlushReduction labels
+    enum Kind {
+        Summary, Topdown, Diff, Branches, FlushReduction, Markings
+    } kind;
+    std::string a, b;     // Diff / FlushReduction labels; Markings path
     std::size_t topN = 0; // Branches
 };
 
@@ -108,6 +117,8 @@ main(int argc, char **argv)
             Section s{Section::FlushReduction, "", "", 0};
             splitPair(v, "--flush-reduction", s.a, s.b);
             sections.push_back(std::move(s));
+        } else if (flagValue(arg, "--markings", v)) {
+            sections.push_back({Section::Markings, v, "", 0});
         } else if (flagValue(arg, "--format", v)) {
             if (!sim::parseReportFormat(v, format))
                 dmp_fatal("--format: expected text|json|md, got: ", v);
@@ -117,10 +128,16 @@ main(int argc, char **argv)
             inputs.push_back(arg);
         }
     }
-    if (inputs.empty())
-        usage();
     if (sections.empty())
         sections.push_back({Section::Summary, "", "", 0});
+    // --markings reads its own report file; JSONL inputs are required
+    // only when some section aggregates stats records.
+    bool needRecords = false;
+    for (const Section &s : sections)
+        if (s.kind != Section::Markings)
+            needRecords = true;
+    if (inputs.empty() && needRecords)
+        usage();
 
     std::vector<StatsRecord> records;
     for (const std::string &path : inputs) {
@@ -128,7 +145,7 @@ main(int argc, char **argv)
         if (!sim::loadStatsJsonl(path, records, err))
             dmp_fatal("dmp-report: ", err);
     }
-    if (records.empty())
+    if (records.empty() && needRecords)
         dmp_fatal("dmp-report: no records in ",
                   inputs.size() == 1 ? inputs[0] : "the input files");
 
@@ -151,6 +168,14 @@ main(int argc, char **argv)
             tables.push_back(
                 sim::flushReductionTable(records, s.a, s.b));
             break;
+          case Section::Markings: {
+            ReportTable t;
+            std::string err;
+            if (!sim::loadMarkingsTable(s.a, t, err))
+                dmp_fatal("dmp-report: --markings: ", err);
+            tables.push_back(std::move(t));
+            break;
+          }
         }
         if (tables.back().rows.empty() &&
             format == sim::ReportFormat::Text) {

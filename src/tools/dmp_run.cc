@@ -21,6 +21,10 @@
  *   --perfect-cbp        perfect conditional branch prediction
  *   --perfect-conf       perfect confidence estimation
  *   --loop-ext           diverge loop branches (section 2.7.4)
+ *   --mark=MODE          marking source for the measured program:
+ *                        profile (train-run profiler, the paper's
+ *                        flow; default), static (profile-free
+ *                        synthesis, see dmp-mark), none (unmarked)
  *   --verify             statically verify the marked program before
  *                        simulating (error findings abort the run;
  *                        see dmp-lint for the standalone checker)
@@ -96,6 +100,7 @@ struct Options
     bool perfectCbp = false;
     bool perfectConf = false;
     bool loopExt = false;
+    sim::MarkMode markMode = sim::MarkMode::Profile;
     bool verify = false;
     check::Mode selfcheck = check::Mode::Off;
     bool selfcheckGiven = false;
@@ -164,6 +169,10 @@ parse(int argc, char **argv)
             o.perfectConf = true;
         else if (std::strcmp(a, "--loop-ext") == 0)
             o.loopExt = true;
+        else if (flagValue(a, "--mark", v)) {
+            if (!sim::parseMarkMode(v, o.markMode))
+                dmp_fatal("--mark: unknown mode: ", v);
+        }
         else if (std::strcmp(a, "--verify") == 0)
             o.verify = true;
         else if (std::strcmp(a, "--selfcheck") == 0 ||
@@ -338,6 +347,7 @@ runSweep(const Options &o)
         cfg.workload = o.target;
         cfg.core = machineFor(o, mode);
         cfg.marker.markLoopBranches = o.loopExt;
+        cfg.markMode = o.markMode;
         cfg.train.iterations = o.iters;
         cfg.train.seed = 0x7e41a;
         cfg.ref.iterations = o.iters;
@@ -439,7 +449,13 @@ runMain(int argc, char **argv)
 
     core::CoreParams params = machineFor(o, o.mode);
 
-    // Build or load the program.
+    // Build or load the program. All three --mark modes flow through
+    // sim::markTrainProgram so this path and the batch pool agree.
+    sim::SimConfig mcfg;
+    mcfg.core = params;
+    mcfg.marker.markLoopBranches = o.loopExt;
+    mcfg.markMode = o.markMode;
+
     isa::Program prog;
     profile::MarkingReport report;
     if (isWorkload(o.target)) {
@@ -447,9 +463,7 @@ runMain(int argc, char **argv)
         train.iterations = o.iters;
         train.seed = 0x7e41a;
         isa::Program tp = workloads::buildWorkload(o.target, train);
-        profile::MarkerConfig mc;
-        mc.markLoopBranches = o.loopExt;
-        report = profile::profileAndMark(tp, params.memoryBytes, mc);
+        report = sim::markTrainProgram(tp, mcfg);
 
         workloads::WorkloadParams ref;
         ref.iterations = o.iters;
@@ -463,9 +477,7 @@ runMain(int argc, char **argv)
         std::ostringstream text;
         text << in.rdbuf();
         prog = isa::assemble(text.str());
-        profile::MarkerConfig mc;
-        mc.markLoopBranches = o.loopExt;
-        report = profile::profileAndMark(prog, params.memoryBytes, mc);
+        report = sim::markTrainProgram(prog, mcfg);
     }
 
     if (o.marks) {
@@ -488,8 +500,10 @@ runMain(int argc, char **argv)
                     vr.warnings(), vr.infos());
     }
 
-    std::printf("target=%s mode=%s marked: %llu diverge, %llu hammock\n",
+    std::printf("target=%s mode=%s mark=%s marked: %llu diverge, "
+                "%llu hammock\n",
                 o.target.c_str(), o.mode.c_str(),
+                sim::markModeName(o.markMode),
                 (unsigned long long)report.markedDiverge,
                 (unsigned long long)report.markedSimpleHammock);
 

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Static frequency estimation (analysis/freq.hh): the Wu-Larus branch
+ * heuristics on directed mini-programs, and rank agreement of the
+ * estimated block frequencies with the profiled branch execution
+ * counts on every shipped workload — the property markgen's cost model
+ * actually needs (the ranking, not the absolute counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/freq.hh"
+#include "cfg/cfg.hh"
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmp;
+using analysis::FreqEstimate;
+using analysis::ProbHeuristic;
+
+namespace
+{
+
+constexpr std::size_t kMemoryBytes = 16 * 1024 * 1024;
+
+/** Average-rank (tie-aware) ranks of `v`. */
+std::vector<double>
+ranks(const std::vector<double> &v)
+{
+    const std::size_t n = v.size();
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return v[a] < v[b];
+                     });
+    std::vector<double> r(n, 0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && v[idx[j + 1]] == v[idx[i]])
+            ++j;
+        double avg = (double(i) + double(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            r[idx[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+/** Spearman rank correlation (Pearson on the tie-averaged ranks). */
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    std::vector<double> rx = ranks(x), ry = ranks(y);
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += rx[i];
+        my += ry[i];
+    }
+    mx /= double(n);
+    my /= double(n);
+    double num = 0, dx = 0, dy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        num += (rx[i] - mx) * (ry[i] - my);
+        dx += (rx[i] - mx) * (rx[i] - mx);
+        dy += (ry[i] - my) * (ry[i] - my);
+    }
+    return (dx > 0 && dy > 0) ? num / std::sqrt(dx * dy) : 1.0;
+}
+
+class FreqWorkloads : public testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+/**
+ * The static estimate must rank the blocks of every workload roughly
+ * the way the train run actually executes them. The floor is loose —
+ * the estimator knows nothing about data — but a heuristic regression
+ * that inverts loop and straight-line weights drops well below it.
+ */
+TEST_P(FreqWorkloads, RankAgreementWithProfiledCounts)
+{
+    workloads::WorkloadParams wp;
+    wp.iterations = 500;
+    isa::Program prog = workloads::buildWorkload(GetParam(), wp);
+
+    profile::BranchProfile bp =
+        profile::profileBranches(prog, kMemoryBytes, 150000);
+
+    cfg::Cfg g = cfg::Cfg::build(prog);
+    FreqEstimate est = analysis::estimateFrequencies(prog, g);
+
+    std::vector<double> est_freq, exec_count;
+    for (const auto &[pc, stats] : bp.branches) {
+        if (stats.execs == 0)
+            continue;
+        est_freq.push_back(est.freqAt(g, pc));
+        exec_count.push_back(double(stats.execs));
+    }
+    ASSERT_GE(est_freq.size(), 3u)
+        << "profile found too few executed branches to rank";
+
+    // Observed at this floor's introduction: >= 0.90 on 14 of the 15
+    // workloads; gcc bottoms out near 0.28 (its switch dispatch runs
+    // through indirect jumps the syntactic heuristics cannot weigh).
+    double rho = spearman(est_freq, exec_count);
+    EXPECT_GE(rho, 0.20)
+        << GetParam() << ": static/profiled rank agreement collapsed "
+        << "(rho=" << rho << " over " << est_freq.size()
+        << " branches)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FreqWorkloads, [] {
+    std::vector<std::string> names;
+    for (const auto &info : workloads::workloadList())
+        names.push_back(info.name);
+    return testing::ValuesIn(names);
+}());
+
+/**
+ * Directed loop-nest check: a doubly nested loop must be estimated
+ * strictly hotter inside than outside, with the interval-based
+ * loop-depth annotation matching the nesting.
+ */
+TEST(FreqEstimate, LoopNestOrdersBlockFrequencies)
+{
+    isa::ProgramBuilder b;
+    Addr pre = b.li(10, 0); // preamble (runs once)
+    b.li(11, 100);
+    isa::Label outer = b.newLabel();
+    b.bind(outer);
+    Addr outer_body = b.addi(12, 10, 0); // outer body, inner trip count
+    b.li(13, 0);
+    isa::Label inner = b.newLabel();
+    b.bind(inner);
+    Addr inner_body = b.addi(5, 5, 1); // inner body
+    b.addi(13, 13, 1);
+    b.blt(13, 12, inner);
+    b.addi(10, 10, 1);
+    Addr outer_latch = b.blt(10, 11, outer);
+    b.st(62, 0x1000, 5);
+    b.halt();
+    isa::Program prog = b.build();
+
+    cfg::Cfg g = cfg::Cfg::build(prog);
+    FreqEstimate est = analysis::estimateFrequencies(prog, g);
+
+    double f_pre = est.freqAt(g, pre);
+    double f_outer = est.freqAt(g, outer_body);
+    double f_inner = est.freqAt(g, inner_body);
+    EXPECT_NEAR(f_pre, 1.0, 1e-9);
+    EXPECT_GT(f_outer, 2.0 * f_pre);
+    EXPECT_GT(f_inner, 2.0 * f_outer);
+
+    EXPECT_EQ(est.loopDepth[g.blockContaining(pre)], 0u);
+    EXPECT_EQ(est.loopDepth[g.blockContaining(outer_body)], 1u);
+    EXPECT_EQ(est.loopDepth[g.blockContaining(inner_body)], 2u);
+    EXPECT_EQ(est.loopDepth[g.blockContaining(outer_latch)], 1u);
+}
+
+/** A backward conditional branch is a loop iteration branch: ~0.88. */
+TEST(FreqEstimate, BackEdgeIsPredictedTaken)
+{
+    isa::ProgramBuilder b;
+    b.li(10, 0);
+    b.li(11, 50);
+    isa::Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(5, 5, 3);
+    b.addi(10, 10, 1);
+    Addr latch = b.blt(10, 11, loop);
+    b.halt();
+    isa::Program prog = b.build();
+
+    cfg::Cfg g = cfg::Cfg::build(prog);
+    FreqEstimate est = analysis::estimateFrequencies(prog, g);
+    cfg::BlockId lb = g.blockContaining(latch);
+    EXPECT_NEAR(est.takenProb[lb], 0.88, 1e-9);
+    EXPECT_EQ(est.heuristic[lb], ProbHeuristic::LoopBack);
+}
+
+/**
+ * `beq r, r0, skip` over a block that loads through r is a null-check:
+ * the skipping (taken) side must be estimated rare.
+ */
+TEST(FreqEstimate, NullGuardBranchIsPredictedNotTaken)
+{
+    isa::ProgramBuilder b;
+    b.li(5, 0x2000);
+    isa::Label skip = b.newLabel();
+    Addr guard = b.beq(5, 0, skip);
+    b.ld(6, 5, 0); // dereferences the guarded register
+    b.bind(skip);
+    b.add(7, 7, 6);
+    b.addi(7, 7, 1);
+    b.st(62, 0x1000, 7);
+    b.halt();
+    isa::Program prog = b.build();
+
+    cfg::Cfg g = cfg::Cfg::build(prog);
+    FreqEstimate est = analysis::estimateFrequencies(prog, g);
+    cfg::BlockId gb = g.blockContaining(guard);
+    EXPECT_NEAR(est.takenProb[gb], 0.25, 1e-9);
+    EXPECT_EQ(est.heuristic[gb], ProbHeuristic::Guard);
+}
+
+/** A plain forward equality test is biased not-taken (== rarely true). */
+TEST(FreqEstimate, ForwardEqualityIsBiasedNotTaken)
+{
+    isa::ProgramBuilder b;
+    b.li(5, 7);
+    b.li(4, 9);
+    isa::Label skip = b.newLabel();
+    Addr br = b.beq(5, 4, skip);
+    b.addi(6, 6, 1); // no loads: the guard heuristic must not fire
+    b.bind(skip);
+    b.add(7, 7, 6);
+    b.addi(7, 7, 2);
+    b.st(62, 0x1000, 7);
+    b.halt();
+    isa::Program prog = b.build();
+
+    cfg::Cfg g = cfg::Cfg::build(prog);
+    FreqEstimate est = analysis::estimateFrequencies(prog, g);
+    cfg::BlockId bb = g.blockContaining(br);
+    EXPECT_NEAR(est.takenProb[bb], 0.36, 1e-9);
+    EXPECT_EQ(est.heuristic[bb], ProbHeuristic::Opcode);
+}

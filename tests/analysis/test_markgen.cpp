@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Static marking synthesis (analysis/markgen.hh): determinism of the
+ * dmp-mark JSON rendering, legality of every synthesized marking, the
+ * agreement metric against the profiled marker, and the static-mode
+ * end-to-end flow through runSim and the BatchRunner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "analysis/markgen.hh"
+#include "profile/profiler.hh"
+#include "sim/batch.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmp;
+
+namespace
+{
+
+constexpr std::size_t kMemoryBytes = 16 * 1024 * 1024;
+
+isa::Program
+buildTarget(const std::string &name)
+{
+    workloads::WorkloadParams wp;
+    wp.iterations = 500;
+    return workloads::buildWorkload(name, wp);
+}
+
+class MarkGenWorkloads : public testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+/**
+ * Golden determinism: two independent syntheses of the same image must
+ * render byte-identically — the dmp-mark CI artifact depends on it.
+ */
+TEST_P(MarkGenWorkloads, JsonIsByteDeterministic)
+{
+    isa::Program a = buildTarget(GetParam());
+    isa::Program b = buildTarget(GetParam());
+    analysis::MarkGenReport ra = analysis::synthesizeMarks(a);
+    analysis::MarkGenReport rb = analysis::synthesizeMarks(b);
+    EXPECT_EQ(analysis::markGenTargetJson(GetParam(), ra, nullptr),
+              analysis::markGenTargetJson(GetParam(), rb, nullptr));
+}
+
+/** Every synthesized marking must pass the legality linter clean. */
+TEST_P(MarkGenWorkloads, SynthesizedMarkingIsLinterClean)
+{
+    isa::Program prog = buildTarget(GetParam());
+    analysis::MarkGenReport report = analysis::synthesizeMarks(prog);
+    EXPECT_EQ(report.lintErrors, 0u);
+
+    analysis::AnalysisOptions ao;
+    ao.memoryBytes = kMemoryBytes;
+    analysis::Report lint = analysis::analyzeProgram(prog, ao);
+    EXPECT_EQ(lint.errors(), 0u) << lint.text();
+}
+
+/**
+ * Agreement sanity against the profiled marker: the comparison must be
+ * internally consistent (common <= both sides, rates in [0, 1]).
+ */
+TEST_P(MarkGenWorkloads, AgreementMetricIsConsistent)
+{
+    isa::Program st = buildTarget(GetParam());
+    analysis::synthesizeMarks(st);
+
+    isa::Program pr = buildTarget(GetParam());
+    profile::profileAndMark(pr, kMemoryBytes, {});
+
+    analysis::MarkAgreement a = analysis::compareMarkings(st, pr);
+    EXPECT_LE(a.commonDiverge, a.staticDiverge);
+    EXPECT_LE(a.commonDiverge, a.profileDiverge);
+    EXPECT_GE(a.divergePrecision, 0.0);
+    EXPECT_LE(a.divergePrecision, 1.0);
+    EXPECT_GE(a.divergeRecall, 0.0);
+    EXPECT_LE(a.divergeRecall, 1.0);
+    EXPECT_GE(a.cfmMatchRate, 0.0);
+    EXPECT_LE(a.cfmMatchRate, 1.0);
+    EXPECT_LE(a.cfmAnyMatch, a.cfmComparable);
+    EXPECT_LE(a.cfmPrimaryMatch, a.cfmAnyMatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, MarkGenWorkloads, [] {
+    std::vector<std::string> names;
+    for (const auto &info : workloads::workloadList())
+        names.push_back(info.name);
+    return testing::ValuesIn(names);
+}());
+
+/** Static marks run end-to-end and actually enter diverge episodes. */
+TEST(MarkModeStatic, RunsEndToEndAndPredicates)
+{
+    sim::SimConfig cfg;
+    cfg.workload = "bzip2";
+    cfg.train.iterations = 300;
+    cfg.ref.iterations = 300;
+    cfg.markMode = sim::MarkMode::Static;
+    cfg.core.predication = core::PredicationScope::Diverge;
+    cfg.core.enhMultiCfm = true;
+    cfg.core.enhEarlyExit = true;
+    cfg.core.enhMultiDiverge = true;
+
+    sim::SimResult r = sim::runSim(cfg);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.marking.markedDiverge, 0u);
+    EXPECT_GT(r.require("dpred_entries"), 0u);
+}
+
+/** mark=none leaves the image bare: no marks, no episodes. */
+TEST(MarkModeNone, RunsUnmarked)
+{
+    sim::SimConfig cfg;
+    cfg.workload = "bzip2";
+    cfg.train.iterations = 300;
+    cfg.ref.iterations = 300;
+    cfg.markMode = sim::MarkMode::None;
+    cfg.core.predication = core::PredicationScope::Diverge;
+
+    sim::SimResult r = sim::runSim(cfg);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.marking.markedDiverge, 0u);
+    EXPECT_EQ(r.require("dpred_entries"), 0u);
+}
+
+/**
+ * The three mark modes must produce three distinct batch cache keys for
+ * otherwise identical configurations, with the default (Profile) key
+ * keeping its historical no-suffix form.
+ */
+TEST(MarkModeFingerprint, ModesDoNotAlias)
+{
+    sim::SimConfig cfg;
+    cfg.workload = "bzip2";
+
+    std::string prof = sim::configFingerprint(cfg);
+    EXPECT_EQ(prof.find("|mark="), std::string::npos);
+
+    cfg.markMode = sim::MarkMode::Static;
+    std::string stat = sim::configFingerprint(cfg);
+    cfg.markMode = sim::MarkMode::None;
+    std::string none = sim::configFingerprint(cfg);
+
+    EXPECT_NE(prof, stat);
+    EXPECT_NE(prof, none);
+    EXPECT_NE(stat, none);
+    EXPECT_NE(stat.find("|mark=static"), std::string::npos);
+    EXPECT_NE(none.find("|mark=none"), std::string::npos);
+
+    EXPECT_NE(sim::profileFingerprint(cfg),
+              [&] {
+                  sim::SimConfig p = cfg;
+                  p.markMode = sim::MarkMode::Profile;
+                  return sim::profileFingerprint(p);
+              }());
+}
+
+/** Static-mode results are identical at any batch worker count. */
+TEST(MarkModeStatic, BatchResultsIndependentOfJobCount)
+{
+    std::vector<sim::SimConfig> grid;
+    for (const char *wl : {"bzip2", "parser"}) {
+        sim::SimConfig cfg;
+        cfg.workload = wl;
+        cfg.train.iterations = 300;
+        cfg.ref.iterations = 300;
+        cfg.markMode = sim::MarkMode::Static;
+        cfg.core.predication = core::PredicationScope::Diverge;
+        cfg.core.enhMultiCfm = true;
+        cfg.core.enhEarlyExit = true;
+        cfg.core.enhMultiDiverge = true;
+        grid.push_back(cfg);
+    }
+
+    sim::BatchRunner serial(1);
+    sim::BatchRunner wide(4);
+    std::vector<sim::SimResult> a = serial.run(grid);
+    std::vector<sim::SimResult> b = wide.run(grid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << grid[i].workload;
+        EXPECT_EQ(a[i].retiredInsts, b[i].retiredInsts)
+            << grid[i].workload;
+        EXPECT_EQ(a[i].require("pipeline_flushes"),
+                  b[i].require("pipeline_flushes"))
+            << grid[i].workload;
+    }
+}
