@@ -1,0 +1,1150 @@
+#include "analysis/absint.hh"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "cfg/cfg.hh"
+
+namespace dmp::analysis
+{
+
+using isa::Inst;
+using isa::kInstBytes;
+using isa::Opcode;
+
+namespace
+{
+
+using I128 = __int128;
+using U128 = unsigned __int128;
+
+constexpr SWord kSMin = std::numeric_limits<SWord>::min();
+constexpr SWord kSMax = std::numeric_limits<SWord>::max();
+constexpr Word kUMax = ~Word(0);
+
+Word
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? kUMax : (Word(1) << bits) - 1;
+}
+
+} // namespace
+
+AbsVal
+AbsVal::top()
+{
+    return {kSMin, kSMax, 0, kUMax, 0, 0};
+}
+
+AbsVal
+AbsVal::constant(Word v)
+{
+    return {SWord(v), SWord(v), v, v, ~v, v};
+}
+
+AbsVal
+AbsVal::empty()
+{
+    return {1, 0, 1, 0, 0, 0};
+}
+
+bool
+AbsVal::isEmpty() const
+{
+    return smin > smax || umin > umax || (zeros & ones) != 0;
+}
+
+bool
+AbsVal::isTop() const
+{
+    return *this == top();
+}
+
+bool
+AbsVal::contains(Word v) const
+{
+    return !isEmpty() && SWord(v) >= smin && SWord(v) <= smax &&
+           v >= umin && v <= umax && (v & zeros) == 0 &&
+           (v & ones) == ones;
+}
+
+Word
+AbsVal::count(Word cap) const
+{
+    if (isEmpty())
+        return 0;
+    Word best = cap;
+    if (!(umin == 0 && umax == kUMax))
+        best = std::min(best, umax - umin + 1);
+    if (!(smin == kSMin && smax == kSMax))
+        best = std::min(best, Word(smax) - Word(smin) + 1);
+    const int unknown = std::popcount(~(zeros | ones));
+    if (unknown < 63)
+        best = std::min(best, Word(1) << unknown);
+    return best;
+}
+
+void
+AbsVal::reduce()
+{
+    if (isEmpty())
+        return;
+    for (int round = 0; round < 2; ++round) {
+        // Known bits bound the unsigned range from both sides.
+        umin = std::max(umin, ones);
+        umax = std::min(umax, ~zeros);
+        if (umin > umax)
+            return;
+        // Bits on which both unsigned bounds agree above the highest
+        // differing bit are known.
+        const Word x = umin ^ umax;
+        const Word high = x ? ~lowMask(unsigned(std::bit_width(x))) : kUMax;
+        zeros |= high & ~umin;
+        ones |= high & umin;
+        if ((zeros & ones) != 0)
+            return;
+        // Signed <-> unsigned when a range does not straddle the
+        // wrap/sign boundary of the other view.
+        if (smin >= 0 || smax < 0) {
+            umin = std::max(umin, Word(smin));
+            umax = std::min(umax, Word(smax));
+            if (umin > umax)
+                return;
+        }
+        if (umax <= Word(kSMax) || umin > Word(kSMax)) {
+            smin = std::max(smin, SWord(umin));
+            smax = std::min(smax, SWord(umax));
+            if (smin > smax)
+                return;
+        }
+        // A known sign bit clamps the signed range.
+        if (zeros >> 63)
+            smin = std::max(smin, SWord(0));
+        if (ones >> 63)
+            smax = std::min(smax, SWord(-1));
+        if (smin > smax)
+            return;
+    }
+}
+
+AbsVal
+AbsVal::join(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty())
+        return b;
+    if (b.isEmpty())
+        return a;
+    AbsVal r{std::min(a.smin, b.smin), std::max(a.smax, b.smax),
+             std::min(a.umin, b.umin), std::max(a.umax, b.umax),
+             a.zeros & b.zeros,        a.ones & b.ones};
+    r.reduce();
+    return r;
+}
+
+AbsVal
+AbsVal::meet(const AbsVal &a, const AbsVal &b)
+{
+    AbsVal r{std::max(a.smin, b.smin), std::min(a.smax, b.smax),
+             std::max(a.umin, b.umin), std::min(a.umax, b.umax),
+             a.zeros | b.zeros,        a.ones | b.ones};
+    if (!r.isEmpty())
+        r.reduce();
+    return r;
+}
+
+AbsVal
+AbsVal::widen(const AbsVal &prev, const AbsVal &next)
+{
+    if (prev.isEmpty())
+        return next;
+    AbsVal r;
+    r.smin = next.smin < prev.smin ? kSMin : prev.smin;
+    r.smax = next.smax > prev.smax ? kSMax : prev.smax;
+    r.umin = next.umin < prev.umin ? 0 : prev.umin;
+    r.umax = next.umax > prev.umax ? kUMax : prev.umax;
+    // Known-bit sets only shrink under join (finite descending chain),
+    // so they need no acceleration.
+    r.zeros = prev.zeros & next.zeros;
+    r.ones = prev.ones & next.ones;
+    r.reduce();
+    return r;
+}
+
+namespace
+{
+
+/** Unsigned range with everything else derived by reduction. */
+AbsVal
+rangeU(Word lo, Word hi)
+{
+    AbsVal r = AbsVal::top();
+    r.umin = lo;
+    r.umax = hi;
+    r.reduce();
+    return r;
+}
+
+AbsVal
+addVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::top();
+    const U128 ulo = U128(a.umin) + b.umin;
+    const U128 uhi = U128(a.umax) + b.umax;
+    if (uhi <= U128(kUMax)) {
+        r.umin = Word(ulo);
+        r.umax = Word(uhi);
+    } else if (ulo > U128(kUMax)) { // both sums wrap exactly once
+        r.umin = Word(ulo);
+        r.umax = Word(uhi);
+    }
+    const I128 slo = I128(a.smin) + b.smin;
+    const I128 shi = I128(a.smax) + b.smax;
+    if (slo >= I128(kSMin) && shi <= I128(kSMax)) {
+        r.smin = SWord(slo);
+        r.smax = SWord(shi);
+    } else if (shi < I128(kSMin) || slo > I128(kSMax)) {
+        // Both endpoints wrap the same way: the range stays exact.
+        r.smin = SWord(Word(slo));
+        r.smax = SWord(Word(shi));
+    }
+    // Fully known low bits of both operands give exact low sum bits.
+    const unsigned t =
+        unsigned(std::countr_one((a.zeros | a.ones) & (b.zeros | b.ones)));
+    if (t > 0) {
+        const Word mask = lowMask(t);
+        const Word low = (a.ones + b.ones) & mask;
+        r.zeros |= ~low & mask;
+        r.ones |= low & mask;
+    }
+    r.reduce();
+    return r;
+}
+
+AbsVal
+subVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::top();
+    const I128 ulo = I128(a.umin) - I128(b.umax);
+    const I128 uhi = I128(a.umax) - I128(b.umin);
+    if (ulo >= 0 || uhi < 0) { // no wrap, or both wrap once
+        r.umin = Word(ulo);
+        r.umax = Word(uhi);
+    }
+    const I128 slo = I128(a.smin) - I128(b.smax);
+    const I128 shi = I128(a.smax) - I128(b.smin);
+    if ((slo >= I128(kSMin) && shi <= I128(kSMax)) ||
+        shi < I128(kSMin) || slo > I128(kSMax)) {
+        r.smin = SWord(Word(slo));
+        r.smax = SWord(Word(shi));
+    }
+    const unsigned t =
+        unsigned(std::countr_one((a.zeros | a.ones) & (b.zeros | b.ones)));
+    if (t > 0) {
+        const Word mask = lowMask(t);
+        const Word low = (a.ones - b.ones) & mask;
+        r.zeros |= ~low & mask;
+        r.ones |= low & mask;
+    }
+    r.reduce();
+    return r;
+}
+
+AbsVal
+mulVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    if ((a.isConstant() && a.constantValue() == 0) ||
+        (b.isConstant() && b.constantValue() == 0))
+        return AbsVal::constant(0);
+    AbsVal r = AbsVal::top();
+    if (U128(a.umax) * b.umax <= U128(kUMax)) {
+        r.umin = a.umin * b.umin;
+        r.umax = a.umax * b.umax;
+    } else {
+        const I128 c[4] = {I128(a.smin) * b.smin, I128(a.smin) * b.smax,
+                           I128(a.smax) * b.smin, I128(a.smax) * b.smax};
+        const I128 lo = std::min({c[0], c[1], c[2], c[3]});
+        const I128 hi = std::max({c[0], c[1], c[2], c[3]});
+        if (lo >= I128(kSMin) && hi <= I128(kSMax)) {
+            r.smin = SWord(lo);
+            r.smax = SWord(hi);
+        }
+    }
+    // Known trailing zeros accumulate across a product.
+    const unsigned tz = unsigned(std::countr_one(a.zeros)) +
+                        unsigned(std::countr_one(b.zeros));
+    r.zeros |= lowMask(std::min(tz, 63u));
+    r.reduce();
+    return r;
+}
+
+/** Unsigned division with the ISA's divide-by-zero result (~0). */
+AbsVal
+divVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::empty();
+    if (b.contains(0))
+        r = AbsVal::constant(kUMax);
+    if (b.umax >= 1) {
+        const Word dlo = std::max<Word>(b.umin, 1);
+        r = AbsVal::join(r, rangeU(a.umin / b.umax, a.umax / dlo));
+    }
+    return r;
+}
+
+AbsVal
+andVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::top();
+    r.zeros = a.zeros | b.zeros;
+    r.ones = a.ones & b.ones;
+    r.umax = std::min(a.umax, b.umax);
+    r.reduce();
+    return r;
+}
+
+AbsVal
+orVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::top();
+    r.zeros = a.zeros & b.zeros;
+    r.ones = a.ones | b.ones;
+    r.umin = std::max(a.umin, b.umin);
+    const unsigned bw = std::max(std::bit_width(a.umax),
+                                 std::bit_width(b.umax));
+    r.umax = lowMask(bw);
+    r.reduce();
+    return r;
+}
+
+AbsVal
+xorVals(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return AbsVal::empty();
+    AbsVal r = AbsVal::top();
+    const Word known = (a.zeros | a.ones) & (b.zeros | b.ones);
+    const Word vbits = a.ones ^ b.ones;
+    r.zeros = known & ~vbits;
+    r.ones = known & vbits;
+    const unsigned bw = std::max(std::bit_width(a.umax),
+                                 std::bit_width(b.umax));
+    r.umax = lowMask(bw);
+    r.reduce();
+    return r;
+}
+
+AbsVal
+shlConst(const AbsVal &a, unsigned c)
+{
+    if (a.isEmpty())
+        return AbsVal::empty();
+    if (c == 0)
+        return a;
+    AbsVal r = AbsVal::top();
+    r.zeros = (a.zeros << c) | lowMask(c);
+    r.ones = a.ones << c;
+    if (a.umax <= (kUMax >> c)) {
+        r.umin = a.umin << c;
+        r.umax = a.umax << c;
+    }
+    r.reduce();
+    return r;
+}
+
+AbsVal
+shrConst(const AbsVal &a, unsigned c)
+{
+    if (a.isEmpty())
+        return AbsVal::empty();
+    if (c == 0)
+        return a;
+    AbsVal r = AbsVal::top();
+    r.zeros = (a.zeros >> c) | ~(kUMax >> c);
+    r.ones = a.ones >> c;
+    r.umin = a.umin >> c;
+    r.umax = a.umax >> c;
+    r.reduce();
+    return r;
+}
+
+AbsVal
+sraConst(const AbsVal &a, unsigned c)
+{
+    if (a.isEmpty())
+        return AbsVal::empty();
+    if (c == 0)
+        return a;
+    AbsVal r = AbsVal::top();
+    r.smin = a.smin >> c;
+    r.smax = a.smax >> c;
+    if (a.zeros >> 63) { // sign bit known zero: same as logical shift
+        r.zeros = (a.zeros >> c) | ~(kUMax >> c);
+        r.ones = a.ones >> c;
+    } else if (a.ones >> 63) { // sign bit known one: shifts in ones
+        r.zeros = a.zeros >> c;
+        r.ones = (a.ones >> c) | ~(kUMax >> c);
+    }
+    r.reduce();
+    return r;
+}
+
+/** Shift by a register amount; the ISA masks the count with &63. */
+AbsVal
+shiftVar(Opcode op, const AbsVal &a, const AbsVal &b)
+{
+    const AbsVal eff = andVals(b, AbsVal::constant(63));
+    if (a.isEmpty() || eff.isEmpty())
+        return AbsVal::empty();
+    if (eff.isConstant()) {
+        const unsigned c = unsigned(eff.constantValue());
+        switch (op) {
+          case Opcode::SHL: return shlConst(a, c);
+          case Opcode::SHR: return shrConst(a, c);
+          default:          return sraConst(a, c);
+        }
+    }
+    AbsVal r = AbsVal::top();
+    const unsigned clo = unsigned(eff.umin), chi = unsigned(eff.umax);
+    if (op == Opcode::SHR) {
+        r.umin = a.umin >> chi;
+        r.umax = a.umax >> clo;
+    } else if (op == Opcode::SHL) {
+        // Only the trailing-zero guarantee survives a variable shift.
+        const unsigned tz =
+            unsigned(std::countr_one(a.zeros)) + clo;
+        r.zeros |= lowMask(std::min(tz, 63u));
+    }
+    r.reduce();
+    return r;
+}
+
+std::optional<bool>
+provedLtS(const AbsVal &a, const AbsVal &b)
+{
+    if (a.smax < b.smin)
+        return true;
+    if (a.smin >= b.smax)
+        return false;
+    return std::nullopt;
+}
+
+std::optional<bool>
+provedLtU(const AbsVal &a, const AbsVal &b)
+{
+    if (a.umax < b.umin)
+        return true;
+    if (a.umin >= b.umax)
+        return false;
+    return std::nullopt;
+}
+
+std::optional<bool>
+provedEq(const AbsVal &a, const AbsVal &b)
+{
+    if (a.isConstant() && b.isConstant())
+        return a.constantValue() == b.constantValue();
+    if (AbsVal::meet(a, b).isEmpty())
+        return false;
+    return std::nullopt;
+}
+
+AbsVal
+boolVal(std::optional<bool> proved)
+{
+    if (proved)
+        return AbsVal::constant(*proved ? 1 : 0);
+    AbsVal r = AbsVal::top();
+    r.umin = 0;
+    r.umax = 1;
+    r.zeros = ~Word(1);
+    r.reduce();
+    return r;
+}
+
+/** Remove the single value c from a's feasible set where cheap. */
+AbsVal
+trimNotEqual(const AbsVal &a, Word c)
+{
+    if (!a.contains(c))
+        return a;
+    if (a.isConstant())
+        return AbsVal::empty();
+    AbsVal r = a;
+    if (r.umin == c)
+        ++r.umin;
+    if (r.umax == c)
+        --r.umax;
+    if (r.smin == SWord(c))
+        ++r.smin;
+    if (r.smax == SWord(c))
+        --r.smax;
+    r.reduce();
+    return r;
+}
+
+/**
+ * Refine (a, b) under "branch outcome holds". Empty results mean the
+ * outcome is infeasible from this state — a proof the arm is dead.
+ */
+void
+refineBranch(Opcode op, bool taken, AbsVal &a, AbsVal &b)
+{
+    // Map every opcode/outcome pair onto one of four relations.
+    enum class Rel { Eq, Ne, LtS, GeS, LtU, GeU };
+    Rel rel;
+    switch (op) {
+      case Opcode::BEQ:  rel = taken ? Rel::Eq : Rel::Ne; break;
+      case Opcode::BNE:  rel = taken ? Rel::Ne : Rel::Eq; break;
+      case Opcode::BLT:  rel = taken ? Rel::LtS : Rel::GeS; break;
+      case Opcode::BGE:  rel = taken ? Rel::GeS : Rel::LtS; break;
+      case Opcode::BLTU: rel = taken ? Rel::LtU : Rel::GeU; break;
+      default:           rel = taken ? Rel::GeU : Rel::LtU; break;
+    }
+    switch (rel) {
+      case Rel::Eq: {
+        AbsVal m = AbsVal::meet(a, b);
+        a = m;
+        b = m;
+        break;
+      }
+      case Rel::Ne:
+        if (b.isConstant())
+            a = trimNotEqual(a, b.constantValue());
+        if (a.isConstant())
+            b = trimNotEqual(b, a.constantValue());
+        if (a.isConstant() && b.isConstant() &&
+            a.constantValue() == b.constantValue())
+            a = AbsVal::empty();
+        break;
+      case Rel::LtS:
+        if (b.smax == kSMin || a.smin == kSMax) {
+            a = AbsVal::empty();
+            break;
+        }
+        a.smax = std::min(a.smax, b.smax - 1);
+        b.smin = std::max(b.smin, a.smin + 1);
+        a.reduce();
+        b.reduce();
+        break;
+      case Rel::GeS:
+        a.smin = std::max(a.smin, b.smin);
+        b.smax = std::min(b.smax, a.smax);
+        a.reduce();
+        b.reduce();
+        break;
+      case Rel::LtU:
+        if (b.umax == 0 || a.umin == kUMax) {
+            a = AbsVal::empty();
+            break;
+        }
+        a.umax = std::min(a.umax, b.umax - 1);
+        b.umin = std::max(b.umin, a.umin + 1);
+        a.reduce();
+        b.reduce();
+        break;
+      case Rel::GeU:
+        a.umin = std::max(a.umin, b.umin);
+        b.umax = std::min(b.umax, a.umax);
+        a.reduce();
+        b.reduce();
+        break;
+    }
+}
+
+/** The whole engine lives in one run()-scoped context. */
+class Engine
+{
+  public:
+    Engine(const isa::Program &program, const AbsintOptions &options)
+        : prog(program), opts(options)
+    {
+    }
+
+    AbsintResult run();
+
+  private:
+    using State = AbsState;
+
+    AbsVal val(const State &s, ArchReg r) const
+    {
+        return r == isa::kZeroReg ? AbsVal::constant(0) : s.regs[r];
+    }
+
+    void setReg(State &s, ArchReg r, AbsVal v) const
+    {
+        if (r != isa::kZeroReg)
+            s.regs[r] = v;
+    }
+
+    Word imageWord(Word addr) const
+    {
+        auto it = image.find(addr);
+        return it == image.end() ? 0 : it->second;
+    }
+
+    std::size_t slotIndex(Word addr) const
+    {
+        auto it = std::lower_bound(slotAddrs.begin(), slotAddrs.end(),
+                                   addr);
+        if (it != slotAddrs.end() && *it == addr)
+            return std::size_t(it - slotAddrs.begin());
+        return slotAddrs.size();
+    }
+
+    State initialState() const;
+    State havocState(const State &s) const;
+    static State joinStates(const State &a, const State &b);
+    static bool statesEqual(const State &a, const State &b);
+
+    /** Dataflow effect of a non-control instruction. */
+    void applyTransfer(const Inst &inst, State &s) const;
+
+    /**
+     * Enumerate the concrete in-image targets of an indirect jump
+     * whose abstract target is v. nullopt: not enumerable (smear).
+     */
+    std::optional<std::vector<std::uint32_t>>
+    enumerateTargets(const AbsVal &v) const;
+
+    /** All (successor index, out-state) edges of instruction idx.
+     *  Unresolvable indirects report via `smearOut` instead. */
+    std::vector<std::pair<std::size_t, State>>
+    outEdges(std::size_t idx, const State &in, State *smearOut) const;
+
+    const isa::Program &prog;
+    const AbsintOptions &opts;
+    std::vector<Word> slotAddrs;
+    std::unordered_map<Word, Word> image;
+};
+
+Engine::State
+Engine::initialState() const
+{
+    State s;
+    s.reachable = true;
+    // Architectural registers are zero-initialized (ArchState), and
+    // memory is the zero-filled image plus the program's initial data.
+    // When the initial data may differ at evaluation time (marking
+    // synthesis), memory starts unknown instead: memHavoc blocks
+    // untracked constant loads and every slot begins at top.
+    s.memHavoc = !opts.assumeInitialData;
+    s.regs.fill(AbsVal::constant(0));
+    s.slots.reserve(slotAddrs.size());
+    for (Word a : slotAddrs)
+        s.slots.push_back(opts.assumeInitialData
+                              ? AbsVal::constant(imageWord(a))
+                              : AbsVal::top());
+    return s;
+}
+
+Engine::State
+Engine::havocState(const State &s) const
+{
+    State h;
+    h.reachable = s.reachable;
+    h.memHavoc = true;
+    h.regs.fill(AbsVal::top());
+    h.slots.assign(slotAddrs.size(), AbsVal::top());
+    return h;
+}
+
+Engine::State
+Engine::joinStates(const State &a, const State &b)
+{
+    if (!a.reachable)
+        return b;
+    if (!b.reachable)
+        return a;
+    State r;
+    r.reachable = true;
+    r.memHavoc = a.memHavoc || b.memHavoc;
+    for (std::size_t i = 0; i < a.regs.size(); ++i)
+        r.regs[i] = AbsVal::join(a.regs[i], b.regs[i]);
+    r.slots.resize(a.slots.size());
+    for (std::size_t i = 0; i < a.slots.size(); ++i)
+        r.slots[i] = AbsVal::join(a.slots[i], b.slots[i]);
+    return r;
+}
+
+bool
+Engine::statesEqual(const State &a, const State &b)
+{
+    if (a.reachable != b.reachable)
+        return false;
+    if (!a.reachable)
+        return true;
+    return a.memHavoc == b.memHavoc && a.regs == b.regs &&
+           a.slots == b.slots;
+}
+
+void
+Engine::applyTransfer(const Inst &inst, State &s) const
+{
+    const AbsVal a = val(s, inst.rs1);
+    const AbsVal b = val(s, inst.rs2);
+    const AbsVal imm = AbsVal::constant(Word(inst.imm));
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        break;
+      case Opcode::ADD:
+      case Opcode::FADD: setReg(s, inst.rd, addVals(a, b)); break;
+      case Opcode::SUB:  setReg(s, inst.rd, subVals(a, b)); break;
+      case Opcode::MUL:
+      case Opcode::FMUL: setReg(s, inst.rd, mulVals(a, b)); break;
+      case Opcode::DIVQ:
+      case Opcode::FDIV: setReg(s, inst.rd, divVals(a, b)); break;
+      case Opcode::AND:  setReg(s, inst.rd, andVals(a, b)); break;
+      case Opcode::OR:   setReg(s, inst.rd, orVals(a, b)); break;
+      case Opcode::XOR:  setReg(s, inst.rd, xorVals(a, b)); break;
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::SRA:
+        setReg(s, inst.rd, shiftVar(inst.op, a, b));
+        break;
+      case Opcode::SLT:
+        setReg(s, inst.rd, boolVal(provedLtS(a, b)));
+        break;
+      case Opcode::SLTU:
+        setReg(s, inst.rd, boolVal(provedLtU(a, b)));
+        break;
+      case Opcode::SEQ:
+        setReg(s, inst.rd, boolVal(provedEq(a, b)));
+        break;
+      case Opcode::ADDI: setReg(s, inst.rd, addVals(a, imm)); break;
+      case Opcode::MULI: setReg(s, inst.rd, mulVals(a, imm)); break;
+      case Opcode::ANDI: setReg(s, inst.rd, andVals(a, imm)); break;
+      case Opcode::ORI:  setReg(s, inst.rd, orVals(a, imm)); break;
+      case Opcode::XORI: setReg(s, inst.rd, xorVals(a, imm)); break;
+      case Opcode::SHLI:
+        setReg(s, inst.rd, shlConst(a, unsigned(inst.imm & 63)));
+        break;
+      case Opcode::SHRI:
+        setReg(s, inst.rd, shrConst(a, unsigned(inst.imm & 63)));
+        break;
+      case Opcode::SLTI:
+        setReg(s, inst.rd, boolVal(provedLtS(a, imm)));
+        break;
+      case Opcode::SEQI:
+        setReg(s, inst.rd, boolVal(provedEq(a, imm)));
+        break;
+      case Opcode::LI:
+        setReg(s, inst.rd, AbsVal::constant(Word(inst.imm)));
+        break;
+      case Opcode::LD: {
+        const AbsVal addr = addVals(a, imm);
+        AbsVal loaded = AbsVal::top();
+        if (addr.isConstant()) {
+            const Word ea = addr.constantValue();
+            if (const std::size_t ti = slotIndex(ea);
+                ti < slotAddrs.size()) {
+                loaded = s.slots[ti];
+            } else if (!s.memHavoc && ea % sizeof(Word) == 0) {
+                // Untouched memory still holds the initial image; if
+                // the access faults instead, nothing retires and the
+                // claim is vacuous.
+                loaded = AbsVal::constant(imageWord(ea));
+            }
+        }
+        setReg(s, inst.rd, loaded);
+        break;
+      }
+      case Opcode::ST: {
+        const AbsVal addr = addVals(a, imm);
+        if (addr.isConstant()) {
+            const Word ea = addr.constantValue();
+            if (const std::size_t ti = slotIndex(ea);
+                ti < slotAddrs.size()) {
+                s.slots[ti] = b; // strong update: address is exact
+            } else {
+                s.memHavoc = true;
+            }
+        } else {
+            s.memHavoc = true;
+            for (std::size_t ti = 0; ti < slotAddrs.size(); ++ti)
+                if (addr.contains(slotAddrs[ti]))
+                    s.slots[ti] = AbsVal::join(s.slots[ti], b);
+        }
+        break;
+      }
+      default:
+        // Control transfers are handled by the edge generator.
+        break;
+    }
+}
+
+std::optional<std::vector<std::uint32_t>>
+Engine::enumerateTargets(const AbsVal &v) const
+{
+    std::vector<std::uint32_t> out;
+    if (v.isEmpty())
+        return out; // infeasible jump: no successors
+    const Word cap = Word(opts.maxIndirectTargets);
+    if (v.count(cap + 1) > cap)
+        return std::nullopt;
+    // A jump outside the image faults concretely (nothing retires past
+    // it), so only contained candidates become edges. Misaligned
+    // candidates floor to an instruction index exactly as fetch() does.
+    auto addCandidate = [&](Word w) {
+        if (v.contains(w) && prog.contains(w))
+            out.push_back(std::uint32_t(prog.indexOf(w)));
+    };
+    // count() proved the feasible set small; one of the two bounds
+    // below is usually tight enough to enumerate directly.
+    if (v.umax - v.umin <= 4096) {
+        for (Word w = v.umin;; ++w) {
+            addCandidate(w);
+            if (w == v.umax)
+                break;
+        }
+    } else {
+        const Word unknown = ~(v.zeros | v.ones);
+        if (std::popcount(unknown) > 12)
+            return std::nullopt;
+        // Enumerate the unknown-bit subsets (known bits fixed).
+        for (Word sub = 0;; sub = (sub - unknown) & unknown) {
+            addCandidate(v.ones | sub);
+            if (sub == unknown)
+                break;
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::size_t, Engine::State>>
+Engine::outEdges(std::size_t idx, const State &in, State *smearOut) const
+{
+    std::vector<std::pair<std::size_t, State>> edges;
+    if (!in.reachable)
+        return edges;
+    const Inst &inst = prog.instAt(idx);
+    const std::size_t n = prog.size();
+    const Addr pc = prog.baseAddr() + Addr(idx) * kInstBytes;
+
+    auto targetIdx = [&]() -> std::size_t {
+        if (inst.target != kNoAddr && prog.contains(inst.target))
+            return prog.indexOf(inst.target);
+        return n; // out of image: the concrete run faults, no edge
+    };
+
+    switch (inst.op) {
+      case Opcode::HALT:
+        break;
+      case Opcode::JMP:
+        if (const std::size_t t = targetIdx(); t < n)
+            edges.emplace_back(t, in);
+        break;
+      case Opcode::CALL: {
+        if (const std::size_t t = targetIdx(); t < n) {
+            State callee = in;
+            setReg(callee, isa::kLinkReg,
+                   AbsVal::constant(pc + kInstBytes));
+            edges.emplace_back(t, std::move(callee));
+        }
+        if (idx + 1 < n) {
+            // Summary edge across the call: the callee may clobber any
+            // register (including the link) and any memory.
+            edges.emplace_back(idx + 1, havocState(in));
+        }
+        break;
+      }
+      case Opcode::JR:
+      case Opcode::RET: {
+        const AbsVal target = val(in, inst.rs1);
+        if (auto targets = enumerateTargets(target)) {
+            for (std::uint32_t t : *targets)
+                edges.emplace_back(std::size_t(t), in);
+        } else if (smearOut) {
+            *smearOut = joinStates(*smearOut, in);
+        }
+        break;
+      }
+      default:
+        if (isa::isCondBranch(inst.op)) {
+            for (const bool taken : {true, false}) {
+                const std::size_t succ =
+                    taken ? targetIdx() : idx + 1;
+                if (succ >= n)
+                    continue;
+                State out = in;
+                if (inst.rs1 == inst.rs2) {
+                    // Same register on both sides: the comparison is
+                    // decided by the opcode alone.
+                    const bool always =
+                        inst.op == Opcode::BEQ ||
+                        inst.op == Opcode::BGE ||
+                        inst.op == Opcode::BGEU;
+                    if (taken != always)
+                        continue;
+                } else {
+                    AbsVal a = val(in, inst.rs1);
+                    AbsVal b = val(in, inst.rs2);
+                    refineBranch(inst.op, taken, a, b);
+                    if (a.isEmpty() || b.isEmpty())
+                        continue; // infeasible arm
+                    setReg(out, inst.rs1, a);
+                    setReg(out, inst.rs2, b);
+                }
+                edges.emplace_back(succ, std::move(out));
+            }
+        } else {
+            if (idx + 1 < n) {
+                State out = in;
+                applyTransfer(inst, out);
+                edges.emplace_back(idx + 1, std::move(out));
+            }
+        }
+    }
+    return edges;
+}
+
+AbsintResult
+Engine::run()
+{
+    AbsintResult res;
+    const std::size_t n = prog.size();
+    res.stats.insts = n;
+    if (n == 0 || n > opts.maxInsts)
+        return res;
+
+    for (const auto &[a, w] : prog.initialData())
+        image[Word(a)] = w;
+
+    // Tracked r0-relative memory slots: every aligned address some
+    // load/store names directly against the zero register.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Inst &inst = prog.instAt(i);
+        if ((inst.op == Opcode::LD || inst.op == Opcode::ST) &&
+            inst.rs1 == isa::kZeroReg &&
+            Word(inst.imm) % sizeof(Word) == 0)
+            slotAddrs.push_back(Word(inst.imm));
+    }
+    std::sort(slotAddrs.begin(), slotAddrs.end());
+    slotAddrs.erase(std::unique(slotAddrs.begin(), slotAddrs.end()),
+                    slotAddrs.end());
+    if (slotAddrs.size() > opts.maxSlots)
+        slotAddrs.resize(opts.maxSlots);
+
+    // Widening points: leaders of back-edge target blocks (the same
+    // loop-head view freq.cc derives its loop intervals from), plus a
+    // visit-count backstop below for cycles that only appear once
+    // indirect edges resolve.
+    std::vector<char> widenPoint(n, 0);
+    const cfg::Cfg graph = cfg::Cfg::build(prog);
+    for (const auto &[u, v] : cfg::backEdges(graph)) {
+        (void)u;
+        widenPoint[prog.indexOf(graph.block(v).start)] = 1;
+    }
+    constexpr unsigned kForceWiden = 64;
+
+    std::vector<State> in(n);
+    std::vector<unsigned> joins(n, 0);
+    std::vector<char> queued(n, 0);
+    std::deque<std::uint32_t> worklist;
+    State smear; // join of every unresolvable indirect out-state
+    bool smearActive = false;
+
+    in[0] = initialState();
+    worklist.push_back(0);
+    queued[0] = 1;
+
+    auto joinInto = [&](std::size_t t, const State &ns) {
+        State next = joinStates(in[t], ns);
+        if (in[t].reachable) {
+            const bool widen =
+                joins[t] >= opts.widenDelay &&
+                (widenPoint[t] || joins[t] >= kForceWiden);
+            if (widen) {
+                State w = next;
+                for (std::size_t r = 0; r < w.regs.size(); ++r)
+                    w.regs[r] = AbsVal::widen(in[t].regs[r], next.regs[r]);
+                for (std::size_t k = 0; k < w.slots.size(); ++k)
+                    w.slots[k] =
+                        AbsVal::widen(in[t].slots[k], next.slots[k]);
+                next = std::move(w);
+            }
+        }
+        if (statesEqual(next, in[t]))
+            return;
+        in[t] = std::move(next);
+        ++joins[t];
+        if (!queued[t]) {
+            queued[t] = 1;
+            worklist.push_back(std::uint32_t(t));
+        }
+    };
+
+    const std::size_t iterationCap = 256 * n + 1024;
+    while (!worklist.empty()) {
+        if (++res.stats.iterations > iterationCap)
+            return res; // give up: no states, trivially sound
+        const std::size_t idx = worklist.front();
+        worklist.pop_front();
+        queued[idx] = 0;
+
+        State newSmear = smearActive ? smear : State{};
+        auto edges = outEdges(idx, in[idx], &newSmear);
+        for (auto &[t, s] : edges)
+            joinInto(t, s);
+        if (newSmear.reachable &&
+            (!smearActive || !statesEqual(newSmear, smear))) {
+            smear = std::move(newSmear);
+            smearActive = true;
+            // The smear flows into every program point.
+            for (std::size_t t = 0; t < n; ++t)
+                joinInto(t, smear);
+        }
+    }
+
+    // Narrowing: Jacobi re-evaluation sweeps without widening. Every
+    // iterate of the monotone transfer from a post-fixpoint remains
+    // above the least fixpoint, so each sweep is sound and can only
+    // tighten.
+    for (unsigned pass = 0; pass < opts.narrowIters; ++pass) {
+        std::vector<State> next(n);
+        next[0] = initialState();
+        State nextSmear;
+        for (std::size_t idx = 0; idx < n; ++idx) {
+            if (!in[idx].reachable)
+                continue;
+            for (auto &[t, s] : outEdges(idx, in[idx], &nextSmear))
+                next[t] = joinStates(next[t], s);
+        }
+        if (nextSmear.reachable)
+            for (std::size_t t = 0; t < n; ++t)
+                next[t] = joinStates(next[t], nextSmear);
+        smearActive = nextSmear.reachable;
+        smear = std::move(nextSmear);
+        in = std::move(next);
+    }
+
+    res.ran = true;
+    res.smeared = smearActive;
+    res.slotAddrs = slotAddrs;
+
+    // Derive proofs and precise indirect edges from the final states.
+    for (std::size_t idx = 0; idx < n; ++idx) {
+        const Inst &inst = prog.instAt(idx);
+        const Addr pc = prog.baseAddr() + Addr(idx) * kInstBytes;
+        if (!in[idx].reachable)
+            ++res.stats.unreachable;
+
+        if (inst.op == Opcode::JR || inst.op == Opcode::RET) {
+            auto targets = !in[idx].reachable
+                               ? std::optional<std::vector<
+                                     std::uint32_t>>({})
+                               : enumerateTargets(val(in[idx], inst.rs1));
+            if (targets) {
+                res.resolvedIndirects[idx] = std::move(*targets);
+                ++res.stats.indirectResolved;
+            } else {
+                ++res.stats.indirectUnresolved;
+            }
+            continue;
+        }
+        if (!isa::isCondBranch(inst.op))
+            continue;
+
+        ++res.stats.branches;
+        BranchProof proof;
+        proof.backward = inst.target != kNoAddr && inst.target <= pc;
+        if (in[idx].reachable) {
+            const AbsVal a = val(in[idx], inst.rs1);
+            const AbsVal b = val(in[idx], inst.rs2);
+            if (!a.isTop())
+                ++res.stats.nontrivialRegs;
+            if (inst.rs2 != inst.rs1 && !b.isTop())
+                ++res.stats.nontrivialRegs;
+            bool feasible[2]; // [0] = fall, [1] = taken
+            for (const bool taken : {false, true}) {
+                if (inst.rs1 == inst.rs2) {
+                    const bool always = inst.op == Opcode::BEQ ||
+                                        inst.op == Opcode::BGE ||
+                                        inst.op == Opcode::BGEU;
+                    feasible[taken] = taken == always;
+                } else {
+                    AbsVal ra = a, rb = b;
+                    refineBranch(inst.op, taken, ra, rb);
+                    feasible[taken] = !ra.isEmpty() && !rb.isEmpty();
+                }
+            }
+            if (feasible[1] && !feasible[0]) {
+                proof.status = BranchProof::Status::Taken;
+                ++res.stats.provedTaken;
+            } else if (feasible[0] && !feasible[1]) {
+                proof.status = BranchProof::Status::NotTaken;
+                ++res.stats.provedNotTaken;
+            }
+            if (proof.backward) {
+                // A finite feasible-value count of the varying operand
+                // bounds how often the loop branch can retest.
+                constexpr Word kTripCap = Word(1) << 20;
+                Word best = kTripCap;
+                for (const AbsVal &v : {a, b})
+                    if (!v.isConstant())
+                        best = std::min(best, v.count(kTripCap));
+                if (best < kTripCap && best > 0) {
+                    proof.tripMax = best;
+                    ++res.stats.tripBounded;
+                }
+            }
+        }
+        res.branchProofs.emplace(pc, proof);
+    }
+
+    res.in = std::move(in);
+    return res;
+}
+
+} // namespace
+
+AbsVal
+AbsintResult::regBefore(std::size_t idx, ArchReg r) const
+{
+    if (!ran || idx >= in.size())
+        return AbsVal::top();
+    if (r == isa::kZeroReg)
+        return AbsVal::constant(0);
+    if (!in[idx].reachable)
+        return AbsVal::empty();
+    return in[idx].regs[r];
+}
+
+BranchProof
+AbsintResult::proofAt(Addr pc) const
+{
+    auto it = branchProofs.find(pc);
+    return it == branchProofs.end() ? BranchProof{} : it->second;
+}
+
+AbsintResult
+runAbsint(const isa::Program &program, const AbsintOptions &opts)
+{
+    return Engine(program, opts).run();
+}
+
+AbsVal
+absintAdd(const AbsVal &a, const AbsVal &b)
+{
+    return addVals(a, b);
+}
+
+} // namespace dmp::analysis

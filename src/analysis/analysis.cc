@@ -10,7 +10,8 @@ namespace dmp::analysis
 {
 
 Report
-analyzeProgram(const isa::Program &program, const AnalysisOptions &opts)
+analyzeProgram(const isa::Program &program, const AnalysisOptions &opts,
+               AnalysisSummary *summary)
 {
     Report report;
     if (program.size() == 0) {
@@ -19,13 +20,34 @@ analyzeProgram(const isa::Program &program, const AnalysisOptions &opts)
         return report;
     }
 
+    AbsintResult absint;
+    if (opts.absint) {
+        AbsintOptions ao;
+        ao.memoryBytes = opts.memoryBytes;
+        ao.narrowIters = opts.absintIterations;
+        absint = runAbsint(program, ao);
+        if (summary) {
+            summary->absintRan = absint.ran;
+            summary->absintSmeared = absint.smeared;
+            summary->absintStats = absint.stats;
+            summary->branchProofs = absint.branchProofs;
+        }
+    }
+
     const cfg::Cfg graph = cfg::Cfg::build(program);
-    const FlowGraph flow(program);
+    // Proven JR/RET target sets sharpen the flow graph: reach() sweeps
+    // through resolved indirects stay exact, so the linter can verify
+    // CFM reachability across them instead of reporting
+    // `cfm-unverifiable`, and a semantically impossible jump no longer
+    // taints the unreachable-code verdicts.
+    const FlowGraph flow(program, absint.ran ? &absint.resolvedIndirects
+                                             : nullptr);
 
     if (opts.verify) {
         VerifyOptions vo;
         vo.memoryBytes = opts.memoryBytes;
-        verifyProgram(program, graph, flow, vo, report);
+        verifyProgram(program, graph, flow, vo, report,
+                      opts.absint ? &absint : nullptr);
     }
     if (opts.lint && !program.allMarks().empty()) {
         const cfg::PostDomTree pdom(graph);

@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/absint.hh"
 #include "analysis/report.hh"
 #include "isa/program.hh"
 #include "profile/profiler.hh"
@@ -41,11 +42,38 @@ struct AnalysisOptions
     bool verify = true;
     /** Run the marking-legality linter passes. */
     bool lint = true;
+    /**
+     * Deep mode: run the abstract-interpretation value analysis
+     * (absint.hh) first and feed it into the other passes — proved
+     * memory violations become Errors, proved-dead branch arms are
+     * reported, and JR/RET instructions with a proved target set get
+     * precise flow edges (upgrading `cfm-unverifiable` Infos to a
+     * definitive verdict). Off by default: batch pre-flight and plain
+     * dmp-lint keep the cheap structural-only behaviour.
+     */
+    bool absint = false;
+    /** Narrowing sweeps when absint is on (dmp-lint --deep=N). */
+    unsigned absintIterations = 2;
+};
+
+/** Optional per-run analysis metadata beyond the findings. */
+struct AnalysisSummary
+{
+    /** The value analysis ran (AnalysisOptions::absint and the engine
+     *  did not decline). */
+    bool absintRan = false;
+    /** An unresolved indirect forced the conservative smear. */
+    bool absintSmeared = false;
+    /** Engine counters (valid when absintRan). */
+    AbsintStats absintStats;
+    /** Proof status of every conditional branch, by address. */
+    std::map<Addr, BranchProof> branchProofs;
 };
 
 /** Run all enabled passes over `program` and collect the findings. */
 Report analyzeProgram(const isa::Program &program,
-                      const AnalysisOptions &opts);
+                      const AnalysisOptions &opts,
+                      AnalysisSummary *summary = nullptr);
 
 /** A pre-flight analysis found error-severity findings. */
 class LintError : public std::runtime_error

@@ -8,7 +8,9 @@ namespace dmp::analysis
 using isa::kInstBytes;
 using isa::Opcode;
 
-FlowGraph::FlowGraph(const isa::Program &program) : prog(program)
+FlowGraph::FlowGraph(const isa::Program &program,
+                     const IndirectResolution *resolved)
+    : prog(program)
 {
     const std::size_t n = program.size();
     succLists.resize(n);
@@ -39,6 +41,14 @@ FlowGraph::FlowGraph(const isa::Program &program) : prog(program)
             break;
           case Opcode::JR:
           case Opcode::RET:
+            if (resolved) {
+                if (auto it = resolved->find(i); it != resolved->end()) {
+                    for (std::uint32_t t : it->second)
+                        if (t < n)
+                            succLists[i].push_back(t);
+                    break; // proven target set: not indirect any more
+                }
+            }
             isIndirect[i] = 1;
             break;
           default:

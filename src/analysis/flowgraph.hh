@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <vector>
 
 #include "isa/program.hh"
@@ -42,11 +43,29 @@ namespace dmp::analysis
 constexpr std::uint32_t kUnreached =
     std::numeric_limits<std::uint32_t>::max();
 
+/**
+ * Proven successor sets of indirect transfers: instruction index of a
+ * JR/RET mapped to the complete set of instruction indices it can
+ * reach. Produced by the abstract interpreter (absint.hh) when the
+ * target's abstract value is enumerable; consumed by FlowGraph to
+ * replace "unknown successors" with precise edges.
+ */
+using IndirectResolution =
+    std::map<std::size_t, std::vector<std::uint32_t>>;
+
 /** Per-instruction successor graph of one Program. */
 class FlowGraph
 {
   public:
-    explicit FlowGraph(const isa::Program &program);
+    /**
+     * @param resolved optional proven successor sets for JR/RET
+     *        instructions; a resolved indirect gets those edges and no
+     *        longer taints reach() sweeps with `hitIndirect`. The sets
+     *        must over-approximate the dynamic targets (absint proofs
+     *        do) or "unreachable" stops being a sound verdict.
+     */
+    explicit FlowGraph(const isa::Program &program,
+                       const IndirectResolution *resolved = nullptr);
 
     std::size_t size() const { return succLists.size(); }
 

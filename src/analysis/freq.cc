@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/absint.hh"
 #include "common/logging.hh"
 
 namespace dmp::analysis
@@ -65,14 +66,8 @@ std::vector<LoopInterval>
 loopIntervals(const Cfg &cfg)
 {
     std::vector<LoopInterval> loops;
-    for (BlockId u = 0; u < BlockId(cfg.size()); ++u) {
-        const BasicBlock &ub = cfg.block(u);
-        for (BlockId v : ub.succs) {
-            const BasicBlock &vb = cfg.block(v);
-            if (vb.start <= ub.start)
-                loops.push_back({vb.start, ub.end});
-        }
-    }
+    for (const auto &[u, v] : cfg::backEdges(cfg))
+        loops.push_back({cfg.block(v).start, cfg.block(u).end});
     return loops;
 }
 
@@ -149,6 +144,7 @@ probHeuristicName(ProbHeuristic h)
     case ProbHeuristic::Guard:    return "guard";
     case ProbHeuristic::Call:     return "call";
     case ProbHeuristic::Opcode:   return "opcode";
+    case ProbHeuristic::Proved:   return "proved";
     }
     return "none";
 }
@@ -161,12 +157,14 @@ FreqEstimate::freqAt(const cfg::Cfg &cfg, Addr pc) const
 }
 
 FreqEstimate
-estimateFrequencies(const isa::Program &program, const cfg::Cfg &cfg)
+estimateFrequencies(const isa::Program &program, const cfg::Cfg &cfg,
+                    const AbsintResult *absint)
 {
     const std::size_t n = cfg.size();
     FreqEstimate est;
     est.blockFreq.assign(n, 0.0);
     est.takenProb.assign(n, 0.5);
+    est.heurTakenProb.assign(n, 0.5);
     est.heuristic.assign(n, ProbHeuristic::None);
     est.loopDepth.assign(n, 0);
     if (n == 0)
@@ -259,7 +257,33 @@ estimateFrequencies(const isa::Program &program, const cfg::Cfg &cfg)
         }
 
         est.takenProb[b] = std::clamp(p, 0.01, 0.99);
+        est.heurTakenProb[b] = est.takenProb[b];
         est.heuristic[b] = primary;
+
+        // Value-analysis proofs trump every heuristic: a one-sided
+        // branch gets an exact 0/1 probability, a trip-bounded loop
+        // branch retests at most tripMax times before falling through.
+        if (absint && absint->ran) {
+            const BranchProof proof = absint->proofAt(pc);
+            if (proof.status == BranchProof::Status::Taken) {
+                est.takenProb[b] = 1.0;
+                est.heuristic[b] = ProbHeuristic::Proved;
+            } else if (proof.status == BranchProof::Status::NotTaken) {
+                est.takenProb[b] = 0.0;
+                est.heuristic[b] = ProbHeuristic::Proved;
+            } else if (proof.backward && proof.tripMax > 0) {
+                // tripMax is an *upper bound* on consecutive taken
+                // executions, so it can only cap the taken probability
+                // (a short proved loop beats the "~8 iterations"
+                // guess); a loose bound carries no information.
+                const double cap = double(proof.tripMax) /
+                                   double(proof.tripMax + 1);
+                if (cap < est.takenProb[b]) {
+                    est.takenProb[b] = cap;
+                    est.heuristic[b] = ProbHeuristic::Proved;
+                }
+            }
+        }
     }
 
     // Pass 2: collect interprocedural call edges. CALL does not end a

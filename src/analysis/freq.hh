@@ -27,6 +27,8 @@
 namespace dmp::analysis
 {
 
+struct AbsintResult;
+
 /** The branch-probability heuristic that contributed most evidence. */
 enum class ProbHeuristic : std::uint8_t
 {
@@ -38,6 +40,7 @@ enum class ProbHeuristic : std::uint8_t
     Guard,    ///< null-test guarding a dereference side
     Call,     ///< exactly one side performs a call
     Opcode,   ///< equality compares are rarely true (BEQ/BNE bias)
+    Proved,   ///< abstract interpretation proved the probability
 };
 
 /** Stable lowercase name of a heuristic (report/JSON vocabulary). */
@@ -56,6 +59,14 @@ struct FreqEstimate
      * block; 0.5 for blocks that do not end in one.
      */
     std::vector<double> takenProb;
+    /**
+     * takenProb before any value-analysis proof override: the pure
+     * syntactic estimate, clamped to [0.01, 0.99]. The marking cost
+     * model derives its mispredict estimate from this one — a proved
+     * bias sharpens frequencies but says nothing about the dynamic
+     * predictor, so it must not unmark branches the heuristics keep.
+     */
+    std::vector<double> heurTakenProb;
     /** Strongest heuristic behind takenProb. */
     std::vector<ProbHeuristic> heuristic;
     /** Natural-loop nesting depth (address-interval approximation). */
@@ -68,9 +79,17 @@ struct FreqEstimate
 /**
  * Estimate branch probabilities and block frequencies for `program`.
  * `cfg` must be the Cfg of the same program.
+ *
+ * When `absint` is non-null and ran, proofs override the heuristics:
+ * a branch proved one-sided gets probability exactly 1 (always taken)
+ * or 0 (never taken), and a backward branch with a proved trip bound T
+ * gets T/(T+1) — replacing the fixed "loops iterate ~8 times" guess
+ * with a program-specific bound. All three report ProbHeuristic::Proved
+ * and skip the [0.01, 0.99] heuristic clamp.
  */
 FreqEstimate estimateFrequencies(const isa::Program &program,
-                                 const cfg::Cfg &cfg);
+                                 const cfg::Cfg &cfg,
+                                 const AbsintResult *absint = nullptr);
 
 } // namespace dmp::analysis
 

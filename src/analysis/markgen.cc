@@ -65,7 +65,12 @@ prunedSuccs(const isa::Program &program, const Cfg &graph,
         const BlockId taken = program.contains(inst.target)
                                   ? graph.blockStartingAt(inst.target)
                                   : kNoBlock;
-        const double p = freq.takenProb[b];
+        // Heuristic probability, not the proof-refined one: a proved
+        // 0/1 would prune the dead edge and move the frequent-path
+        // post-dominators, relocating CFM points and early-exit
+        // thresholds of *other* branches. CFM placement stays a pure
+        // function of the heuristics so proofs cannot perturb it.
+        const double p = freq.heurTakenProb[b];
         for (BlockId s : bb.succs) {
             const double ep = (s == taken) ? p : 1.0 - p;
             if (ep >= prune)
@@ -103,7 +108,19 @@ synthesizeMarks(isa::Program &program, const MarkGenConfig &cfg)
     const Cfg graph = Cfg::build(program);
     if (graph.size() == 0)
         return report;
-    const FreqEstimate freq = estimateFrequencies(program, graph);
+    AbsintResult absint;
+    if (cfg.useAbsint) {
+        // Proofs are exact for *this* image (seeded immediates and
+        // initial data included), so the caller must analyze the image
+        // it will actually run — prepareMarkedProgram/BatchRunner
+        // synthesize static marks on the ref build, never transferring
+        // them from the differently-seeded train build.
+        absint = runAbsint(program);
+        report.absintRan = absint.ran;
+        report.absintStats = absint.stats;
+    }
+    const FreqEstimate freq = estimateFrequencies(
+        program, graph, cfg.useAbsint ? &absint : nullptr);
     const cfg::PostDomTree pdom(graph);
     const FlowGraph flow(program);
     const std::vector<BlockId> fpIpdom = cfg::computeIpdoms(
@@ -146,9 +163,25 @@ synthesizeMarks(isa::Program &program, const MarkGenConfig &cfg)
         cand.takenProb = freq.takenProb[b];
         cand.heuristic = freq.heuristic[b];
         cand.blockFreq = freq.blockFreq[b];
-        cand.mispredictEstimate =
-            std::min(cand.takenProb, 1.0 - cand.takenProb);
+        // Mispredict estimate from the *heuristic* probability, even
+        // when a proof pinned takenProb to 0/1: a proved static bias
+        // sharpens frequencies and trip bounds but says nothing about
+        // the dynamic predictor or the machine-level effects of the
+        // mark itself, so it must not flip a branch the heuristics
+        // would select to "predictable" (measured: unmarking mcf's
+        // proved one-sided branches costs it a third of its static
+        // flush reduction).
+        cand.mispredictEstimate = std::min(freq.heurTakenProb[b],
+                                           1.0 - freq.heurTakenProb[b]);
         cand.isLoop = inst.target != kNoAddr && inst.target <= pc;
+        if (absint.ran) {
+            const BranchProof proof = absint.proofAt(pc);
+            if (proof.status == BranchProof::Status::Taken)
+                cand.proof = "taken";
+            else if (proof.status == BranchProof::Status::NotTaken)
+                cand.proof = "not-taken";
+            cand.tripBound = proof.tripMax;
+        }
 
         const auto finish = [&](std::string reason) {
             cand.reason = std::move(reason);
@@ -204,8 +237,12 @@ synthesizeMarks(isa::Program &program, const MarkGenConfig &cfg)
                 cand.meanDistance = (dTaken + dFall) / 2.0;
                 // False path: the side the branch does NOT go. Taken
                 // with probability p leaves the fall side predicated.
-                cand.predicatedWork = cand.takenProb * dFall +
-                                      (1.0 - cand.takenProb) * dTaken;
+                // Heuristic p, like the mispredict estimate above:
+                // the cost model is a predictor/episode model, which
+                // proofs are not part of.
+                const double hp = freq.heurTakenProb[b];
+                cand.predicatedWork =
+                    hp * dFall + (1.0 - hp) * dTaken;
             }
             cand.cfmPoints.push_back(addr);
         };
@@ -368,6 +405,17 @@ markGenTargetJson(const std::string &target, const MarkGenReport &report,
        << ",\"lint\":{\"errors\":" << report.lintErrors
        << ",\"warnings\":" << report.lintWarnings
        << ",\"infos\":" << report.lintInfos << "}";
+    if (report.absintRan) {
+        const AbsintStats &s = report.absintStats;
+        os << ",\"absint\":{\"insts\":" << s.insts
+           << ",\"unreachable\":" << s.unreachable
+           << ",\"branches\":" << s.branches
+           << ",\"proved_taken\":" << s.provedTaken
+           << ",\"proved_not_taken\":" << s.provedNotTaken
+           << ",\"trip_bounded\":" << s.tripBounded
+           << ",\"indirect_resolved\":" << s.indirectResolved
+           << ",\"indirect_unresolved\":" << s.indirectUnresolved << "}";
+    }
     if (agreement)
         os << ",\"agreement\":{" << agreementJson(*agreement) << "}";
     os << ",\"candidates\":[";
@@ -390,7 +438,9 @@ markGenTargetJson(const std::string &target, const MarkGenReport &report,
            << ",\"net\":" << fnum(c.netBenefit)
            << ",\"loop\":" << (c.isLoop ? "true" : "false")
            << ",\"selected\":" << (c.selected ? "true" : "false")
-           << ",\"reason\":\"" << jsonEscape(c.reason) << "\"}";
+           << ",\"reason\":\"" << jsonEscape(c.reason) << "\""
+           << ",\"proof\":\"" << c.proof << "\""
+           << ",\"trip_max\":" << c.tripBound << "}";
     }
     os << "]}";
     return os.str();
@@ -409,6 +459,15 @@ markGenText(const std::string &target, const MarkGenReport &report,
     os << "  lint:  errors=" << report.lintErrors
        << " warnings=" << report.lintWarnings
        << " infos=" << report.lintInfos << "\n";
+    if (report.absintRan) {
+        const AbsintStats &s = report.absintStats;
+        os << "  absint: " << (s.provedTaken + s.provedNotTaken) << "/"
+           << s.branches << " branches proved one-sided, "
+           << s.tripBounded << " trip-bounded, " << s.indirectResolved
+           << "/" << (s.indirectResolved + s.indirectUnresolved)
+           << " indirects resolved, " << s.unreachable << "/" << s.insts
+           << " insts unreachable\n";
+    }
     if (agreement) {
         os << "  vs profile: static=" << agreement->staticDiverge
            << " profiled=" << agreement->profileDiverge
@@ -427,7 +486,7 @@ markGenText(const std::string &target, const MarkGenReport &report,
             std::snprintf(
                 line, sizeof(line),
                 "  %-11s %-6.3f %-10s %-11.5g %-7.3f %-6.3g %-6.3g "
-                "%-6.3g %-11.5g %s%s\n",
+                "%-6.3g %-11.5g %s%s",
                 hex(c.pc).c_str(), c.takenProb,
                 probHeuristicName(c.heuristic), c.blockFreq,
                 c.mispredictEstimate, c.meanDistance, c.predicatedWork,
@@ -435,6 +494,11 @@ markGenText(const std::string &target, const MarkGenReport &report,
                 c.selected ? "MARK" : c.reason.c_str(),
                 c.isLoop && c.selected ? " (loop)" : "");
             os << line;
+            if (c.proof != "none")
+                os << " [proved " << c.proof << "]";
+            if (c.tripBound)
+                os << " [trip<=" << c.tripBound << "]";
+            os << "\n";
         }
     }
     return os.str();

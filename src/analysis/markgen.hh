@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.hh"
 #include "analysis/freq.hh"
 #include "isa/program.hh"
 #include "profile/profiler.hh"
@@ -83,6 +84,16 @@ struct MarkGenConfig
     double pruneProbability = 0.10;
     /** Also mark simple hammocks (the DHP baseline marking). */
     bool markHammocks = true;
+    /**
+     * Refine the frequency estimate with abstract interpretation
+     * (absint.hh): branches proved one-sided get probability 0/1 in
+     * the frequency propagation and proved loop trip bounds cap the
+     * fixed iteration guess; per-branch proof status lands in the
+     * report. The selection gate keeps the heuristic mispredict
+     * estimate (see MarkCandidate::mispredictEstimate). Off reproduces
+     * the pre-absint pure-heuristic marking.
+     */
+    bool useAbsint = true;
 };
 
 /** One examined conditional branch with its full cost breakdown. */
@@ -94,7 +105,9 @@ struct MarkCandidate
     ProbHeuristic heuristic = ProbHeuristic::None;
     /** Estimated executions of the branch per run. */
     double blockFreq = 0;
-    /** Estimated misprediction rate (min(p, 1-p) static bound). */
+    /** Estimated misprediction rate: min(p, 1-p) of the *heuristic*
+     *  probability (proof overrides sharpen takenProb but are not a
+     *  predictor model, so they do not feed the selection gate). */
     double mispredictEstimate = 0;
     /** Chosen CFM points, nearest merge first (empty: none legal). */
     std::vector<Addr> cfmPoints;
@@ -111,6 +124,10 @@ struct MarkCandidate
     bool selected = false;
     /** "selected" or the reason the candidate was rejected. */
     std::string reason;
+    /** Value-analysis proof status: "none", "taken", or "not-taken". */
+    std::string proof = "none";
+    /** Proved loop trip bound (0: none). */
+    std::uint64_t tripBound = 0;
 };
 
 /** Synthesis output: every candidate examined plus mark counts. */
@@ -127,6 +144,11 @@ struct MarkGenReport
     std::size_t lintErrors = 0;
     std::size_t lintWarnings = 0;
     std::size_t lintInfos = 0;
+    /** The absint refinement ran (MarkGenConfig::useAbsint and the
+     *  engine did not decline). */
+    bool absintRan = false;
+    /** Engine counters when absintRan (for the JSON absint block). */
+    AbsintStats absintStats;
 };
 
 /**

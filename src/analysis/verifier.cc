@@ -2,8 +2,11 @@
 
 #include <bitset>
 #include <deque>
+#include <set>
 #include <sstream>
+#include <utility>
 
+#include "analysis/absint.hh"
 #include "analysis/flowgraph.hh"
 #include "isa/isa.hh"
 
@@ -234,99 +237,143 @@ checkCallDiscipline(const isa::Program &prog, const cfg::Cfg &graph,
 }
 
 /**
- * Forward may-be-uninitialized register dataflow over the Cfg.
+ * Instruction-granular register-initialization dataflow over the
+ * FlowGraph.
  *
- * Must-initialized sets per block (top = all initialized); the entry
- * block starts with only r0. Blocks without Cfg predecessors other
- * than the entry (function bodies entered via CALL, which the
- * intra-procedural Cfg does not link) stay at top so callee parameter
- * registers do not produce false positives.
+ * Two forward analyses run together: *must*-initialized (intersection
+ * over predecessors; a miss means some path reaches the read without a
+ * write) and *may*-initialized (union; a miss means no path writes the
+ * register at all). A read of a never-written register is a definite
+ * `read-before-write`; a read whose register is written on only some
+ * incoming paths is `read-before-write-maybe`. Both stay informational:
+ * the ISA zero-initializes the register file.
+ *
+ * Because the lattice is per-instruction, a write followed by a read
+ * inside the same basic block is clean — the old block-level analysis
+ * flagged those. Callee bodies inherit caller state through the CALL
+ * edge; the summary fall-through edge havocs the may-set (the callee
+ * may write anything) and guarantees only the link register, so no
+ * *definite* finding ever fires downstream of a call.
  */
 void
 checkRegisterInit(const isa::Program &prog, const cfg::Cfg &graph,
-                  Report &report)
+                  const FlowGraph &flow, Report &report)
 {
     using RegSet = std::bitset<isa::kNumArchRegs>;
-    const std::size_t nb = graph.size();
-    if (nb == 0)
+    const std::size_t n = prog.size();
+    if (n == 0)
         return;
 
-    auto blockWrites = [&](const cfg::BasicBlock &bb) {
-        RegSet w;
-        for (Addr pc = bb.start; pc < bb.end; pc += kInstBytes) {
-            const Inst &inst = prog.fetch(pc);
-            if (isa::writesDest(inst))
-                w.set(inst.op == Opcode::CALL ? isa::kLinkReg : inst.rd);
-        }
-        return w;
+    auto writeOf = [&](const Inst &inst) -> int {
+        if (!isa::writesDest(inst))
+            return -1;
+        return inst.op == Opcode::CALL ? int(isa::kLinkReg)
+                                       : int(inst.rd);
     };
 
-    RegSet top;
-    top.set();
-    std::vector<RegSet> in(nb, top), out(nb);
-    RegSet entry_in;
-    entry_in.set(isa::kZeroReg);
-    in[graph.entry()] = entry_in;
-    for (std::size_t b = 0; b < nb; ++b)
-        out[b] = in[b] | blockWrites(graph.block(b));
+    std::vector<RegSet> must(n), may(n);
+    std::vector<char> seen(n, 0), queued(n, 0);
+    RegSet entry;
+    entry.set(isa::kZeroReg);
+    must[0] = entry;
+    may[0] = entry;
+    seen[0] = 1;
 
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (std::size_t b = 0; b < nb; ++b) {
-            const cfg::BasicBlock &bb = graph.block(b);
-            RegSet next_in = cfg::BlockId(b) == graph.entry()
-                                 ? entry_in
-                                 : top;
-            for (cfg::BlockId p : bb.preds)
-                next_in &= out[p];
-            if (cfg::BlockId(b) == graph.entry())
-                next_in = entry_in; // the entry has no initialized state
-            if (next_in != in[b]) {
-                in[b] = next_in;
-                changed = true;
+    std::deque<std::uint32_t> queue{0};
+    queued[0] = 1;
+    while (!queue.empty()) {
+        const std::uint32_t i = queue.front();
+        queue.pop_front();
+        queued[i] = 0;
+        const Inst &inst = prog.instAt(i);
+        RegSet outMust = must[i], outMay = may[i];
+        if (const int w = writeOf(inst); w >= 0) {
+            outMust.set(std::size_t(w));
+            outMay.set(std::size_t(w));
+        }
+        for (const std::uint32_t s : flow.succs(i)) {
+            RegSet sMust = outMust, sMay = outMay;
+            if (inst.op == Opcode::CALL && s == i + 1) {
+                // Summary edge across the callee: it may write any
+                // register but guarantees only the link.
+                sMay.set();
+                sMust = must[i];
+                sMust.set(isa::kLinkReg);
             }
-            RegSet next_out = in[b] | blockWrites(bb);
-            if (next_out != out[b]) {
-                out[b] = next_out;
+            bool changed = false;
+            if (!seen[s]) {
+                seen[s] = 1;
+                must[s] = sMust;
+                may[s] = sMay;
                 changed = true;
+            } else {
+                const RegSet nm = must[s] & sMust;
+                const RegSet ny = may[s] | sMay;
+                if (nm != must[s] || ny != may[s]) {
+                    must[s] = nm;
+                    may[s] = ny;
+                    changed = true;
+                }
+            }
+            if (changed && !queued[s]) {
+                queued[s] = 1;
+                queue.push_back(s);
             }
         }
     }
 
-    // Report pass: walk each block with its running set.
-    for (std::size_t b = 0; b < nb; ++b) {
-        const cfg::BasicBlock &bb = graph.block(b);
-        RegSet live = in[b];
-        for (Addr pc = bb.start; pc < bb.end; pc += kInstBytes) {
-            const Inst &inst = prog.fetch(pc);
-            auto checkRead = [&](ArchReg r) {
-                if (live.test(r))
-                    return;
-                std::string msg = "r";
-                msg += std::to_string(unsigned(r));
-                msg += " may be read before any write reaches it "
-                       "(reads the architectural zero-initial value)";
+    // Report pass: one finding per (block, register) to keep a loop
+    // that re-reads the same uninitialized register from flooding.
+    std::set<std::pair<std::int32_t, ArchReg>> reported;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!seen[i])
+            continue;
+        const Inst &inst = prog.instAt(i);
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        const std::int32_t block = blockOf(graph, pc);
+        auto checkRead = [&](ArchReg r) {
+            if (must[i].test(r))
+                return;
+            if (!reported.insert({block, r}).second)
+                return;
+            std::string msg = "r";
+            msg += std::to_string(unsigned(r));
+            if (!may[i].test(r)) {
+                msg += " is read but no path writes it first (reads "
+                       "the architectural zero-initial value)";
                 report.add(Severity::Info, "read-before-write", pc,
-                           std::int32_t(b), std::move(msg));
-                live.set(r); // one finding per register per block
-            };
-            if (isa::readsSrc1(inst))
-                checkRead(inst.rs1);
-            if (isa::readsSrc2(inst))
-                checkRead(inst.rs2);
-            if (isa::writesDest(inst))
-                live.set(inst.op == Opcode::CALL ? isa::kLinkReg
-                                                 : inst.rd);
-        }
+                           block, std::move(msg));
+            } else {
+                msg += " is written on only some paths to this read "
+                       "(other paths read the architectural "
+                       "zero-initial value)";
+                report.add(Severity::Info, "read-before-write-maybe",
+                           pc, block, std::move(msg));
+            }
+        };
+        if (isa::readsSrc1(inst))
+            checkRead(inst.rs1);
+        if (isa::readsSrc2(inst))
+            checkRead(inst.rs2);
     }
 }
 
-/** Load/store alignment + segment sanity where statically provable. */
+/**
+ * Load/store alignment + segment sanity where statically provable.
+ *
+ * An r0 base makes the effective address exactly the immediate. With an
+ * absint result, computed addresses are checked against their abstract
+ * value: a known-one low bit proves misalignment and an unsigned lower
+ * bound past the data space proves out-of-bounds — both promoted to the
+ * same Error codes as the exact r0 case. A proved-clean address
+ * suppresses the odd-offset Info.
+ */
 void
 checkMemOps(const isa::Program &prog, const cfg::Cfg &graph,
-            const VerifyOptions &opts, Report &report)
+            const VerifyOptions &opts, const AbsintResult *absint,
+            Report &report)
 {
+    constexpr Word kAlignMask = sizeof(Word) - 1;
     for (std::size_t i = 0; i < prog.size(); ++i) {
         const Inst &inst = prog.instAt(i);
         if (inst.op != Opcode::LD && inst.op != Opcode::ST)
@@ -350,7 +397,40 @@ checkMemOps(const isa::Program &prog, const cfg::Cfg &graph,
                                std::to_string(opts.memoryBytes) +
                                "-byte data space");
             }
-        } else if (inst.imm % std::int64_t(sizeof(Word)) != 0) {
+            continue;
+        }
+        if (absint && absint->ran) {
+            const AbsVal addr = absintAdd(
+                absint->regBefore(i, inst.rs1),
+                AbsVal::constant(static_cast<Word>(inst.imm)));
+            if (addr.isEmpty())
+                continue; // instruction unreachable: nothing to prove
+            if ((addr.ones & kAlignMask) != 0) {
+                report.add(Severity::Error, "mem-unaligned", pc,
+                           blockOf(graph, pc),
+                           std::string(isa::opcodeName(inst.op)) +
+                               " address is provably unaligned (low "
+                               "bits " +
+                               std::to_string(addr.ones & kAlignMask) +
+                               " are always set)");
+                continue;
+            }
+            if (opts.memoryBytes && addr.umin >= opts.memoryBytes) {
+                report.add(Severity::Error, "mem-oob", pc,
+                           blockOf(graph, pc),
+                           std::string(isa::opcodeName(inst.op)) +
+                               " address is provably >= " +
+                               hex(addr.umin) + ", beyond the " +
+                               std::to_string(opts.memoryBytes) +
+                               "-byte data space");
+                continue;
+            }
+            const bool provedAligned =
+                (addr.zeros & kAlignMask) == kAlignMask;
+            if (provedAligned)
+                continue; // proved clean: no odd-offset noise
+        }
+        if (inst.imm % std::int64_t(sizeof(Word)) != 0) {
             // Base unknown: an odd offset only works when the base
             // compensates, which no workload generator does.
             report.add(Severity::Info, "mem-odd-offset", pc,
@@ -363,20 +443,79 @@ checkMemOps(const isa::Program &prog, const cfg::Cfg &graph,
     }
 }
 
+/**
+ * Findings only the value analysis can make: branch arms proved
+ * infeasible, and code reachable in the structural graph but proved
+ * unreachable semantically (e.g. guarded by a constant condition).
+ */
+void
+checkAbsintDeadCode(const isa::Program &prog, const cfg::Cfg &graph,
+                    const FlowGraph &flow, const AbsintResult &absint,
+                    Report &report)
+{
+    if (!absint.ran)
+        return;
+    const std::size_t n = prog.size();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Inst &inst = prog.instAt(i);
+        if (!isa::isCondBranch(inst.op))
+            continue;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        const BranchProof proof = absint.proofAt(pc);
+        if (proof.status == BranchProof::Status::None)
+            continue;
+        const bool taken = proof.status == BranchProof::Status::Taken;
+        report.add(Severity::Warn, "dead-branch-arm", pc,
+                   blockOf(graph, pc),
+                   std::string(isa::opcodeName(inst.op)) + " is proved " +
+                       (taken ? "always" : "never") + " taken: the " +
+                       (taken ? "fall-through" : "taken") +
+                       " arm is unreachable");
+    }
+
+    // Semantic unreachability beyond the structural sweep, grouped
+    // into maximal address ranges like checkReachability's findings.
+    const FlowGraph::Reach r = flow.reach(0);
+    std::size_t i = 0;
+    while (i < n) {
+        const bool dead =
+            i < absint.in.size() && !absint.in[i].reachable && r.reached(i);
+        if (!dead) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j + 1 < n && j + 1 < absint.in.size() &&
+               !absint.in[j + 1].reachable && r.reached(j + 1))
+            ++j;
+        const Addr pc = prog.baseAddr() + i * kInstBytes;
+        const Addr end = prog.baseAddr() + (j + 1) * kInstBytes;
+        report.add(Severity::Info, "unreachable-code-absint", pc,
+                   blockOf(graph, pc),
+                   std::to_string(j - i + 1) +
+                       " instruction(s) proved unreachable by value "
+                       "analysis [" + hex(pc) + ", " + hex(end) + ")");
+        i = j + 1;
+    }
+}
+
 } // namespace
 
 void
 verifyProgram(const isa::Program &program, const cfg::Cfg &graph,
               const FlowGraph &flow, const VerifyOptions &opts,
-              Report &report)
+              Report &report, const AbsintResult *absint)
 {
     checkTargets(program, graph, report);
     checkFallthroughEnd(program, graph, report);
     checkReturnEncoding(program, graph, report);
     checkReachability(program, graph, flow, report);
     checkCallDiscipline(program, graph, report);
-    checkRegisterInit(program, graph, report);
-    checkMemOps(program, graph, opts, report);
+    checkRegisterInit(program, graph, flow, report);
+    checkMemOps(program, graph, opts, absint, report);
+    if (absint)
+        checkAbsintDeadCode(program, graph, flow, *absint, report);
 }
 
 } // namespace dmp::analysis

@@ -12,12 +12,19 @@
  *    with a provably empty call stack
  *  - no statically unreachable code (warning; informational when the
  *    program contains indirect jumps whose targets are unknown)
- *  - a forward may-be-uninitialized register dataflow over the Cfg
- *    (informational: the ISA zero-initializes the register file, so a
- *    read-before-write is defined behaviour — but it usually marks a
- *    program-generator bug)
+ *  - an instruction-granular must/may register-initialization dataflow
+ *    over the FlowGraph, splitting findings into *definitely* read
+ *    before any write (`read-before-write`) and read before a write on
+ *    only *some* paths (`read-before-write-maybe`). Informational: the
+ *    ISA zero-initializes the register file, so either is defined
+ *    behaviour — but it usually marks a program-generator bug
  *  - load/store segment and alignment sanity where the effective
- *    address is statically known (r0 base)
+ *    address is statically known (r0 base), extended to *proved*
+ *    violations on computed addresses when an abstract-interpretation
+ *    result (absint.hh) is supplied
+ *  - with an absint result: conditional-branch arms proved infeasible
+ *    (`dead-branch-arm`) and semantically unreachable code the purely
+ *    structural reachability sweep cannot see (`unreachable-code-absint`)
  *
  * Every check is read-only; findings are appended to the caller's
  * Report.
@@ -36,6 +43,7 @@ namespace dmp::analysis
 {
 
 class FlowGraph;
+struct AbsintResult;
 
 /** Knobs of the program verifier. */
 struct VerifyOptions
@@ -49,13 +57,15 @@ struct VerifyOptions
 
 /**
  * Run every verifier pass over `program`, appending findings.
- * @param graph block-level Cfg of the same program (for block ids and
- *        the register dataflow)
+ * @param graph block-level Cfg of the same program (for block ids)
  * @param flow instruction-level may-reach graph of the same program
+ * @param absint optional value-analysis result over the same program;
+ *        enables proved-address memory errors, dead-arm findings, and
+ *        semantic unreachability
  */
 void verifyProgram(const isa::Program &program, const cfg::Cfg &graph,
                    const FlowGraph &flow, const VerifyOptions &opts,
-                   Report &report);
+                   Report &report, const AbsintResult *absint = nullptr);
 
 } // namespace dmp::analysis
 

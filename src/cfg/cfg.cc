@@ -132,4 +132,15 @@ Cfg::blockStartingAt(Addr pc) const
     return it == startIndex.end() ? kNoBlock : it->second;
 }
 
+std::vector<std::pair<BlockId, BlockId>>
+backEdges(const Cfg &cfg)
+{
+    std::vector<std::pair<BlockId, BlockId>> edges;
+    for (BlockId u = 0; u < BlockId(cfg.size()); ++u)
+        for (BlockId v : cfg.block(u).succs)
+            if (cfg.block(v).start <= cfg.block(u).start)
+                edges.emplace_back(u, v);
+    return edges;
+}
+
 } // namespace dmp::cfg

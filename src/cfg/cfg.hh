@@ -79,6 +79,15 @@ class Cfg
     BlockId entryBlock = kNoBlock;
 };
 
+/**
+ * All back edges (u, v) of the graph: successor edges whose target
+ * block starts at or before the source block. Workload code lays loops
+ * out contiguously, so [v.start, u.end) is the loop body — the address
+ * interval the frequency estimator's loop-depth view and the abstract
+ * interpreter's widening-point selection are both built on.
+ */
+std::vector<std::pair<BlockId, BlockId>> backEdges(const Cfg &cfg);
+
 } // namespace dmp::cfg
 
 #endif // DMP_CFG_CFG_HH

@@ -166,45 +166,57 @@ BatchRunner::preparedProgram(const SimConfig &cfg)
 {
     const std::string pkey = profileFingerprint(cfg);
 
+    // Static synthesis needs no training run and must analyze the
+    // binary that executes (the train build's seeded immediates
+    // differ, so value-analysis proofs made there need not hold on
+    // the ref build). Level 1 is skipped entirely; the marking and
+    // its pre-flight happen on the ref program in level 2.
+    const bool staticMarks = cfg.markMode == MarkMode::Static;
+
     // Level 1: profile + mark the train binary, once per pkey. The
     // first requester computes; concurrent requesters for the same key
     // block on the shared_future instead of re-profiling.
-    std::shared_future<std::shared_ptr<const TrainEntry>> trainFut;
-    std::promise<std::shared_ptr<const TrainEntry>> trainProm;
-    bool ownTrain = false;
-    {
-        std::lock_guard lk(mtx);
-        auto it = trainCache.find(pkey);
-        if (it != trainCache.end()) {
-            nProfileHits.fetch_add(1, std::memory_order_relaxed);
-            trainFut = it->second;
-        } else {
-            ownTrain = true;
-            trainFut = trainProm.get_future().share();
-            trainCache.emplace(pkey, trainFut);
-            nProfileRuns.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const TrainEntry> train;
+    if (!staticMarks) {
+        std::shared_future<std::shared_ptr<const TrainEntry>> trainFut;
+        std::promise<std::shared_ptr<const TrainEntry>> trainProm;
+        bool ownTrain = false;
+        {
+            std::lock_guard lk(mtx);
+            auto it = trainCache.find(pkey);
+            if (it != trainCache.end()) {
+                nProfileHits.fetch_add(1, std::memory_order_relaxed);
+                trainFut = it->second;
+            } else {
+                ownTrain = true;
+                trainFut = trainProm.get_future().share();
+                trainCache.emplace(pkey, trainFut);
+                nProfileRuns.fetch_add(1, std::memory_order_relaxed);
+            }
         }
-    }
-    if (ownTrain) {
-        try {
-            auto e = std::make_shared<TrainEntry>();
-            e->train = workloads::buildWorkload(cfg.workload, cfg.train);
-            e->report = markTrainProgram(e->train, cfg);
-            // Pre-flight: lint the freshly marked program once per
-            // cache entry. An illegal marking throws here, before any
-            // simulation consumes it, and every waiter of this entry
-            // observes the same LintError through the shared_future.
-            analysis::AnalysisOptions ao;
-            ao.marker = cfg.marker;
-            ao.maxPredicateDepth = cfg.core.predRegisters;
-            ao.memoryBytes = cfg.core.memoryBytes;
-            analysis::preflightOrThrow(e->train, ao, cfg.workload);
-            trainProm.set_value(std::move(e));
-        } catch (...) {
-            trainProm.set_exception(std::current_exception());
+        if (ownTrain) {
+            try {
+                auto e = std::make_shared<TrainEntry>();
+                e->train =
+                    workloads::buildWorkload(cfg.workload, cfg.train);
+                e->report = markTrainProgram(e->train, cfg);
+                // Pre-flight: lint the freshly marked program once per
+                // cache entry. An illegal marking throws here, before
+                // any simulation consumes it, and every waiter of this
+                // entry observes the same LintError through the
+                // shared_future.
+                analysis::AnalysisOptions ao;
+                ao.marker = cfg.marker;
+                ao.maxPredicateDepth = cfg.core.predRegisters;
+                ao.memoryBytes = cfg.core.memoryBytes;
+                analysis::preflightOrThrow(e->train, ao, cfg.workload);
+                trainProm.set_value(std::move(e));
+            } catch (...) {
+                trainProm.set_exception(std::current_exception());
+            }
         }
+        train = trainFut.get();
     }
-    std::shared_ptr<const TrainEntry> train = trainFut.get();
 
     // Level 2: build the ref binary and transfer the marks, once per
     // (pkey, ref input). All core configurations of a figure share the
@@ -229,8 +241,17 @@ BatchRunner::preparedProgram(const SimConfig &cfg)
         try {
             auto e = std::make_shared<RefEntry>();
             e->ref = workloads::buildWorkload(cfg.workload, cfg.ref);
-            profile::transferMarks(train->train, e->ref);
-            e->report = train->report;
+            if (staticMarks) {
+                e->report = markTrainProgram(e->ref, cfg);
+                analysis::AnalysisOptions ao;
+                ao.marker = cfg.marker;
+                ao.maxPredicateDepth = cfg.core.predRegisters;
+                ao.memoryBytes = cfg.core.memoryBytes;
+                analysis::preflightOrThrow(e->ref, ao, cfg.workload);
+            } else {
+                profile::transferMarks(train->train, e->ref);
+                e->report = train->report;
+            }
             refProm.set_value(std::move(e));
         } catch (...) {
             refProm.set_exception(std::current_exception());

@@ -510,4 +510,79 @@ loadMarkingsTable(const std::string &path, ReportTable &out,
     return true;
 }
 
+bool
+loadProofsTable(const std::string &path, ReportTable &out,
+                std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    json::Value doc;
+    if (!json::parse(text.str(), doc, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    const json::Value *targets = doc.get("targets");
+    if (!doc.isObject() || !targets || !targets->isArray()) {
+        err = path + ": not a dmp-lint JSON report "
+              "(missing \"targets\" array)";
+        return false;
+    }
+
+    out = ReportTable{};
+    out.title = "absint proofs (dmp-lint --deep)";
+    out.header = {"workload", "insts",   "unreach", "branches",
+                  "taken",    "untaken", "trip",    "ind ok",
+                  "ind ?",    "iters",   "status"};
+    std::uint64_t branch_sum = 0, proved_sum = 0;
+    for (const json::Value &t : targets->array) {
+        if (!t.isObject())
+            continue;
+        const json::Value *name = t.get("target");
+        std::vector<std::string> row;
+        row.push_back(name && name->isString() ? name->string : "?");
+        const json::Value *a = t.get("absint");
+        if (!a || !a->isObject()) {
+            // Linted without --deep: keep the row so the table still
+            // covers every target, but show no proof columns.
+            for (int i = 0; i < 9; ++i)
+                row.push_back("-");
+            row.push_back("no absint");
+            out.rows.push_back(std::move(row));
+            continue;
+        }
+        const json::Value *ran = a->get("ran");
+        const json::Value *smeared = a->get("smeared");
+        std::uint64_t branches = memberU64(*a, "branches");
+        std::uint64_t proved = memberU64(*a, "proved_taken") +
+                               memberU64(*a, "proved_not_taken");
+        for (const char *k :
+             {"insts", "unreachable", "branches", "proved_taken",
+              "proved_not_taken", "trip_bounded", "indirect_resolved",
+              "indirect_unresolved", "iterations"})
+            row.push_back(fmtU64(memberU64(*a, k)));
+        if (ran && ran->kind == json::Value::Kind::Bool && !ran->boolean)
+            row.push_back("declined");
+        else if (smeared && smeared->kind == json::Value::Kind::Bool &&
+                 smeared->boolean)
+            row.push_back("smeared");
+        else
+            row.push_back("exact");
+        branch_sum += branches;
+        proved_sum += proved;
+        out.rows.push_back(std::move(row));
+    }
+    if (branch_sum) {
+        double pct = 100.0 * double(proved_sum) / double(branch_sum);
+        out.rows.push_back({"total", "-", "-", fmtU64(branch_sum), "-",
+                            "-", "-", "-", "-", "-",
+                            fmtDouble(pct, "%.1f") + "% proved"});
+    }
+    return true;
+}
+
 } // namespace dmp::sim

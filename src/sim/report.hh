@@ -157,6 +157,19 @@ double flushReductionPct(std::uint64_t base, std::uint64_t enh);
 bool loadMarkingsTable(const std::string &path, ReportTable &out,
                        std::string &err);
 
+/**
+ * Abstract-interpretation proof summary: parse a dmp-lint --deep
+ * --json report (lint schema 1 with per-target "absint" blocks) and
+ * build one row per target — instruction/branch counts, proved
+ * one-sided branches, trip-bounded loops, resolved indirects, and
+ * whether the engine smeared or declined. Targets linted without
+ * --deep get a dashed row. Feeds dmp-report --proofs and the CI
+ * release-job step summary.
+ * @return true on success; on failure `err` says what was wrong.
+ */
+bool loadProofsTable(const std::string &path, ReportTable &out,
+                     std::string &err);
+
 } // namespace dmp::sim
 
 #endif // DMP_SIM_REPORT_HH

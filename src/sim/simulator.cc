@@ -195,11 +195,22 @@ markTrainProgram(isa::Program &train, const SimConfig &cfg)
 std::pair<isa::Program, profile::MarkingReport>
 prepareMarkedProgram(const SimConfig &cfg)
 {
+    isa::Program ref = workloads::buildWorkload(cfg.workload, cfg.ref);
+
+    // Static synthesis needs no training run, so it marks the binary
+    // that actually executes. The train build's data seed also varies
+    // code immediates, and the value analysis behind the synthesis
+    // proves facts that are exact only for the image it analyzed —
+    // marks transferred from the train build could embed train-only
+    // "proofs" (a branch one-sided under the train constants only).
+    if (cfg.markMode == MarkMode::Static) {
+        profile::MarkingReport report = markTrainProgram(ref, cfg);
+        return {std::move(ref), std::move(report)};
+    }
+
     isa::Program train =
         workloads::buildWorkload(cfg.workload, cfg.train);
     profile::MarkingReport report = markTrainProgram(train, cfg);
-
-    isa::Program ref = workloads::buildWorkload(cfg.workload, cfg.ref);
     profile::transferMarks(train, ref);
     return {std::move(ref), std::move(report)};
 }

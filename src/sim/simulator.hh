@@ -174,14 +174,19 @@ SimResult runSimOnProgram(const isa::Program &ref,
 /**
  * Mark `train` in place according to cfg.markMode: profile-and-mark
  * (Profile), static synthesis (Static), or clear (None). Shared by
- * prepareMarkedProgram and the batch profile cache.
+ * prepareMarkedProgram and the batch profile cache. For Static, pass
+ * the program that will actually run — synthesis leans on a value
+ * analysis whose proofs are exact only for the analyzed image, and
+ * the workload generators bake the data seed into code immediates.
  */
 profile::MarkingReport markTrainProgram(isa::Program &train,
                                         const SimConfig &cfg);
 
 /**
- * Profile-and-mark only: returns the marked ref program and the
- * marking report (used by benches that need the program itself).
+ * Marking only: returns the marked ref program and the marking report
+ * (used by benches that need the program itself). Profile mode marks
+ * the train build and transfers by PC; Static synthesizes directly on
+ * the ref build (see markTrainProgram).
  */
 std::pair<isa::Program, profile::MarkingReport>
 prepareMarkedProgram(const SimConfig &cfg);

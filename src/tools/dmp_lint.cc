@@ -20,6 +20,12 @@
  *                   CoreParams::predRegisters)
  *   --mem=N         data-memory bytes for load/store bound checks
  *                   (default: CoreParams::memoryBytes)
+ *   --deep[=N]      run the abstract-interpretation value analysis
+ *                   (N narrowing sweeps, default 2): proved memory
+ *                   violations become Errors, proved-dead branch arms
+ *                   and semantic unreachability are reported, resolved
+ *                   indirect jumps upgrade cfm-unverifiable, and the
+ *                   JSON gains per-target absint/branch-proof blocks
  *   --json[=PATH]   machine-readable report (stdout or PATH); schema
  *                   in EXPERIMENTS.md
  *   --quiet         suppress per-finding text output (summary only)
@@ -59,6 +65,8 @@ struct Options
     bool quiet = false;
     unsigned depth = 0;   // 0: CoreParams::predRegisters
     std::size_t mem = 0;  // 0: CoreParams::memoryBytes
+    bool deep = false;
+    unsigned deepIters = 2;
     bool json = false;
     std::string jsonPath; // empty with json=true: stdout
 };
@@ -106,6 +114,12 @@ parse(int argc, char **argv)
             o.depth = unsigned(std::strtoul(v.c_str(), nullptr, 0));
         else if (flagValue(a, "--mem", v))
             o.mem = std::strtoull(v.c_str(), nullptr, 0);
+        else if (std::strcmp(a, "--deep") == 0)
+            o.deep = true;
+        else if (flagValue(a, "--deep", v)) {
+            o.deep = true;
+            o.deepIters = unsigned(std::strtoul(v.c_str(), nullptr, 0));
+        }
         else if (std::strcmp(a, "--json") == 0)
             o.json = true;
         else if (flagValue(a, "--json", v)) {
@@ -176,6 +190,8 @@ runMain(int argc, char **argv)
     ao.marker.usePostDomFallback = o.postDom;
     ao.maxPredicateDepth = o.depth ? o.depth : defaults.predRegisters;
     ao.memoryBytes = o.mem ? o.mem : defaults.memoryBytes;
+    ao.absint = o.deep;
+    ao.absintIterations = o.deepIters;
 
     std::ostringstream json;
     json << "{\"schema\":" << analysis::kReportSchemaVersion
@@ -186,7 +202,9 @@ runMain(int argc, char **argv)
         const std::string &target = targets[i];
         isa::Program prog =
             loadTarget(target, o, ao.marker, ao.memoryBytes);
-        analysis::Report report = analysis::analyzeProgram(prog, ao);
+        analysis::AnalysisSummary summary;
+        analysis::Report report =
+            analysis::analyzeProgram(prog, ao, &summary);
 
         total_errors += report.errors();
         total_warnings += report.warnings();
@@ -200,6 +218,22 @@ runMain(int argc, char **argv)
                     "%zu info(s)\n",
                     target.c_str(), prog.allMarks().size(),
                     report.errors(), report.warnings(), report.infos());
+        if (o.deep && !o.quiet) {
+            const analysis::AbsintStats &s = summary.absintStats;
+            if (summary.absintRan)
+                std::printf("             absint: %zu/%zu branches "
+                            "proved one-sided, %zu trip-bounded, "
+                            "%zu/%zu indirects resolved, %zu/%zu insts "
+                            "unreachable%s\n",
+                            s.provedTaken + s.provedNotTaken, s.branches,
+                            s.tripBounded, s.indirectResolved,
+                            s.indirectResolved + s.indirectUnresolved,
+                            s.unreachable, s.insts,
+                            summary.absintSmeared ? " (smeared)" : "");
+            else
+                std::printf("             absint: declined "
+                            "(program too large or no fixpoint)\n");
+        }
 
         if (o.json) {
             if (i)
@@ -208,8 +242,47 @@ runMain(int argc, char **argv)
                  << "\",\"marks\":" << prog.allMarks().size()
                  << ",\"errors\":" << report.errors()
                  << ",\"warnings\":" << report.warnings()
-                 << ",\"infos\":" << report.infos()
-                 << ",\"findings\":" << report.json() << "}";
+                 << ",\"infos\":" << report.infos();
+            if (o.deep) {
+                const analysis::AbsintStats &s = summary.absintStats;
+                json << ",\"absint\":{\"ran\":"
+                     << (summary.absintRan ? "true" : "false")
+                     << ",\"smeared\":"
+                     << (summary.absintSmeared ? "true" : "false")
+                     << ",\"insts\":" << s.insts
+                     << ",\"unreachable\":" << s.unreachable
+                     << ",\"branches\":" << s.branches
+                     << ",\"proved_taken\":" << s.provedTaken
+                     << ",\"proved_not_taken\":" << s.provedNotTaken
+                     << ",\"trip_bounded\":" << s.tripBounded
+                     << ",\"indirect_resolved\":" << s.indirectResolved
+                     << ",\"indirect_unresolved\":"
+                     << s.indirectUnresolved
+                     << ",\"iterations\":" << s.iterations << "}";
+                json << ",\"branch_proofs\":[";
+                bool first = true;
+                for (const auto &[pc, proof] : summary.branchProofs) {
+                    using Status = analysis::BranchProof::Status;
+                    if (proof.status == Status::None && proof.tripMax == 0)
+                        continue;
+                    if (!first)
+                        json << ",";
+                    first = false;
+                    char pcbuf[24];
+                    std::snprintf(pcbuf, sizeof(pcbuf), "0x%llx",
+                                  static_cast<unsigned long long>(pc));
+                    json << "{\"pc\":\"" << pcbuf << "\",\"status\":\""
+                         << (proof.status == Status::Taken ? "taken"
+                             : proof.status == Status::NotTaken
+                                 ? "not-taken"
+                                 : "none")
+                         << "\",\"backward\":"
+                         << (proof.backward ? "true" : "false")
+                         << ",\"trip_max\":" << proof.tripMax << "}";
+                }
+                json << "]";
+            }
+            json << ",\"findings\":" << report.json() << "}";
         }
     }
 

@@ -18,6 +18,10 @@
  *   --no-hammock    skip the simple-hammock (DHP) marks
  *   --prune=P       frequent-path edge-pruning threshold (default 0.1)
  *   --no-compare    skip the profiled-marker agreement pass
+ *   --absint        refine the frequency estimate with abstract
+ *                   interpretation (the default; per-branch proof
+ *                   status appears in the text and JSON reports)
+ *   --no-absint     pure-heuristic synthesis (pre-absint behaviour)
  *   --mem=N         data-memory bytes for the comparison train run
  *                   (default: CoreParams::memoryBytes)
  *   --json[=PATH]   machine-readable report (stdout or PATH); schema
@@ -56,6 +60,7 @@ struct Options
     bool loopExt = false;
     bool noHammock = false;
     bool compare = true;
+    bool absint = true;
     bool quiet = false;
     double prune = -1;   // <0: MarkGenConfig default
     std::size_t mem = 0; // 0: CoreParams::memoryBytes
@@ -100,6 +105,10 @@ parse(int argc, char **argv)
             o.noHammock = true;
         else if (std::strcmp(a, "--no-compare") == 0)
             o.compare = false;
+        else if (std::strcmp(a, "--absint") == 0)
+            o.absint = true;
+        else if (std::strcmp(a, "--no-absint") == 0)
+            o.absint = false;
         else if (std::strcmp(a, "--quiet") == 0)
             o.quiet = true;
         else if (flagValue(a, "--prune", v))
@@ -168,6 +177,7 @@ runMain(int argc, char **argv)
     mg.marker.markLoopBranches = o.loopExt;
     mg.markHammocks = !o.noHammock;
     mg.maxPredicateDepth = defaults.predRegisters;
+    mg.useAbsint = o.absint;
     if (o.prune >= 0)
         mg.pruneProbability = o.prune;
     const std::size_t mem = o.mem ? o.mem : defaults.memoryBytes;

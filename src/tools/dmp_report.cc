@@ -23,6 +23,12 @@
  *                        PATH is a dmp-mark report, not a stats JSONL;
  *                        with only this section, no JSONL inputs are
  *                        needed
+ *   --proofs=PATH        abstract-interpretation proof summary from a
+ *                        dmp-lint --deep --json report (per workload:
+ *                        proved one-sided branches, trip bounds,
+ *                        resolved indirects, smear/decline status).
+ *                        Like --markings, PATH is its own report file
+ *                        and no JSONL inputs are needed
  *   --format=text|json|md  output rendering (default text)
  *
  * Passing any section flag suppresses the default summary; several
@@ -81,9 +87,10 @@ splitPair(const std::string &v, const char *flag, std::string &a,
 struct Section
 {
     enum Kind {
-        Summary, Topdown, Diff, Branches, FlushReduction, Markings
+        Summary, Topdown, Diff, Branches, FlushReduction, Markings,
+        Proofs
     } kind;
-    std::string a, b;     // Diff / FlushReduction labels; Markings path
+    std::string a, b;     // Diff / FlushReduction labels; report paths
     std::size_t topN = 0; // Branches
 };
 
@@ -119,6 +126,8 @@ main(int argc, char **argv)
             sections.push_back(std::move(s));
         } else if (flagValue(arg, "--markings", v)) {
             sections.push_back({Section::Markings, v, "", 0});
+        } else if (flagValue(arg, "--proofs", v)) {
+            sections.push_back({Section::Proofs, v, "", 0});
         } else if (flagValue(arg, "--format", v)) {
             if (!sim::parseReportFormat(v, format))
                 dmp_fatal("--format: expected text|json|md, got: ", v);
@@ -130,11 +139,11 @@ main(int argc, char **argv)
     }
     if (sections.empty())
         sections.push_back({Section::Summary, "", "", 0});
-    // --markings reads its own report file; JSONL inputs are required
-    // only when some section aggregates stats records.
+    // --markings/--proofs read their own report files; JSONL inputs
+    // are required only when some section aggregates stats records.
     bool needRecords = false;
     for (const Section &s : sections)
-        if (s.kind != Section::Markings)
+        if (s.kind != Section::Markings && s.kind != Section::Proofs)
             needRecords = true;
     if (inputs.empty() && needRecords)
         usage();
@@ -173,6 +182,14 @@ main(int argc, char **argv)
             std::string err;
             if (!sim::loadMarkingsTable(s.a, t, err))
                 dmp_fatal("dmp-report: --markings: ", err);
+            tables.push_back(std::move(t));
+            break;
+          }
+          case Section::Proofs: {
+            ReportTable t;
+            std::string err;
+            if (!sim::loadProofsTable(s.a, t, err))
+                dmp_fatal("dmp-report: --proofs: ", err);
             tables.push_back(std::move(t));
             break;
           }

@@ -459,17 +459,23 @@ runMain(int argc, char **argv)
     isa::Program prog;
     profile::MarkingReport report;
     if (isWorkload(o.target)) {
-        workloads::WorkloadParams train;
-        train.iterations = o.iters;
-        train.seed = 0x7e41a;
-        isa::Program tp = workloads::buildWorkload(o.target, train);
-        report = sim::markTrainProgram(tp, mcfg);
-
         workloads::WorkloadParams ref;
         ref.iterations = o.iters;
         ref.seed = o.seed;
         prog = workloads::buildWorkload(o.target, ref);
-        profile::transferMarks(tp, prog);
+        if (o.markMode == sim::MarkMode::Static) {
+            // Static synthesis marks the binary that runs: the train
+            // build's seeded immediates differ, so value-analysis
+            // proofs made there need not hold here.
+            report = sim::markTrainProgram(prog, mcfg);
+        } else {
+            workloads::WorkloadParams train;
+            train.iterations = o.iters;
+            train.seed = 0x7e41a;
+            isa::Program tp = workloads::buildWorkload(o.target, train);
+            report = sim::markTrainProgram(tp, mcfg);
+            profile::transferMarks(tp, prog);
+        }
     } else {
         std::ifstream in(o.target);
         if (!in)

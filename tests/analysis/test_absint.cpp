@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Abstract-interpretation engine tests: domain algebra, transfer and
+ * branch-proof precision on directed programs, and the soundness
+ * property — every value FuncSim retires lies inside the abstract
+ * value at that program point, over all 15 workloads (both marker
+ * configurations) and a sweep of random programs.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "analysis/absint.hh"
+#include "analysis/freq.hh"
+#include "cfg/cfg.hh"
+#include "core/params.hh"
+#include "isa/func_sim.hh"
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+#include "profile/profiler.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmp;
+using analysis::AbsintOptions;
+using analysis::AbsintResult;
+using analysis::AbsVal;
+using analysis::BranchProof;
+
+namespace
+{
+
+AbsVal
+interval(SWord lo, SWord hi)
+{
+    AbsVal v = AbsVal::top();
+    v.smin = lo;
+    v.smax = hi;
+    if (lo >= 0) {
+        v.umin = Word(lo);
+        v.umax = Word(hi);
+    }
+    v.reduce();
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Domain algebra.
+
+TEST(AbsVal, ConstantRoundTrip)
+{
+    AbsVal v = AbsVal::constant(42);
+    EXPECT_TRUE(v.isConstant());
+    EXPECT_EQ(v.constantValue(), 42u);
+    EXPECT_TRUE(v.contains(42));
+    EXPECT_FALSE(v.contains(41));
+    EXPECT_EQ(v.count(10), 1u);
+    EXPECT_EQ(v.zeros, ~Word(42));
+    EXPECT_EQ(v.ones, Word(42));
+}
+
+TEST(AbsVal, TopContainsEverything)
+{
+    AbsVal t = AbsVal::top();
+    EXPECT_TRUE(t.isTop());
+    EXPECT_FALSE(t.isEmpty());
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_TRUE(t.contains(~Word(0)));
+    EXPECT_TRUE(t.contains(Word(1) << 63));
+}
+
+TEST(AbsVal, EmptyContainsNothing)
+{
+    AbsVal e = AbsVal::empty();
+    EXPECT_TRUE(e.isEmpty());
+    EXPECT_FALSE(e.contains(0));
+    EXPECT_EQ(e.count(10), 0u);
+}
+
+TEST(AbsVal, JoinIsUpperBound)
+{
+    AbsVal a = AbsVal::constant(3);
+    AbsVal b = AbsVal::constant(12);
+    AbsVal j = AbsVal::join(a, b);
+    EXPECT_TRUE(j.contains(3));
+    EXPECT_TRUE(j.contains(12));
+    EXPECT_FALSE(j.contains(100));
+    // 3 = 0b0011, 12 = 0b1100: no common ones, common zeros above bit 3.
+    EXPECT_EQ(j.ones, 0u);
+    EXPECT_EQ(j.zeros & 0xf, 0u);
+    EXPECT_EQ(j.zeros >> 4, ~Word(0) >> 4);
+    // Joining with empty is the identity.
+    EXPECT_EQ(AbsVal::join(a, AbsVal::empty()), a);
+    EXPECT_EQ(AbsVal::join(AbsVal::empty(), b), b);
+}
+
+TEST(AbsVal, MeetIsLowerBound)
+{
+    AbsVal a = interval(0, 10);
+    AbsVal b = interval(8, 20);
+    AbsVal m = AbsVal::meet(a, b);
+    EXPECT_TRUE(m.contains(8));
+    EXPECT_TRUE(m.contains(10));
+    EXPECT_FALSE(m.contains(7));
+    EXPECT_FALSE(m.contains(11));
+    // Disjoint intervals meet to empty.
+    EXPECT_TRUE(AbsVal::meet(interval(0, 3), interval(5, 9)).isEmpty());
+}
+
+TEST(AbsVal, WidenJumpsMovedBounds)
+{
+    AbsVal prev = interval(0, 4);
+    AbsVal next = interval(0, 8);
+    AbsVal w = AbsVal::widen(prev, next);
+    // Widening is an upper bound of both arguments, keeps the stable
+    // lower bound, and at least reaches the grown upper bound.
+    EXPECT_TRUE(w.contains(0));
+    EXPECT_TRUE(w.contains(4));
+    EXPECT_TRUE(w.contains(8));
+    EXPECT_GE(w.smax, next.smax);
+    EXPECT_EQ(w.smin, 0);
+    // An unchanged value widens to itself.
+    EXPECT_EQ(AbsVal::widen(prev, prev), prev);
+    // Any ascending chain converges in a bounded number of steps
+    // (interval bounds jump to extremes, known bits shrink <= 64x).
+    AbsVal cur = prev;
+    int steps = 0;
+    for (SWord hi = 8; steps < 200; hi *= 2, ++steps) {
+        AbsVal grown = AbsVal::join(cur, interval(0, hi));
+        AbsVal wide = AbsVal::widen(cur, grown);
+        if (wide == cur)
+            break;
+        cur = wide;
+        if (hi > (SWord(1) << 60))
+            hi = 8; // keep feeding fresh values below the extreme
+    }
+    EXPECT_LT(steps, 200) << "widening failed to converge";
+}
+
+TEST(AbsVal, ReduceTightensAcrossDomains)
+{
+    // Interval [1, 9] with the low 3 bits known zero: the bit-pattern
+    // maximum (~zeros) caps the range at 8, and containment rejects
+    // every value with a known-zero bit set.
+    AbsVal v = interval(1, 9);
+    v.zeros |= 7;
+    v.reduce();
+    EXPECT_EQ(v.umax, 8u);
+    EXPECT_TRUE(v.contains(8));
+    EXPECT_FALSE(v.contains(9));
+    EXPECT_FALSE(v.contains(4));
+    // And agreeing interval bounds pin high bits: [5, 5] is constant.
+    AbsVal c = interval(5, 5);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.ones, 5u);
+    EXPECT_EQ(c.zeros, ~Word(5));
+}
+
+TEST(AbsVal, CountSaturates)
+{
+    AbsVal v = interval(0, 1000);
+    EXPECT_EQ(v.count(10), 10u);
+    EXPECT_EQ(v.count(2000), 1001u);
+    EXPECT_EQ(AbsVal::top().count(5), 5u);
+}
+
+// ---------------------------------------------------------------------
+// Transfers and proofs on directed programs.
+
+TEST(Absint, ConstantFolding)
+{
+    isa::ProgramBuilder b;
+    b.li(1, 5);
+    b.li(2, 7);
+    b.add(3, 1, 2);
+    Addr at = b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    AbsVal v = r.regBefore(prog.indexOf(at), 3);
+    ASSERT_TRUE(v.isConstant());
+    EXPECT_EQ(v.constantValue(), 12u);
+}
+
+TEST(Absint, KnownBitsThroughAnd)
+{
+    isa::ProgramBuilder b;
+    b.add(1, 2, 3); // r2, r3 start as architectural zeros -> r1 = 0
+    b.li(1, 0x123);
+    b.andi(4, 1, 1);
+    Addr at = b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    AbsVal v = r.regBefore(prog.indexOf(at), 4);
+    // andi x, 1 proves bits 1..63 zero and here folds to exactly 1.
+    EXPECT_EQ(v.zeros, ~Word(1));
+    ASSERT_TRUE(v.isConstant());
+    EXPECT_EQ(v.constantValue(), 1u);
+}
+
+TEST(Absint, ProvesOneSidedBranch)
+{
+    isa::ProgramBuilder b;
+    b.li(1, 4);
+    isa::Label off = b.newLabel();
+    Addr br = b.blt(1, 0, off); // 4 < 0: never taken
+    b.halt();
+    b.bind(off);
+    Addr dead = b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    BranchProof p = r.proofAt(br);
+    EXPECT_EQ(p.status, BranchProof::Status::NotTaken);
+    EXPECT_EQ(r.stats.provedNotTaken, 1u);
+    // The taken arm is semantically unreachable.
+    EXPECT_FALSE(r.in[prog.indexOf(dead)].reachable);
+    EXPECT_GE(r.stats.unreachable, 1u);
+}
+
+TEST(Absint, CountedLoopTripBound)
+{
+    isa::ProgramBuilder b;
+    b.li(10, 8);
+    isa::Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    Addr br = b.blt(1, 10, loop); // r1 walks 1..8: 7 back edges
+    b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    BranchProof p = r.proofAt(br);
+    EXPECT_TRUE(p.backward);
+    ASSERT_GT(p.tripMax, 0u) << "loop counter should be bounded";
+    EXPECT_LE(p.tripMax, 16u) << "bound should be near the real trip";
+    EXPECT_EQ(r.stats.tripBounded, 1u);
+}
+
+TEST(Absint, ResolvesConstantIndirectJump)
+{
+    constexpr Addr kBase = 0x2000;
+    isa::ProgramBuilder b(kBase);
+    b.li(1, SWord(kBase + 12)); // the halt below
+    Addr jr = b.jr(1);
+    b.addi(2, 2, 1); // skipped
+    b.halt();        // kBase + 12
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    EXPECT_FALSE(r.smeared);
+    EXPECT_EQ(r.stats.indirectResolved, 1u);
+    auto it = r.resolvedIndirects.find(prog.indexOf(jr));
+    ASSERT_NE(it, r.resolvedIndirects.end());
+    ASSERT_EQ(it->second.size(), 1u);
+    // The skipped instruction is proved unreachable.
+    EXPECT_FALSE(r.in[prog.indexOf(jr) + 1].reachable);
+}
+
+TEST(Absint, ProofsOverrideFreqHeuristics)
+{
+    isa::ProgramBuilder b;
+    b.li(1, 4);
+    isa::Label off = b.newLabel();
+    Addr br = b.blt(1, 0, off); // proved never taken
+    b.halt();
+    b.bind(off);
+    b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult r = analysis::runAbsint(prog);
+    ASSERT_TRUE(r.ran);
+    const cfg::Cfg graph = cfg::Cfg::build(prog);
+    analysis::FreqEstimate heur =
+        analysis::estimateFrequencies(prog, graph);
+    analysis::FreqEstimate proved =
+        analysis::estimateFrequencies(prog, graph, &r);
+
+    cfg::BlockId blk = graph.blockContaining(br);
+    ASSERT_NE(blk, cfg::kNoBlock);
+    // Heuristics clamp to [0.01, 0.99]; the proof escapes the clamp.
+    EXPECT_GE(heur.takenProb[blk], 0.01);
+    EXPECT_EQ(proved.takenProb[blk], 0.0);
+    EXPECT_EQ(proved.heuristic[blk], analysis::ProbHeuristic::Proved);
+    // The pre-proof heuristic estimate survives alongside the proof —
+    // the marking cost model selects from it, not from the 0/1.
+    EXPECT_EQ(proved.heurTakenProb[blk], heur.takenProb[blk]);
+}
+
+TEST(Absint, InitialDataOptionGatesImageProofs)
+{
+    // The proof below holds only because the initial data image puts 7
+    // at address 64: with assumeInitialData off the slot is havocked
+    // and the branch must stay unproven.
+    isa::ProgramBuilder b;
+    b.dataWord(64, 7);
+    b.ld(1, 0, 64);
+    b.li(2, 7);
+    isa::Label eq = b.newLabel();
+    Addr br = b.beq(1, 2, eq);
+    b.halt();
+    b.bind(eq);
+    b.halt();
+    isa::Program prog = b.build();
+
+    AbsintResult withData = analysis::runAbsint(prog);
+    ASSERT_TRUE(withData.ran);
+    EXPECT_EQ(withData.proofAt(br).status, BranchProof::Status::Taken);
+
+    AbsintOptions ao;
+    ao.assumeInitialData = false;
+    AbsintResult havocked = analysis::runAbsint(prog, ao);
+    ASSERT_TRUE(havocked.ran);
+    EXPECT_EQ(havocked.proofAt(br).status, BranchProof::Status::None);
+}
+
+TEST(Absint, AbsintAddMatchesConcreteWrap)
+{
+    AbsVal a = AbsVal::constant(~Word(0)); // -1
+    AbsVal b = AbsVal::constant(2);
+    AbsVal s = analysis::absintAdd(a, b);
+    ASSERT_TRUE(s.isConstant());
+    EXPECT_EQ(s.constantValue(), 1u); // wraps
+
+    AbsVal t = analysis::absintAdd(AbsVal::top(), b);
+    EXPECT_TRUE(t.contains(2));
+    EXPECT_TRUE(t.contains(1)); // ~0 + 2
+}
+
+// ---------------------------------------------------------------------
+// Soundness: lockstep against FuncSim. Every retired register value
+// (and every tracked-slot memory value) must be contained in the
+// abstract in-state of the next program point.
+
+namespace
+{
+
+/** Run `prog` under FuncSim and check containment at every step. */
+void
+checkLockstep(const isa::Program &prog, const std::string &what,
+              std::uint64_t max_insts)
+{
+    AbsintOptions ao;
+    AbsintResult r = analysis::runAbsint(prog, ao);
+    ASSERT_TRUE(r.ran) << what << ": engine declined";
+
+    isa::MemoryImage mem; // default 64 MiB, as dmp-run uses
+    isa::FuncSim sim(prog, mem);
+
+    std::uint64_t escapes = 0;
+    sim.visitRun(max_insts, [&](Addr, const isa::Inst &, bool, bool,
+                                Addr nextPc, Addr memAddr) {
+        if (escapes > 4 || !prog.contains(nextPc))
+            return; // off-image next pc: nothing to check
+        const std::size_t idx = prog.indexOf(nextPc);
+        const analysis::AbsState &st = r.in[idx];
+        if (!st.reachable) {
+            ++escapes;
+            ADD_FAILURE() << what << ": pc 0x" << std::hex << nextPc
+                          << " retired but proved unreachable";
+            return;
+        }
+        const isa::ArchState &arch = sim.state();
+        for (std::size_t reg = 0; reg < isa::kNumArchRegs; ++reg) {
+            const Word v = reg == isa::kZeroReg ? 0 : arch.regs[reg];
+            if (!st.regs[reg].contains(v)) {
+                ++escapes;
+                ADD_FAILURE()
+                    << what << ": pc 0x" << std::hex << nextPc
+                    << " r" << std::dec << reg << " = 0x" << std::hex
+                    << v << " escapes [" << st.regs[reg].smin << ", "
+                    << st.regs[reg].smax << "] u[" << st.regs[reg].umin
+                    << ", " << st.regs[reg].umax << "]";
+            }
+        }
+        // Tracked memory slots: only re-checked after memory traffic.
+        if (memAddr == kNoAddr)
+            return;
+        for (std::size_t s = 0; s < r.slotAddrs.size(); ++s) {
+            const Word v = mem.load(r.slotAddrs[s]);
+            if (!st.slots[s].contains(v)) {
+                ++escapes;
+                ADD_FAILURE()
+                    << what << ": pc 0x" << std::hex << nextPc
+                    << " slot @0x" << r.slotAddrs[s] << " = 0x" << v
+                    << " escapes its abstract value";
+            }
+        }
+    });
+    EXPECT_EQ(escapes, 0u) << what;
+}
+
+} // namespace
+
+TEST(AbsintSoundness, AllWorkloadsBothMarkerConfigs)
+{
+    const core::CoreParams defaults;
+    for (const auto &info : workloads::workloadList()) {
+        for (bool loopExt : {false, true}) {
+            workloads::WorkloadParams p;
+            p.iterations = 40;
+            p.seed = 0x7e41a;
+            isa::Program prog = workloads::buildWorkload(info.name, p);
+            profile::MarkerConfig mc;
+            mc.markLoopBranches = loopExt;
+            profile::profileAndMark(prog, defaults.memoryBytes, mc);
+            checkLockstep(prog,
+                          info.name + (loopExt ? "+loop-ext" : ""),
+                          60000);
+        }
+    }
+}
+
+TEST(AbsintSoundness, RandomProgramSweep)
+{
+    for (std::uint64_t structure = 0; structure < 12; ++structure) {
+        for (std::uint64_t data = 0; data < 2; ++data) {
+            isa::Program prog = workloads::buildRandomProgram(
+                0x5eed00 + structure, 0xda7a00 + data);
+            char what[48];
+            std::snprintf(what, sizeof(what), "random(%llu,%llu)",
+                          static_cast<unsigned long long>(structure),
+                          static_cast<unsigned long long>(data));
+            checkLockstep(prog, what, 40000);
+        }
+    }
+}

@@ -99,6 +99,91 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, MarkGenWorkloads, [] {
     return testing::ValuesIn(names);
 }());
 
+/**
+ * Value-analysis proofs annotate the cost table but never change the
+ * marking itself: selection, CFM placement, and early-exit thresholds
+ * are pure functions of the heuristics (mcf is the one workload whose
+ * branches absint proves one-sided, so it exercises the override).
+ */
+TEST(MarkGenAbsint, ProofsAnnotateButNeverUnmark)
+{
+    isa::Program withProofs = buildTarget("mcf");
+    isa::Program heuristicOnly = buildTarget("mcf");
+    analysis::MarkGenConfig off;
+    off.useAbsint = false;
+    analysis::MarkGenReport ra = analysis::synthesizeMarks(withProofs);
+    analysis::MarkGenReport rb =
+        analysis::synthesizeMarks(heuristicOnly, off);
+
+    // The proofs must actually exist and land on selected branches...
+    ASSERT_TRUE(ra.absintRan);
+    unsigned provedSelected = 0;
+    for (const analysis::MarkCandidate &c : ra.candidates) {
+        if (c.proof == "none")
+            continue;
+        EXPECT_EQ(c.heuristic, analysis::ProbHeuristic::Proved);
+        EXPECT_TRUE(c.takenProb == 0.0 || c.takenProb == 1.0);
+        EXPECT_GT(c.mispredictEstimate, 0.0)
+            << "selection estimate must stay heuristic";
+        if (c.selected)
+            ++provedSelected;
+    }
+    EXPECT_GT(provedSelected, 0u);
+
+    // ...while every mark is bit-identical to the heuristic synthesis.
+    EXPECT_EQ(ra.markedDiverge, rb.markedDiverge);
+    EXPECT_EQ(ra.markedSimpleHammock, rb.markedSimpleHammock);
+    EXPECT_EQ(ra.markedLoop, rb.markedLoop);
+    for (std::size_t i = 0; i < withProofs.size(); ++i) {
+        const Addr pc =
+            withProofs.baseAddr() + (i << isa::Program::kInstShift);
+        const isa::DivergeMark *ma = withProofs.mark(pc);
+        const isa::DivergeMark *mb = heuristicOnly.mark(pc);
+        ASSERT_EQ(ma == nullptr, mb == nullptr) << std::hex << pc;
+        if (!ma)
+            continue;
+        EXPECT_EQ(ma->isDiverge, mb->isDiverge) << std::hex << pc;
+        EXPECT_EQ(ma->isSimpleHammock, mb->isSimpleHammock)
+            << std::hex << pc;
+        EXPECT_EQ(ma->isLoopBranch, mb->isLoopBranch) << std::hex << pc;
+        EXPECT_EQ(ma->cfmPoints, mb->cfmPoints) << std::hex << pc;
+        EXPECT_EQ(ma->earlyExitThreshold, mb->earlyExitThreshold)
+            << std::hex << pc;
+    }
+}
+
+/**
+ * Static marks are synthesized on the binary that executes (the ref
+ * build), not profiled-and-transferred from the train build: absint
+ * proofs embed the analyzed image's seeded immediates, which differ
+ * between the two.
+ */
+TEST(MarkModeStatic, SynthesizesOnRefImage)
+{
+    sim::SimConfig cfg;
+    cfg.workload = "mcf";
+    cfg.train.iterations = 300;
+    cfg.ref.iterations = 300;
+    cfg.markMode = sim::MarkMode::Static;
+
+    auto [prepared, report] = sim::prepareMarkedProgram(cfg);
+
+    isa::Program ref = workloads::buildWorkload(cfg.workload, cfg.ref);
+    analysis::MarkGenReport direct = analysis::synthesizeMarks(ref);
+    EXPECT_EQ(report.markedDiverge, direct.markedDiverge);
+    ASSERT_EQ(prepared.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        const Addr pc = ref.baseAddr() + (i << isa::Program::kInstShift);
+        const isa::DivergeMark *mp = prepared.mark(pc);
+        const isa::DivergeMark *mr = ref.mark(pc);
+        ASSERT_EQ(mp == nullptr, mr == nullptr) << std::hex << pc;
+        if (!mp)
+            continue;
+        EXPECT_EQ(mp->isDiverge, mr->isDiverge) << std::hex << pc;
+        EXPECT_EQ(mp->cfmPoints, mr->cfmPoints) << std::hex << pc;
+    }
+}
+
 /** Static marks run end-to-end and actually enter diverge episodes. */
 TEST(MarkModeStatic, RunsEndToEndAndPredicates)
 {

@@ -121,7 +121,7 @@ TEST(Verifier, ReadBeforeWriteIsInfo)
     EXPECT_EQ(r.errors(), 0u);
 }
 
-TEST(Verifier, WrittenOnOnlyOneSideIsStillReported)
+TEST(Verifier, WrittenOnOnlyOneSideIsMaybe)
 {
     isa::ProgramBuilder b;
     b.li(1, 1);
@@ -133,9 +133,61 @@ TEST(Verifier, WrittenOnOnlyOneSideIsStillReported)
     b.halt();
     analysis::Report r = analyze(b.build());
 
-    const analysis::Finding *f = r.first("read-before-write");
+    // A path-dependent init is distinguished from a definite one.
+    const analysis::Finding *f = r.first("read-before-write-maybe");
     ASSERT_NE(f, nullptr) << r.text();
+    EXPECT_EQ(f->severity, Severity::Info);
     EXPECT_EQ(f->pc, use);
+    EXPECT_EQ(r.first("read-before-write"), nullptr) << r.text();
+}
+
+TEST(Verifier, DefThenUseInSameBlockIsClean)
+{
+    // The old block-granular dataflow flagged a same-block def->use
+    // when the block was a loop body; instruction granularity must not.
+    isa::ProgramBuilder b;
+    b.li(1, 3);
+    b.li(2, 0);
+    isa::Label loop = b.newLabel();
+    b.bind(loop);
+    b.li(7, 2);        // def...
+    b.add(2, 2, 7);    // ...then use of r7, same block
+    b.addi(1, 1, -1);
+    b.bne(1, 0, loop);
+    b.halt();
+    analysis::Report r = analyze(b.build());
+    EXPECT_EQ(r.first("read-before-write"), nullptr) << r.text();
+    EXPECT_EQ(r.first("read-before-write-maybe"), nullptr) << r.text();
+}
+
+TEST(Verifier, AbsintProvesOobAndDeadArm)
+{
+    isa::ProgramBuilder b;
+    b.skipDebugVerify();
+    b.li(1, 1 << 21);
+    Addr oob = b.ld(2, 1, 0); // base proved 2 MiB, beyond 1 MiB
+    b.li(3, 4);
+    isa::Label off = b.newLabel();
+    Addr dead = b.blt(3, 0, off); // 4 < 0 never holds
+    b.halt();
+    b.bind(off);
+    b.halt();
+
+    analysis::AnalysisOptions ao;
+    ao.memoryBytes = 1 << 20;
+    ao.absint = true;
+    analysis::Report r =
+        analysis::analyzeProgram(b.build(), ao);
+
+    const analysis::Finding *f = r.first("mem-oob");
+    ASSERT_NE(f, nullptr) << r.text();
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->pc, oob);
+
+    const analysis::Finding *d = r.first("dead-branch-arm");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, Severity::Warn);
+    EXPECT_EQ(d->pc, dead);
 }
 
 TEST(Verifier, RetWithoutCall)
